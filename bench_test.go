@@ -1,0 +1,470 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Tables 1–4, Figures 2, 3, 8, 9), ablation benchmarks for the
+// design choices called out in DESIGN.md, and micro-benchmarks for the hot
+// paths. Metrics that are not wall-clock (message counts, table sizes,
+// factors) are attached with b.ReportMetric so `go test -bench` prints the
+// reproduced quantities next to the timings.
+package repro_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/locfilter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1Ploc regenerates Table 1 (ploc values on the Figure 7
+// movement graph).
+func BenchmarkTable1Ploc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Table1()
+		if got := tb.Cells[1]["a"].Len(); got != 3 {
+			b.Fatalf("ploc(a,1) size = %d", got)
+		}
+	}
+}
+
+// BenchmarkTable2Filters regenerates Table 2 (filter settings along the
+// Figure 6 chain for the itinerary a → b → d).
+func BenchmarkTable2Filters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2()
+		if len(res.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable3Instantiations regenerates Table 3 (global sub/unsub and
+// flooding as instantiations of the ploc scheme).
+func BenchmarkTable3Instantiations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		top, bottom := experiments.Table3()
+		if top.Cells[2]["a"].Len() != 3 || bottom.Cells[2]["a"].Len() != 4 {
+			b.Fatal("bad instantiation")
+		}
+	}
+}
+
+// BenchmarkTable4Adaptivity regenerates Table 4 (the adaptive widening
+// schedule for Δ = 100ms, δ = 120/50/50/20 ms).
+func BenchmarkTable4Adaptivity(b *testing.B) {
+	cfg := experiments.DefaultTable4Config()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4(cfg)
+		if res.Schedule.Steps[3] != 2 {
+			b.Fatalf("schedule = %v", res.Schedule.Steps)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig2NaiveRoaming regenerates Figure 2 and reports the miss and
+// duplicate counts of the naive handoff next to the exactly-once protocol.
+func BenchmarkFig2NaiveRoaming(b *testing.B) {
+	cfg := experiments.DefaultFig2Config()
+	var res experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig2(cfg)
+	}
+	b.ReportMetric(float64(res.Naive.Missed), "naive-missed")
+	b.ReportMetric(float64(res.Naive.Duplicates), "naive-dups")
+	b.ReportMetric(float64(res.Protocol.Missed), "protocol-missed")
+	b.ReportMetric(float64(res.Protocol.Duplicates), "protocol-dups")
+}
+
+// BenchmarkFig3Blackout regenerates Figure 3 and reports the blackout in
+// units of t_d for both routing regimes.
+func BenchmarkFig3Blackout(b *testing.B) {
+	cfg := experiments.DefaultFig3Config()
+	var res experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig3(cfg)
+	}
+	b.ReportMetric(float64(res.Simple.Blackout())/float64(res.Simple.Td), "simple-blackout-td")
+	b.ReportMetric(float64(res.Flooding.Blackout())/float64(res.Flooding.Td), "flooding-blackout-td")
+}
+
+// BenchmarkFig8Schedule regenerates the Figure 8 schedule estimation.
+func BenchmarkFig8Schedule(b *testing.B) {
+	cfg := experiments.DefaultTable4Config()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(cfg)
+		if len(res.Marks) == 0 {
+			b.Fatal("no marks")
+		}
+	}
+}
+
+// BenchmarkFig9MessageCounts regenerates Figure 9 and reports the
+// flooding-to-new-algorithm factors at t = 100s.
+func BenchmarkFig9MessageCounts(b *testing.B) {
+	cfg := experiments.DefaultFig9Config()
+	var res experiments.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Flooding.At(100), "flooding-msgs")
+	b.ReportMetric(res.Delta1.At(100), "delta1-msgs")
+	b.ReportMetric(res.Delta10.At(100), "delta10-msgs")
+	b.ReportMetric(res.Flooding.At(100)/res.Delta1.At(100), "factor-delta1")
+	b.ReportMetric(res.Flooding.At(100)/res.Delta10.At(100), "factor-delta10")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationRoutingStrategies compares the routing strategies on a
+// live overlay: admin traffic and remote routing-table size for a batch of
+// overlapping subscriptions.
+func BenchmarkAblationRoutingStrategies(b *testing.B) {
+	for _, strat := range []routing.Strategy{
+		routing.Simple, routing.Identity, routing.Covering, routing.Merging,
+	} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var admin, tableSize float64
+			for i := 0; i < b.N; i++ {
+				net := core.NewNetwork(core.WithStrategy(strat))
+				net.MustAddBroker("edge")
+				net.MustAddBroker("hub")
+				net.MustConnect("edge", "hub", 0)
+				consumer, err := net.NewClient("c", "edge", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// 32 overlapping range subscriptions: nested pairs plus
+				// adjacent runs, so covering and merging have material to
+				// work with.
+				for j := 0; j < 32; j++ {
+					lo := (j % 8) * 10
+					hi := lo + 5 + (j%4)*20
+					f := filter.MustNew(filter.Range("p",
+						message.Int(int64(lo)), message.Int(int64(hi))))
+					err := consumer.Subscribe(core.SubSpec{
+						ID:     wire.SubID(fmt.Sprintf("s%d", j)),
+						Filter: f,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				net.Settle()
+				hub, err := net.Broker("hub")
+				if err != nil {
+					b.Fatal(err)
+				}
+				subs, _ := hub.TableSizes()
+				tableSize = float64(subs)
+				admin = float64(net.Counter().Get(metrics.CategoryAdmin))
+				net.Close()
+			}
+			b.ReportMetric(admin, "admin-msgs")
+			b.ReportMetric(tableSize, "remote-table-size")
+		})
+	}
+}
+
+// BenchmarkAblationWideningDepth sweeps the fixed widening depth q and
+// reports the expected per-notification network cost — the tradeoff the
+// adaptivity scheme navigates (q = 1 ≈ trivial sub/unsub, large q ≈
+// flooding).
+func BenchmarkAblationWideningDepth(b *testing.B) {
+	g := location.Grid(10, 10)
+	center := location.GridName(5, 5)
+	const pathLen = 8
+	for _, q := range []int{1, 2, 4, 8, 16} {
+		q := q
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			var crossings float64
+			for i := 0; i < b.N; i++ {
+				size := g.Ploc(center, q).Len()
+				crossings = float64(pathLen) * float64(size) / float64(g.Len())
+			}
+			b.ReportMetric(crossings, "crossings-per-notification")
+		})
+	}
+}
+
+// BenchmarkAblationRelocationDistance measures the live relocation
+// protocol as the distance between old and new border broker grows: total
+// control traffic per relocation.
+func BenchmarkAblationRelocationDistance(b *testing.B) {
+	for _, hops := range []int{1, 2, 4, 8} {
+		hops := hops
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			var control float64
+			for i := 0; i < b.N; i++ {
+				net := core.NewNetwork()
+				ids := make([]wire.BrokerID, hops+1)
+				for j := range ids {
+					ids[j] = wire.BrokerID(fmt.Sprintf("b%d", j))
+					net.MustAddBroker(ids[j])
+					if j > 0 {
+						net.MustConnect(ids[j-1], ids[j], 0)
+					}
+				}
+				consumer, err := net.NewClient("c", ids[0], func(core.Event) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				producer, err := net.NewClient("p", ids[hops/2], nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f := filter.MustParse(`k = "v"`)
+				if err := producer.Advertise("a", f); err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				if err := consumer.Subscribe(core.SubSpec{ID: "s", Filter: f, Mobile: true}); err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				if err := consumer.Detach(); err != nil {
+					b.Fatal(err)
+				}
+				if err := producer.Publish(message.New(map[string]message.Value{
+					"k": message.String("v"),
+				})); err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				before := net.Counter().Get(metrics.CategoryControl)
+				if err := consumer.MoveTo(ids[hops]); err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				control = float64(net.Counter().Get(metrics.CategoryControl) - before)
+				net.Close()
+			}
+			b.ReportMetric(control, "control-msgs-per-relocation")
+		})
+	}
+}
+
+// BenchmarkAblationPresubscribe contrasts cold handoffs with the
+// pre-subscription extension (the paper's conclusion outlook): admin
+// traffic spent during the move phase.
+func BenchmarkAblationPresubscribe(b *testing.B) {
+	for _, presub := range []bool{false, true} {
+		presub := presub
+		name := "cold"
+		if presub {
+			name = "presubscribed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var moveAdmin float64
+			for i := 0; i < b.N; i++ {
+				net := core.NewNetwork()
+				ids, err := net.BuildChain("b", 6, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				consumer, err := net.NewClient("c", ids[0], func(core.Event) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				producer, err := net.NewClient("p", ids[2], nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f := filter.MustParse(`k = "v"`)
+				if err := producer.Advertise("a", f); err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				err = consumer.Subscribe(core.SubSpec{
+					ID: "s", Filter: f, Mobile: true, Presubscribe: presub,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				if err := consumer.Detach(); err != nil {
+					b.Fatal(err)
+				}
+				before := net.Counter().Get(metrics.CategoryAdmin)
+				if err := consumer.MoveTo(ids[5]); err != nil {
+					b.Fatal(err)
+				}
+				net.Settle()
+				moveAdmin = float64(net.Counter().Get(metrics.CategoryAdmin) - before)
+				net.Close()
+			}
+			b.ReportMetric(moveAdmin, "admin-msgs-at-move")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks (hot paths)
+// ---------------------------------------------------------------------------
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := filter.MustParse(`service = "parking" && location in {a, b, c} && cost < 3 && spots >= 1`)
+	n := message.New(map[string]message.Value{
+		"service":  message.String("parking"),
+		"location": message.String("b"),
+		"cost":     message.Int(2),
+		"spots":    message.Int(4),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Matches(n) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkFilterCovers(b *testing.B) {
+	wide := filter.MustParse(`p in [0, 100] && svc = "x"`)
+	narrow := filter.MustParse(`p in [10, 20] && svc = "x"`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !wide.Covers(narrow) {
+			b.Fatal("should cover")
+		}
+	}
+}
+
+func BenchmarkMergeAll(b *testing.B) {
+	fs := make([]filter.Filter, 16)
+	for i := range fs {
+		fs[i] = filter.MustNew(filter.Range("p",
+			message.Int(int64(i*10)), message.Int(int64(i*10+10))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := filter.MergeAll(fs)
+		if len(out) != 1 {
+			b.Fatalf("merged to %d", len(out))
+		}
+	}
+}
+
+func BenchmarkRoutingTableMatch(b *testing.B) {
+	tbl := routing.NewTable()
+	for i := 0; i < 256; i++ {
+		f := filter.MustNew(filter.EQ("topic", message.String(fmt.Sprintf("t%d", i))))
+		tbl.Add(routing.Entry{Filter: f, Hop: wire.BrokerHop(wire.BrokerID(fmt.Sprintf("n%d", i%8)))})
+	}
+	n := message.New(map[string]message.Value{"topic": message.String("t128")})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hops := tbl.MatchingHops(n, wire.Hop{}); len(hops) != 1 {
+			b.Fatal("bad match")
+		}
+	}
+}
+
+func BenchmarkWireCodecRoundTrip(b *testing.B) {
+	m := wire.NewPublish(message.New(map[string]message.Value{
+		"service":  message.String("parking"),
+		"location": message.String("r4c2"),
+		"cost":     message.Float(2.5),
+		"spots":    message.Int(3),
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlocGrid(b *testing.B) {
+	g := location.Grid(20, 20)
+	center := location.GridName(10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Ploc(center, 5).Len() == 0 {
+			b.Fatal("empty ploc")
+		}
+	}
+}
+
+func BenchmarkScheduleCompute(b *testing.B) {
+	hops := make([]time.Duration, 16)
+	for i := range hops {
+		hops[i] = time.Duration(20+i*7) * time.Millisecond
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := locfilter.ComputeSchedule(100*time.Millisecond, hops)
+		if len(s.Steps) != 17 {
+			b.Fatal("bad schedule")
+		}
+	}
+}
+
+// BenchmarkEndToEndPublish measures live publish→deliver throughput across
+// a three-broker chain.
+func BenchmarkEndToEndPublish(b *testing.B) {
+	net := core.NewNetwork()
+	net.MustAddBroker("b1")
+	net.MustAddBroker("b2")
+	net.MustAddBroker("b3")
+	net.MustConnect("b1", "b2", 0)
+	net.MustConnect("b2", "b3", 0)
+	defer net.Close()
+
+	var delivered atomic.Int64
+	consumer, err := net.NewClient("c", "b1", func(core.Event) { delivered.Add(1) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	producer, err := net.NewClient("p", "b3", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := filter.MustParse(`sym = "ACME"`)
+	if err := consumer.Subscribe(core.SubSpec{ID: "s", Filter: f}); err != nil {
+		b.Fatal(err)
+	}
+	net.Settle()
+	n := message.New(map[string]message.Value{"sym": message.String("ACME")})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := producer.Publish(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.Settle()
+	b.StopTimer()
+	if delivered.Load() != int64(b.N) {
+		b.Fatalf("delivered %d of %d", delivered.Load(), b.N)
+	}
+}

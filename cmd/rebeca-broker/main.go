@@ -1,0 +1,144 @@
+// Command rebeca-broker runs a single broker over TCP, forming a
+// distributed overlay with peers. Brokers listen for peer connections and
+// optionally dial existing peers; the overlay must be built as a tree
+// (dial each new broker to exactly one existing broker).
+//
+// Usage:
+//
+//	rebeca-broker -id b1 -listen :7001
+//	rebeca-broker -id b2 -listen :7002 -peer localhost:7001
+//	rebeca-broker -id b3 -listen :7003 -peer localhost:7001 -strategy merging
+//
+// The daemon prints routing-table sizes every -stats interval until
+// interrupted.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/routing"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rebeca-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rebeca-broker", flag.ContinueOnError)
+	id := fs.String("id", "", "broker id (required)")
+	listen := fs.String("listen", ":7001", "TCP listen address")
+	peers := fs.String("peer", "", "comma-separated peer addresses to dial")
+	strategyName := fs.String("strategy", "covering",
+		"routing strategy: flooding, simple, identity, covering, merging")
+	statsEvery := fs.Duration("stats", 30*time.Second, "stats print interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return errors.New("-id is required")
+	}
+	strategy, err := routing.ParseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+
+	b := broker.New(wire.BrokerID(*id), broker.Options{Strategy: strategy})
+	b.Start()
+	defer b.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	defer ln.Close()
+	log.Printf("broker %s listening on %s (strategy %s)", *id, ln.Addr(), strategy)
+
+	// Dial configured peers.
+	for _, addr := range strings.Split(*peers, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		link, err := transport.DialTCP(addr, wire.BrokerID(*id), b)
+		if err != nil {
+			return fmt.Errorf("dial peer %s: %w", addr, err)
+		}
+		peer := link.Peer().Broker
+		if err := b.AddLink(peer, link); err != nil {
+			return err
+		}
+		log.Printf("broker %s connected to peer %s at %s", *id, peer, addr)
+	}
+
+	// Accept incoming peers and clients.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			link, err := transport.AcceptTCP(conn, wire.BrokerID(*id), b)
+			if err != nil {
+				log.Printf("handshake failed: %v", err)
+				continue
+			}
+			if link.Peer().IsClient() {
+				client := link.Peer().Client
+				if err := b.AttachRemoteClient(client, link); err != nil {
+					log.Printf("attach client %s: %v", client, err)
+					_ = link.Close()
+					continue
+				}
+				log.Printf("broker %s attached client %s", *id, client)
+				go func() {
+					// When the client's connection dies it becomes a
+					// roaming client: detach and let the virtual
+					// counterpart buffer until it reappears somewhere.
+					<-link.Done()
+					if err := b.DetachClient(client); err != nil {
+						log.Printf("detach client %s: %v", client, err)
+					} else {
+						log.Printf("broker %s detached client %s (link closed)", *id, client)
+					}
+				}()
+				continue
+			}
+			peer := link.Peer().Broker
+			if err := b.AddLink(peer, link); err != nil {
+				log.Printf("add link %s: %v", peer, err)
+				continue
+			}
+			log.Printf("broker %s accepted peer %s", *id, peer)
+		}
+	}()
+
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			subs, advs := b.TableSizes()
+			log.Printf("broker %s: %d subscription entries, %d advertisement entries", *id, subs, advs)
+		case s := <-sig:
+			log.Printf("broker %s: received %v, shutting down", *id, s)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunRequiresID(t *testing.T) {
+	if err := run([]string{"-listen", ":0"}); err == nil {
+		t.Error("missing -id should fail")
+	}
+}
+
+func TestRunRejectsBadStrategy(t *testing.T) {
+	if err := run([]string{"-id", "b1", "-strategy", "bogus", "-listen", ":0"}); err == nil {
+		t.Error("bad strategy should fail")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-id", "b1", "-zzz"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunRejectsUnreachablePeer(t *testing.T) {
+	// 127.0.0.1:1 is essentially guaranteed closed.
+	err := run([]string{"-id", "b1", "-listen", "127.0.0.1:0", "-peer", "127.0.0.1:1"})
+	if err == nil {
+		t.Error("unreachable peer should fail")
+	}
+}

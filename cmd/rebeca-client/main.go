@@ -1,0 +1,187 @@
+// Command rebeca-client is a TCP pub/sub client for rebeca-broker
+// daemons: subscribe with a content-based filter and print deliveries, or
+// publish notifications given as attribute lists.
+//
+// Usage:
+//
+//	# consume: print matching notifications as they arrive
+//	rebeca-client -id alice -broker localhost:7001 \
+//	    -subscribe 'type = "quote" && sym = "ACME"' -expect 3
+//
+//	# produce: advertise, then publish a few notifications
+//	rebeca-client -id ticker -broker localhost:7001 \
+//	    -advertise 'type = "quote"' \
+//	    -publish 'type=quote,sym=ACME,price=120' \
+//	    -publish 'type=quote,sym=ACME,price=99'
+//
+// Attribute values in -publish parse like filter literals: integers,
+// floats, true/false, otherwise strings.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rebeca-client:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("rebeca-client", flag.ContinueOnError)
+	id := fs.String("id", "", "client id (required)")
+	brokerAddr := fs.String("broker", "localhost:7001", "broker TCP address")
+	subscribe := fs.String("subscribe", "", "subscription filter expression")
+	mobile := fs.Bool("mobile", false, "make the subscription relocatable")
+	advertise := fs.String("advertise", "", "advertisement filter expression")
+	expect := fs.Int("expect", 0, "exit after this many deliveries (0 = run until timeout)")
+	timeout := fs.Duration("timeout", 30*time.Second, "maximum time to wait for deliveries")
+	var publishes multiFlag
+	fs.Var(&publishes, "publish", "notification to publish as k=v,k2=v2 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return errors.New("-id is required")
+	}
+
+	deliveries := make(chan wire.Deliver, 64)
+	recv := transport.ReceiverFunc(func(in transport.Inbound) {
+		if in.Msg.Type == wire.TypeDeliver && in.Msg.Deliver != nil {
+			deliveries <- *in.Msg.Deliver
+		}
+	})
+	link, err := transport.DialTCPClient(*brokerAddr, wire.ClientID(*id), recv)
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+
+	if *advertise != "" {
+		f, err := filter.Parse(*advertise)
+		if err != nil {
+			return fmt.Errorf("advertise: %w", err)
+		}
+		msg := wire.NewAdvertise(wire.Subscription{
+			Filter: f, Client: wire.ClientID(*id), ID: "adv",
+		})
+		if err := link.Send(msg); err != nil {
+			return err
+		}
+	}
+	if *subscribe != "" {
+		f, err := filter.Parse(*subscribe)
+		if err != nil {
+			return fmt.Errorf("subscribe: %w", err)
+		}
+		msg := wire.NewSubscribe(wire.Subscription{
+			Filter: f, Client: wire.ClientID(*id), ID: "sub", IsMobile: *mobile,
+		})
+		if err := link.Send(msg); err != nil {
+			return err
+		}
+	}
+	for _, p := range publishes {
+		n, err := ParseNotification(p)
+		if err != nil {
+			return fmt.Errorf("publish %q: %w", p, err)
+		}
+		if err := link.Send(wire.NewPublish(n)); err != nil {
+			return err
+		}
+	}
+
+	if *subscribe == "" || *expect == 0 {
+		// Producer-only invocation (or indefinite consumers are bounded by
+		// the timeout below when -expect is 0 and -subscribe set).
+		if *subscribe == "" {
+			return nil
+		}
+	}
+	received := 0
+	deadline := time.After(*timeout)
+	for {
+		select {
+		case d := <-deliveries:
+			received++
+			tag := ""
+			if d.Replayed {
+				tag = " (replayed)"
+			}
+			fmt.Fprintf(out, "#%d %s%s\n", d.Item.Seq, d.Item.Notif, tag)
+			if *expect > 0 && received >= *expect {
+				return nil
+			}
+		case <-deadline:
+			if *expect > 0 {
+				return fmt.Errorf("timed out after %d of %d deliveries", received, *expect)
+			}
+			return nil
+		}
+	}
+}
+
+// ParseNotification builds a notification from "k=v,k2=v2" syntax. Values
+// parse as int, then float, then bool, falling back to string.
+func ParseNotification(src string) (message.Notification, error) {
+	attrs := make(map[string]message.Value)
+	for _, pair := range strings.Split(src, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(pair, "=")
+		if !ok {
+			return message.Notification{}, fmt.Errorf("missing '=' in %q", pair)
+		}
+		name = strings.TrimSpace(name)
+		raw = strings.TrimSpace(raw)
+		if name == "" {
+			return message.Notification{}, fmt.Errorf("empty attribute name in %q", pair)
+		}
+		attrs[name] = parseValue(raw)
+	}
+	if len(attrs) == 0 {
+		return message.Notification{}, errors.New("empty notification")
+	}
+	return message.New(attrs), nil
+}
+
+func parseValue(raw string) message.Value {
+	if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return message.Int(i)
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return message.Float(f)
+	}
+	switch raw {
+	case "true":
+		return message.Bool(true)
+	case "false":
+		return message.Bool(false)
+	}
+	return message.String(strings.Trim(raw, `"'`))
+}

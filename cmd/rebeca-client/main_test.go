@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/message"
+)
+
+func TestParseNotification(t *testing.T) {
+	n, err := ParseNotification(`type=quote, sym=ACME, price=120, ratio=0.5, hot=true, label="x y"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		want message.Value
+	}{
+		{"type", message.String("quote")},
+		{"sym", message.String("ACME")},
+		{"price", message.Int(120)},
+		{"ratio", message.Float(0.5)},
+		{"hot", message.Bool(true)},
+		{"label", message.String("x y")},
+	}
+	for _, c := range checks {
+		got, ok := n.Get(c.name)
+		if !ok || !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseNotificationErrors(t *testing.T) {
+	for _, src := range []string{"", "nokey", "=v", " , "} {
+		if _, err := ParseNotification(src); err == nil {
+			t.Errorf("ParseNotification(%q) should fail", src)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}, nil); err == nil {
+		t.Error("missing -id should fail")
+	}
+	if err := run([]string{"-id", "c", "-zzz"}, nil); err == nil {
+		t.Error("bad flag should fail")
+	}
+	if err := run([]string{"-id", "c", "-broker", "127.0.0.1:1"}, nil); err == nil {
+		t.Error("unreachable broker should fail")
+	}
+}

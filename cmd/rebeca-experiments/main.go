@@ -1,0 +1,46 @@
+// Command rebeca-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rebeca-experiments -experiment all
+//	rebeca-experiments -experiment table1
+//	rebeca-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rebeca-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rebeca-experiments", flag.ContinueOnError)
+	name := fs.String("experiment", "all",
+		"experiment to run: "+strings.Join(experiments.Names(), ", ")+", or all")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	out, err := experiments.Run(*name)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

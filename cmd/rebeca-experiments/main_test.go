@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9"} {
+		if err := run([]string{"-experiment", name}); err != nil {
+			t.Errorf("run(%s): %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

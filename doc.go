@@ -1,0 +1,17 @@
+// Package repro is a production-quality Go reproduction of "Supporting
+// Mobility in Content-Based Publish/Subscribe Middleware" (Fiege, Gärtner,
+// Kasten, Zeidler — MIDDLEWARE 2003).
+//
+// The implementation lives under internal/: the data model (message),
+// content-based filters with covering and merging (filter), the location
+// substrate with movement graphs and ploc (location), routing tables and
+// strategies (routing), FIFO transports (transport), the broker engine
+// with the physical-mobility relocation protocol and logical-mobility
+// location-dependent filters (broker), the public client API (core), the
+// Section 3 baselines (baseline), a deterministic simulator (sim), and the
+// experiment harness regenerating every table and figure (experiments).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. bench_test.go in
+// this directory regenerates every evaluation artifact as a Go benchmark.
+package repro

@@ -1,0 +1,141 @@
+// Parking: the paper's motivating scenario (Section 1) — a car driving
+// through a city street grid with a location-dependent subscription for
+// free parking spaces "in the vicinity of the current location".
+//
+//	go run ./examples/parking
+//
+// The car subscribes with the myloc marker; the middleware widens the
+// subscription along the broker path (ploc), so when the car moves, the
+// exact client-side filter switches instantly — no blackout — while the
+// network only ever carries notifications the car might plausibly need.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// City infrastructure: a chain of three brokers; the parking sensors
+	// publish through the far end.
+	net := core.NewNetwork(core.WithProcDelay(100 * time.Millisecond))
+	defer net.Close()
+	for _, id := range []wire.BrokerID{"downtown", "midtown", "uptown"} {
+		if _, err := net.AddBroker(id); err != nil {
+			return err
+		}
+	}
+	if err := net.Connect("downtown", "midtown", 0); err != nil {
+		return err
+	}
+	if err := net.Connect("midtown", "uptown", 0); err != nil {
+		return err
+	}
+
+	// The street grid: 5×5 blocks; the car can move one block per step.
+	grid := location.Grid(5, 5)
+	if err := net.RegisterGraph("city", grid); err != nil {
+		return err
+	}
+
+	// Parking sensors advertise and publish through "uptown".
+	sensors, err := net.NewClient("sensors", "uptown", nil)
+	if err != nil {
+		return err
+	}
+	advFilter := filter.MustParse(`service = "parking"`)
+	if err := sensors.Advertise("parking", advFilter); err != nil {
+		return err
+	}
+	net.Settle()
+
+	// The car attaches downtown and subscribes location-dependently:
+	// (service = "parking"), (location ∈ myloc), (cost < 3).
+	deliveries := make(chan core.Event, 16)
+	car, err := net.NewClient("car", "downtown", func(e core.Event) {
+		deliveries <- e
+	})
+	if err != nil {
+		return err
+	}
+	base := filter.MustNew(
+		filter.EQ("service", message.String("parking")),
+		filter.EQ("location", message.String("$myloc")),
+		filter.LT("cost", message.Float(3.0)),
+	)
+	start := location.GridName(0, 0)
+	err = car.Subscribe(core.SubSpec{
+		ID:     "spaces",
+		Filter: base,
+		Loc: &core.LocSpec{
+			Graph: "city",
+			Attr:  "location",
+			Start: start,
+			Delta: time.Second,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	net.Settle()
+
+	publish := func(x, y int, cost float64) error {
+		return sensors.Publish(message.New(map[string]message.Value{
+			"service":  message.String("parking"),
+			"location": message.String(string(location.GridName(x, y))),
+			"cost":     message.Float(cost),
+			"spots":    message.Int(1),
+		}))
+	}
+
+	// Free space at the car's block: delivered. Far away: not delivered.
+	// Too expensive: not delivered.
+	if err := publish(0, 0, 2.0); err != nil {
+		return err
+	}
+	if err := publish(4, 4, 1.0); err != nil {
+		return err
+	}
+	if err := publish(0, 0, 9.5); err != nil {
+		return err
+	}
+	net.Settle()
+	fmt.Printf("car at %s received: %s\n", start, (<-deliveries).Notification)
+
+	// The car drives east two blocks; each move is declared to the
+	// middleware, which adapts the filters without a blackout.
+	for _, step := range []location.Location{location.GridName(1, 0), location.GridName(2, 0)} {
+		if err := car.SetLocation("spaces", step); err != nil {
+			return err
+		}
+		net.Settle()
+		if err := publish(int(step[3]-'0'), 0, 1.5); err != nil {
+			return err
+		}
+		net.Settle()
+		e := <-deliveries
+		loc, _ := e.Notification.Get("location")
+		fmt.Printf("car at %s received: free space at %s\n", step, loc.Str())
+	}
+
+	select {
+	case e := <-deliveries:
+		return fmt.Errorf("unexpected extra delivery: %s", e.Notification)
+	default:
+	}
+	fmt.Println("parking example done")
+	return nil
+}

@@ -1,0 +1,91 @@
+// Quickstart: a three-broker overlay, one producer, one consumer.
+//
+//	go run ./examples/quickstart
+//
+// Demonstrates the four pub/sub primitives (pub, sub, unsub, notify) over
+// a content-based filter written in the subscription language.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Build the overlay: b1 — b2 — b3.
+	net := core.NewNetwork()
+	defer net.Close()
+	for _, id := range []wire.BrokerID{"b1", "b2", "b3"} {
+		if _, err := net.AddBroker(id); err != nil {
+			return err
+		}
+	}
+	if err := net.Connect("b1", "b2", 0); err != nil {
+		return err
+	}
+	if err := net.Connect("b2", "b3", 0); err != nil {
+		return err
+	}
+
+	// The consumer attaches at b1 and prints whatever it receives.
+	done := make(chan struct{})
+	consumer, err := net.NewClient("alice", "b1", func(e core.Event) {
+		fmt.Printf("alice got #%d: %s\n", e.Seq, e.Notification)
+		if e.Seq == 2 {
+			close(done)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// Subscribe with a content-based filter.
+	f, err := filter.Parse(`type = "quote" && sym = "ACME" && price < 150`)
+	if err != nil {
+		return err
+	}
+	if err := consumer.Subscribe(core.SubSpec{ID: "quotes", Filter: f}); err != nil {
+		return err
+	}
+	net.Settle()
+
+	// The producer attaches at b3 and publishes three notifications; the
+	// middle one does not match the filter.
+	producer, err := net.NewClient("ticker", "b3", nil)
+	if err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		sym   string
+		price int64
+	}{{"ACME", 120}, {"ACME", 200}, {"ACME", 99}} {
+		n := message.New(map[string]message.Value{
+			"type":  message.String("quote"),
+			"sym":   message.String(q.sym),
+			"price": message.Int(q.price),
+		})
+		if err := producer.Publish(n); err != nil {
+			return err
+		}
+	}
+	<-done
+
+	// Unsubscribe: further publications are not delivered.
+	if err := consumer.Unsubscribe("quotes"); err != nil {
+		return err
+	}
+	net.Settle()
+	fmt.Println("unsubscribed — done")
+	return nil
+}

@@ -1,0 +1,157 @@
+// Smartbuilding: logical mobility within a single border broker
+// (Section 3.3's example: "clients move around a house or building that is
+// served by only one border broker" and want "just those notifications
+// that refer to the room he is currently located in").
+//
+//	go run ./examples/smartbuilding
+//
+// A user walks office → corridor → meeting room; room-scoped events
+// (displays, sensors, announcements) follow along. The example also shows
+// that a physically adjacent room's events start flowing toward the user's
+// broker before the user arrives (the ploc widening), which is what makes
+// the room switch instantaneous.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One border broker serves the building; the facility backbone hangs
+	// behind it.
+	net := core.NewNetwork(core.WithProcDelay(80 * time.Millisecond))
+	defer net.Close()
+	for _, id := range []wire.BrokerID{"building", "backbone"} {
+		if _, err := net.AddBroker(id); err != nil {
+			return err
+		}
+	}
+	if err := net.Connect("building", "backbone", 0); err != nil {
+		return err
+	}
+
+	// Floor plan as a movement graph.
+	floor := location.NewGraph()
+	floor.AddEdge("office", "corridor")
+	floor.AddEdge("corridor", "meeting-room")
+	floor.AddEdge("corridor", "kitchen")
+	if err := net.RegisterGraph("floor", floor); err != nil {
+		return err
+	}
+
+	// Facility services publish through the backbone.
+	facility, err := net.NewClient("facility", "backbone", nil)
+	if err != nil {
+		return err
+	}
+	if err := facility.Advertise("adv", filter.MustParse(`type = "room-event"`)); err != nil {
+		return err
+	}
+	net.Settle()
+
+	events := make(chan core.Event, 16)
+	badge, err := net.NewClient("badge-42", "building", func(e core.Event) { events <- e })
+	if err != nil {
+		return err
+	}
+	base := filter.MustNew(
+		filter.EQ("type", message.String("room-event")),
+		filter.EQ("room", message.String("$myloc")),
+	)
+	err = badge.Subscribe(core.SubSpec{
+		ID:     "here",
+		Filter: base,
+		Loc:    &core.LocSpec{Graph: "floor", Attr: "room", Start: "office", Delta: 2 * time.Second},
+	})
+	if err != nil {
+		return err
+	}
+	net.Settle()
+
+	publish := func(room, what string) error {
+		return facility.Publish(message.New(map[string]message.Value{
+			"type": message.String("room-event"),
+			"room": message.String(room),
+			"what": message.String(what),
+		}))
+	}
+	expect := func(what string) error {
+		select {
+		case e := <-events:
+			w, _ := e.Notification.Get("what")
+			room, _ := e.Notification.Get("room")
+			fmt.Printf("badge in %-12s event: %s\n", room.Str(), w.Str())
+			if w.Str() != what {
+				return fmt.Errorf("expected %q, got %q", what, w.Str())
+			}
+			return nil
+		case <-time.After(2 * time.Second):
+			return fmt.Errorf("timed out waiting for %q", what)
+		}
+	}
+	expectNone := func() error {
+		net.Settle()
+		select {
+		case e := <-events:
+			return fmt.Errorf("unexpected event: %s", e.Notification)
+		default:
+			return nil
+		}
+	}
+
+	// In the office: office events arrive, kitchen events do not.
+	if err := publish("office", "display: your 9:00 standup"); err != nil {
+		return err
+	}
+	if err := publish("kitchen", "coffee machine done"); err != nil {
+		return err
+	}
+	if err := expect("display: your 9:00 standup"); err != nil {
+		return err
+	}
+	if err := expectNone(); err != nil {
+		return err
+	}
+
+	// Walk to the corridor, then into the meeting room; each room switch
+	// is frictionless.
+	for _, move := range []struct {
+		room location.Location
+		what string
+	}{
+		{"corridor", "wayfinding: meeting room B is to your left"},
+		{"meeting-room", "projector: presentation started"},
+	} {
+		if err := badge.SetLocation("here", move.room); err != nil {
+			return err
+		}
+		net.Settle()
+		if err := publish(string(move.room), move.what); err != nil {
+			return err
+		}
+		if err := expect(move.what); err != nil {
+			return err
+		}
+	}
+
+	// A direct jump meeting-room → kitchen is not a legal movement step.
+	if err := badge.SetLocation("here", "kitchen"); err == nil {
+		return fmt.Errorf("movement graph should have rejected meeting-room -> kitchen")
+	}
+	fmt.Println("smartbuilding example done")
+	return nil
+}

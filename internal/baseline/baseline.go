@@ -1,0 +1,205 @@
+// Package baseline implements the "tentative but incomplete" solutions the
+// paper discusses in Section 3 and uses as comparison points:
+//
+//   - NaiveRoamer: physical mobility by plain unsubscribe/subscribe with no
+//     middleware support — misses notifications during the handoff
+//     (Figure 2).
+//   - GlobalSubUnsub: logical mobility emulated in a wrapper that
+//     unsubscribes the old location and subscribes the new one — suffers
+//     the 2·t_d blackout of Figure 3a.
+//   - FloodingClientSide: subscribe to everything and filter at the edge —
+//     no blackout but maximal network load (Figure 3b).
+//
+// All three run against the same live overlay as the paper's algorithms,
+// which is what makes the comparison experiments meaningful.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/locfilter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// NaiveRoamer roams by re-subscribing plainly at each new broker: the
+// middleware gives it no completeness guarantee, so notifications
+// published while it is between brokers (or already queued toward the old
+// broker) are lost.
+type NaiveRoamer struct {
+	client *core.Client
+	spec   core.SubSpec
+}
+
+// NewNaiveRoamer subscribes a plain (non-mobile) subscription for the
+// client.
+func NewNaiveRoamer(c *core.Client, spec core.SubSpec) (*NaiveRoamer, error) {
+	spec.Mobile = false
+	if err := c.Subscribe(spec); err != nil {
+		return nil, err
+	}
+	return &NaiveRoamer{client: c, spec: spec}, nil
+}
+
+// MoveTo performs the naive handoff: unsubscribe+detach at the old broker,
+// attach and re-subscribe at the new one. Anything published in between is
+// gone.
+func (r *NaiveRoamer) MoveTo(b wire.BrokerID) error {
+	if err := r.client.Unsubscribe(r.spec.ID); err != nil {
+		return fmt.Errorf("baseline: naive unsubscribe: %w", err)
+	}
+	if err := r.client.MoveTo(b); err != nil {
+		return fmt.Errorf("baseline: naive move: %w", err)
+	}
+	if err := r.client.Subscribe(r.spec); err != nil {
+		return fmt.Errorf("baseline: naive re-subscribe: %w", err)
+	}
+	return nil
+}
+
+// GlobalSubUnsub emulates location-dependent filtering on top of plain
+// subscriptions: a wrapper follows the location changes and replaces the
+// subscription each time. Each replacement must propagate to the
+// producers before notifications flow again — the blackout of Figure 3a.
+type GlobalSubUnsub struct {
+	client  *core.Client
+	base    filter.Filter
+	locAttr string
+	graph   *location.Graph
+	handler core.Handler
+
+	mu  sync.Mutex
+	loc location.Location
+	gen int // generation counter to produce unique sub IDs
+	cur wire.SubID
+}
+
+// NewGlobalSubUnsub subscribes the client for its start location.
+func NewGlobalSubUnsub(c *core.Client, base filter.Filter, locAttr string,
+	g *location.Graph, start location.Location, handler core.Handler) (*GlobalSubUnsub, error) {
+	w := &GlobalSubUnsub{
+		client:  c,
+		base:    base,
+		locAttr: locAttr,
+		graph:   g,
+		handler: handler,
+		loc:     start,
+	}
+	if err := w.subscribeFor(start); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *GlobalSubUnsub) subscribeFor(loc location.Location) error {
+	f, err := locfilter.Instantiate(markerFilter(w.base, w.locAttr), w.locAttr, w.graph, loc, 0)
+	if err != nil {
+		return err
+	}
+	w.gen++
+	id := wire.SubID(fmt.Sprintf("gsu-%d", w.gen))
+	if err := w.client.Subscribe(core.SubSpec{ID: id, Filter: f, Handler: w.handler}); err != nil {
+		return err
+	}
+	w.cur = id
+	return nil
+}
+
+// markerFilter ensures the base filter has a replaceable location
+// constraint.
+func markerFilter(base filter.Filter, locAttr string) filter.Filter {
+	if len(base.ConstraintsOn(locAttr)) > 0 {
+		return base
+	}
+	out, err := base.With(filter.EQ(locAttr, message.String(locfilter.MarkerMyloc)))
+	if err != nil {
+		return base
+	}
+	return out
+}
+
+// SetLocation replaces the subscription: unsubscribe the old location,
+// subscribe the new one. The gap between the two propagations is the
+// blackout.
+func (w *GlobalSubUnsub) SetLocation(loc location.Location) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old := w.cur
+	if err := w.subscribeFor(loc); err != nil {
+		return err
+	}
+	w.loc = loc
+	if old != "" {
+		if err := w.client.Unsubscribe(old); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Location returns the wrapper's current location.
+func (w *GlobalSubUnsub) Location() location.Location {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.loc
+}
+
+// FloodingClientSide subscribes to the base filter with the location
+// constraint removed entirely (i.e. "everything, everywhere, all the
+// time") and filters against the current location at the client.
+type FloodingClientSide struct {
+	client  *core.Client
+	locAttr string
+
+	mu  sync.Mutex
+	loc location.Location
+}
+
+// NewFloodingClientSide subscribes the wide filter and filters locally.
+func NewFloodingClientSide(c *core.Client, base filter.Filter, locAttr string,
+	start location.Location, handler core.Handler) (*FloodingClientSide, error) {
+	w := &FloodingClientSide{client: c, locAttr: locAttr, loc: start}
+	wide := base.Without(locAttr)
+	err := c.Subscribe(core.SubSpec{
+		ID:     "fcs",
+		Filter: wide,
+		Handler: func(e core.Event) {
+			if w.matches(e.Notification) {
+				handler(e)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *FloodingClientSide) matches(n message.Notification) bool {
+	v, ok := n.Get(w.locAttr)
+	if !ok {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return v.Kind() == message.KindString && location.Location(v.Str()) == w.loc
+}
+
+// SetLocation switches the client-side filter instantly; nothing
+// propagates into the network.
+func (w *FloodingClientSide) SetLocation(loc location.Location) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.loc = loc
+}
+
+// Location returns the wrapper's current location.
+func (w *FloodingClientSide) Location() location.Location {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.loc
+}

@@ -1,0 +1,336 @@
+// Package broker implements the Rebeca-style content-based broker of the
+// paper: the message loop, routing tables, client management with
+// per-subscription sequence numbering, the physical-mobility relocation
+// protocol of Section 4 (virtual counterparts, junction detection, fetch,
+// replay), and the logical-mobility location-dependent filter handling of
+// Section 5 (ploc widening, location updates, adaptivity).
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/locfilter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Errors returned by broker client-facing operations.
+var (
+	ErrUnknownClient   = errors.New("broker: unknown client")
+	ErrDuplicateSub    = errors.New("broker: duplicate subscription id")
+	ErrUnknownSub      = errors.New("broker: unknown subscription")
+	ErrClosed          = errors.New("broker: closed")
+	ErrInvalidMove     = errors.New("broker: move not allowed by movement graph")
+	ErrAlreadyAttached = errors.New("broker: client already attached")
+)
+
+// inbound aliases the transport type for brevity inside the package.
+type inbound = transport.Inbound
+
+// DeliverFunc receives notifications for an attached client. It is called
+// on the broker goroutine and must not block; client libraries queue
+// internally.
+type DeliverFunc func(wire.Deliver)
+
+// Options configures a broker.
+type Options struct {
+	// Strategy selects subscription forwarding (default Covering).
+	Strategy routing.Strategy
+	// Registry provides shared movement graphs for location-dependent
+	// subscriptions. May be nil when logical mobility is unused.
+	Registry *locfilter.Registry
+	// ProcDelay is this broker's estimate δ of the time it needs to
+	// process a batch of sub/unsub messages toward the next hop; it feeds
+	// the adaptivity scheme of Section 5.3.
+	ProcDelay time.Duration
+	// Counter, when set, counts client deliveries (link traffic is counted
+	// by the transport pipes).
+	Counter *metrics.Counter
+	// MaxBufferPerSub caps the virtual-counterpart and relocation buffers
+	// per subscription ("completeness within the boundaries of time and/or
+	// space limitations of buffering approaches", Section 4.1). Zero means
+	// DefaultMaxBufferPerSub.
+	MaxBufferPerSub int
+}
+
+// DefaultMaxBufferPerSub is the default per-subscription buffer cap.
+const DefaultMaxBufferPerSub = 65536
+
+// Broker is one node of the overlay. All state is owned by the run
+// goroutine; external entry points post tasks to the mailbox.
+type Broker struct {
+	id   wire.BrokerID
+	opts Options
+
+	box  *mailbox
+	done chan struct{}
+
+	// State below is owned by the run goroutine.
+	links   map[wire.BrokerID]transport.Link
+	clients map[wire.ClientID]*clientState
+	subs    *routing.Table // subscription routing table
+	advs    *routing.Table // advertisement table
+	fwd     *routing.Forwarder
+	advFwd  map[string]map[string]bool // advKey -> hops forwarded to
+
+	// Per-client-subscription propagation state.
+	clientSubFwd map[string][]wire.Hop         // key -> hops the sub was forwarded to
+	knownSubs    map[string]wire.Subscription  // key -> last seen per-client subscription
+	locSubs      map[string]*locSubState       // key -> location-dependent state
+	fetched      map[string]uint64             // key -> last relocation epoch fetched
+	pending      map[string]*relocationPending // key -> buffer at the NEW border broker
+
+	processed map[wire.Type]uint64 // messages handled, by type (observability)
+
+	closeOnce sync.Once
+}
+
+// Stats is a snapshot of a broker's processed-message counters.
+type Stats struct {
+	// Processed counts inbound messages handled by the message loop, by
+	// wire type (client-API calls count under their wire equivalents).
+	Processed map[wire.Type]uint64
+	// SubEntries and AdvEntries are the current routing-table sizes.
+	SubEntries, AdvEntries int
+	// MailboxDepth is the number of queued, not yet processed tasks.
+	MailboxDepth int
+}
+
+// clientState tracks an attached (or roaming-away) client.
+type clientState struct {
+	id        wire.ClientID
+	deliver   DeliverFunc
+	connected bool
+	subs      map[wire.SubID]*clientSub
+	advs      map[wire.SubID]filter.Filter
+}
+
+// clientSub is one subscription of a locally attached client, including
+// its delivery sequence numbering and — while the client is disconnected —
+// the virtual counterpart's buffer (Section 4.1).
+type clientSub struct {
+	sub      wire.Subscription
+	exact    filter.Filter // client-side filter F0 (locdep: exact location)
+	nextSeq  uint64
+	buffer   []wire.SeqNotification
+	overflow uint64 // notifications dropped due to the buffer cap
+}
+
+// relocationPending buffers notifications arriving over the new path while
+// the relocation replay is still outstanding, so the old messages can be
+// delivered first ("delivers the old messages from B6 first", Section 4.1).
+type relocationPending struct {
+	notifs []message.Notification
+}
+
+// locSubState is the per-broker state of a location-dependent subscription
+// passing through this broker.
+type locSubState struct {
+	sub   wire.Subscription // as received (Filter holds the marker template)
+	step  int               // widening step of this broker's table entry
+	entry filter.Filter     // current instantiated entry filter
+	from  wire.Hop          // downstream hop (toward the consumer)
+	fwdTo []wire.Hop        // upstream hops the subscription was forwarded to
+}
+
+// New creates a broker. Call Run (usually via Start) to process messages.
+func New(id wire.BrokerID, opts Options) *Broker {
+	if opts.Strategy == 0 {
+		opts.Strategy = routing.Covering
+	}
+	if opts.MaxBufferPerSub == 0 {
+		opts.MaxBufferPerSub = DefaultMaxBufferPerSub
+	}
+	return &Broker{
+		id:           id,
+		opts:         opts,
+		box:          newMailbox(),
+		done:         make(chan struct{}),
+		links:        make(map[wire.BrokerID]transport.Link),
+		clients:      make(map[wire.ClientID]*clientState),
+		subs:         routing.NewTable(),
+		advs:         routing.NewTable(),
+		fwd:          routing.NewForwarder(opts.Strategy),
+		advFwd:       make(map[string]map[string]bool),
+		clientSubFwd: make(map[string][]wire.Hop),
+		knownSubs:    make(map[string]wire.Subscription),
+		locSubs:      make(map[string]*locSubState),
+		fetched:      make(map[string]uint64),
+		pending:      make(map[string]*relocationPending),
+		processed:    make(map[wire.Type]uint64),
+	}
+}
+
+// ID returns the broker's identity.
+func (b *Broker) ID() wire.BrokerID { return b.id }
+
+// Start launches the message loop.
+func (b *Broker) Start() {
+	go b.run()
+}
+
+// Close stops the message loop after draining queued tasks and closes all
+// links. It is safe to call multiple times.
+func (b *Broker) Close() {
+	b.closeOnce.Do(func() {
+		b.box.close()
+		<-b.done
+	})
+}
+
+// Receive implements transport.Receiver: links push inbound messages here.
+func (b *Broker) Receive(in inbound) {
+	b.box.push(task{in: &in})
+}
+
+var _ transport.Receiver = (*Broker)(nil)
+
+// exec runs fn on the broker goroutine and waits for completion.
+func (b *Broker) exec(fn func()) error {
+	doneCh := make(chan struct{})
+	b.box.push(task{fn: func() {
+		defer close(doneCh)
+		fn()
+	}})
+	select {
+	case <-doneCh:
+		return nil
+	case <-b.done:
+		return ErrClosed
+	}
+}
+
+func (b *Broker) run() {
+	defer close(b.done)
+	for {
+		t, ok := b.box.pop()
+		if !ok {
+			for _, l := range b.links {
+				_ = l.Close()
+			}
+			return
+		}
+		if t.fn != nil {
+			t.fn()
+			continue
+		}
+		b.processed[t.in.Msg.Type]++
+		if t.in.From.IsClient() {
+			b.clientInbound(t.in.From, t.in.Msg)
+			continue
+		}
+		b.dispatch(*t.in)
+	}
+}
+
+// AddLink registers a link to a neighbor broker. The overlay must remain
+// acyclic and connected (the system model of Section 2.1); Network in
+// package core enforces this.
+func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
+	return b.exec(func() { b.links[peer] = l })
+}
+
+// RemoveLink drops a neighbor link and its routing state.
+func (b *Broker) RemoveLink(peer wire.BrokerID) error {
+	return b.exec(func() {
+		hop := wire.BrokerHop(peer)
+		delete(b.links, peer)
+		b.subs.RemoveHop(hop)
+		b.advs.RemoveHop(hop)
+		b.fwd.DropHop(hop)
+	})
+}
+
+// Neighbors returns the neighbor broker IDs (diagnostics).
+func (b *Broker) Neighbors() []wire.BrokerID {
+	var out []wire.BrokerID
+	_ = b.exec(func() {
+		for id := range b.links {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// Barrier waits until every task queued before the call has been
+// processed. Used by tests and Network.Settle to flush in-flight traffic.
+func (b *Broker) Barrier() {
+	_ = b.exec(func() {})
+}
+
+// TableSizes returns the subscription and advertisement table sizes
+// (used by the ablation benchmarks).
+func (b *Broker) TableSizes() (subs, advs int) {
+	_ = b.exec(func() {
+		subs = b.subs.Len()
+		advs = b.advs.Len()
+	})
+	return subs, advs
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() Stats {
+	s := Stats{Processed: make(map[wire.Type]uint64)}
+	_ = b.exec(func() {
+		for typ, n := range b.processed {
+			s.Processed[typ] = n
+		}
+		s.SubEntries = b.subs.Len()
+		s.AdvEntries = b.advs.Len()
+		s.MailboxDepth = b.box.len()
+	})
+	return s
+}
+
+// send transmits a message along a hop (broker link or local client) and
+// is only called from the run goroutine.
+func (b *Broker) send(hop wire.Hop, m wire.Message) {
+	if hop.IsClient() {
+		// Client hops are only used for deliveries, handled by deliverTo.
+		return
+	}
+	l, ok := b.links[hop.Broker]
+	if !ok {
+		return
+	}
+	_ = l.Send(m)
+}
+
+// broadcast sends m along every neighbor link except the excluded hop.
+func (b *Broker) broadcast(m wire.Message, except wire.Hop) {
+	for id, l := range b.links {
+		if !except.IsClient() && id == except.Broker {
+			continue
+		}
+		_ = l.Send(m)
+	}
+}
+
+// neighborHops lists all broker hops except the given one.
+func (b *Broker) neighborHops(except wire.Hop) []wire.Hop {
+	out := make([]wire.Hop, 0, len(b.links))
+	for id := range b.links {
+		if !except.IsClient() && id == except.Broker {
+			continue
+		}
+		out = append(out, wire.BrokerHop(id))
+	}
+	return out
+}
+
+// subKey builds the map key for a client subscription.
+func subKey(c wire.ClientID, id wire.SubID) string {
+	return string(c) + "/" + string(id)
+}
+
+// String implements fmt.Stringer.
+func (b *Broker) String() string {
+	return fmt.Sprintf("broker(%s)", b.id)
+}

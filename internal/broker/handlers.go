@@ -1,0 +1,575 @@
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// dispatch routes one inbound message to its handler. It runs on the
+// broker goroutine.
+func (b *Broker) dispatch(in inbound) {
+	switch in.Msg.Type {
+	case wire.TypePublish:
+		if in.Msg.Notif != nil {
+			b.handlePublish(in.From, *in.Msg.Notif)
+		}
+	case wire.TypeSubscribe:
+		if in.Msg.Sub != nil {
+			b.handleSubscribe(in.From, *in.Msg.Sub)
+		}
+	case wire.TypeUnsubscribe:
+		if in.Msg.Sub != nil {
+			b.handleUnsubscribe(in.From, *in.Msg.Sub)
+		}
+	case wire.TypeAdvertise:
+		if in.Msg.Sub != nil {
+			b.handleAdvertise(in.From, *in.Msg.Sub)
+		}
+	case wire.TypeUnadvertise:
+		if in.Msg.Sub != nil {
+			b.handleUnadvertise(in.From, *in.Msg.Sub)
+		}
+	case wire.TypeFetch:
+		if in.Msg.Fetch != nil {
+			b.handleFetch(in.From, *in.Msg.Fetch)
+		}
+	case wire.TypeReplay:
+		if in.Msg.Replay != nil {
+			b.handleReplay(in.From, *in.Msg.Replay)
+		}
+	case wire.TypeLocUpdate:
+		if in.Msg.Loc != nil {
+			b.handleLocUpdate(in.From, *in.Msg.Loc)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing operations (posted through the mailbox by package core).
+// ---------------------------------------------------------------------------
+
+// AttachClient attaches a client to this (border) broker. For a roaming
+// client reattaching elsewhere, the relocation is triggered by the
+// subsequent relocation re-subscriptions, not by attach itself.
+func (b *Broker) AttachClient(id wire.ClientID, deliver DeliverFunc) error {
+	var err error
+	execErr := b.exec(func() {
+		if cs, ok := b.clients[id]; ok && cs.connected {
+			err = fmt.Errorf("%w: %s", ErrAlreadyAttached, id)
+			return
+		}
+		cs, ok := b.clients[id]
+		if !ok {
+			cs = &clientState{
+				id:   id,
+				subs: make(map[wire.SubID]*clientSub),
+				advs: make(map[wire.SubID]filter.Filter),
+			}
+			b.clients[id] = cs
+		}
+		cs.connected = true
+		cs.deliver = deliver
+	})
+	if execErr != nil {
+		return execErr
+	}
+	return err
+}
+
+// DetachClient disconnects a client without unsubscribing it: its
+// subscriptions stay active and deliveries are buffered in the virtual
+// counterpart until the client reappears here or relocates elsewhere
+// (Section 4.1).
+func (b *Broker) DetachClient(id wire.ClientID) error {
+	var err error
+	execErr := b.exec(func() {
+		cs, ok := b.clients[id]
+		if !ok {
+			err = fmt.Errorf("%w: %s", ErrUnknownClient, id)
+			return
+		}
+		cs.connected = false
+		cs.deliver = nil
+	})
+	if execErr != nil {
+		return execErr
+	}
+	return err
+}
+
+// Subscribe registers a client subscription. The subscription's flags
+// select its class: plain (aggregate propagation), relocatable (Relocate
+// handled on MoveTo), or location-dependent (LocDependent).
+func (b *Broker) Subscribe(sub wire.Subscription) error {
+	var err error
+	execErr := b.exec(func() { err = b.localSubscribe(sub) })
+	if execErr != nil {
+		return execErr
+	}
+	return err
+}
+
+// Unsubscribe withdraws a client subscription.
+func (b *Broker) Unsubscribe(client wire.ClientID, id wire.SubID) error {
+	var err error
+	execErr := b.exec(func() { err = b.localUnsubscribe(client, id) })
+	if execErr != nil {
+		return execErr
+	}
+	return err
+}
+
+// Publish injects a notification from a locally attached client.
+func (b *Broker) Publish(client wire.ClientID, n message.Notification) error {
+	return b.exec(func() {
+		b.handlePublish(wire.ClientHop(client), n)
+	})
+}
+
+// Advertise announces the notifications a local producer will publish.
+func (b *Broker) Advertise(client wire.ClientID, id wire.SubID, f filter.Filter) error {
+	return b.exec(func() {
+		cs, ok := b.clients[client]
+		if ok {
+			cs.advs[id] = f
+		}
+		b.handleAdvertise(wire.ClientHop(client), wire.Subscription{
+			Filter: f, Client: client, ID: id,
+		})
+	})
+}
+
+// Unadvertise withdraws an advertisement.
+func (b *Broker) Unadvertise(client wire.ClientID, id wire.SubID) error {
+	return b.exec(func() {
+		cs, ok := b.clients[client]
+		if !ok {
+			return
+		}
+		f, ok := cs.advs[id]
+		if !ok {
+			return
+		}
+		delete(cs.advs, id)
+		b.handleUnadvertise(wire.ClientHop(client), wire.Subscription{
+			Filter: f, Client: client, ID: id,
+		})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Subscription handling.
+// ---------------------------------------------------------------------------
+
+// localSubscribe processes a subscription issued by a locally attached
+// client. Runs on the broker goroutine.
+func (b *Broker) localSubscribe(sub wire.Subscription) error {
+	cs, ok := b.clients[sub.Client]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownClient, sub.Client)
+	}
+	if _, dup := cs.subs[sub.ID]; dup && !sub.Relocate {
+		return fmt.Errorf("%w: %s/%s", ErrDuplicateSub, sub.Client, sub.ID)
+	}
+	if sub.LocDependent {
+		return b.localSubscribeLocDep(cs, sub)
+	}
+	if sub.Relocate {
+		return b.localRelocateSubscribe(cs, sub)
+	}
+	clientHop := wire.ClientHop(sub.Client)
+	state := &clientSub{sub: sub, exact: sub.Filter, nextSeq: sub.LastSeq + 1}
+	cs.subs[sub.ID] = state
+
+	b.subs.Add(routing.Entry{
+		Filter: sub.Filter,
+		Hop:    clientHop,
+		Client: sub.Client,
+		SubID:  sub.ID,
+	})
+	if sub.Mobile() {
+		b.knownSubs[sub.Key()] = sub
+		b.propagateClientSub(sub, clientHop)
+	} else {
+		b.recomputeAggregates(clientHop)
+	}
+	return nil
+}
+
+func (b *Broker) localUnsubscribe(client wire.ClientID, id wire.SubID) error {
+	cs, ok := b.clients[client]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	state, ok := cs.subs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrUnknownSub, client, id)
+	}
+	delete(cs.subs, id)
+	key := subKey(client, id)
+	b.subs.RemoveClient(client, id)
+	delete(b.pending, key)
+	switch {
+	case state.sub.LocDependent:
+		b.teardownLocSub(key)
+	case state.sub.Mobile():
+		b.retractClientSub(state.sub)
+	default:
+		b.recomputeAggregates(wire.ClientHop(client))
+	}
+	return nil
+}
+
+// handleSubscribe processes a subscription arriving over a link.
+func (b *Broker) handleSubscribe(from wire.Hop, sub wire.Subscription) {
+	switch {
+	case sub.LocDependent:
+		b.handleLocSubscribe(from, sub)
+	case sub.Client != "":
+		b.handleClientSubscribe(from, sub)
+	default:
+		// Aggregate subscription from a neighbor broker.
+		b.subs.Add(routing.Entry{Filter: sub.Filter, Hop: from})
+		b.recomputeAggregates(from)
+	}
+}
+
+func (b *Broker) handleUnsubscribe(from wire.Hop, sub wire.Subscription) {
+	switch {
+	case sub.LocDependent:
+		key := sub.Key()
+		b.subs.RemoveClient(sub.Client, sub.ID)
+		b.teardownLocSub(key)
+	case sub.Client != "":
+		b.subs.RemoveClient(sub.Client, sub.ID)
+		b.retractClientSub(sub)
+	default:
+		b.subs.Remove(routing.Entry{Filter: sub.Filter, Hop: from})
+		b.recomputeAggregates(from)
+	}
+}
+
+// handleClientSubscribe implements per-client (mobile) subscription
+// propagation and the relocation junction test of Section 4.1.
+func (b *Broker) handleClientSubscribe(from wire.Hop, sub wire.Subscription) {
+	key := sub.Key()
+	b.knownSubs[key] = sub
+
+	olds := b.oldEntries(sub.Client, sub.ID, from)
+	// Record the new-path direction.
+	b.subs.Add(routing.Entry{Filter: sub.Filter, Hop: from, Client: sub.Client, SubID: sub.ID})
+
+	if sub.Relocate && len(olds) > 0 {
+		// This broker lies on the old delivery path: it is the junction
+		// broker (B4 in Figure 5). Divert new notifications to the new
+		// path and fetch the buffered ones from the old location.
+		b.fetched[key] = sub.RelocEpoch
+		for _, old := range olds {
+			b.subs.Remove(old)
+			fetch := wire.Fetch{
+				Client:   sub.Client,
+				ID:       sub.ID,
+				Filter:   sub.Filter,
+				LastSeq:  sub.LastSeq,
+				Junction: b.id,
+				Epoch:    sub.RelocEpoch,
+			}
+			if old.Hop.IsClient() {
+				// The old path ends here: this broker is also the old
+				// border broker. Replay locally.
+				b.replayFromCounterpart(fetch, from)
+			} else {
+				b.send(old.Hop, wire.NewFetch(fetch))
+			}
+		}
+		return
+	}
+	b.propagateClientSub(sub, from)
+}
+
+// oldEntries returns the routing entries for the client subscription that
+// point somewhere other than the arrival hop (the old delivery path).
+func (b *Broker) oldEntries(c wire.ClientID, id wire.SubID, from wire.Hop) []routing.Entry {
+	var out []routing.Entry
+	for _, e := range b.subs.ClientEntries(c, id) {
+		if e.Hop != from {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// propagateClientSub forwards a per-client subscription toward matching
+// advertisers; when no advertisements exist at all, it floods to all
+// neighbors (advertisement-free operation). Pre-subscribing subscriptions
+// always flood, planting entries at every broker so any future border
+// broker is already a junction.
+func (b *Broker) propagateClientSub(sub wire.Subscription, from wire.Hop) {
+	var hops []wire.Hop
+	if sub.Presubscribe {
+		hops = b.neighborHops(from)
+	} else {
+		hops = b.subForwardHops(sub.Filter, from)
+	}
+	key := sub.Key()
+	fwd := b.clientSubFwd[key]
+	seen := make(map[string]bool, len(fwd))
+	for _, h := range fwd {
+		seen[h.String()] = true
+	}
+	for _, h := range hops {
+		if seen[h.String()] {
+			continue
+		}
+		fwd = append(fwd, h)
+		b.send(h, wire.NewSubscribe(sub))
+	}
+	b.clientSubFwd[key] = fwd
+}
+
+// subForwardHops computes the hops a subscription should travel along:
+// toward overlapping advertisements if any advertisements are known,
+// otherwise every neighbor (excluding the arrival hop).
+func (b *Broker) subForwardHops(f filter.Filter, from wire.Hop) []wire.Hop {
+	if b.advs.Len() == 0 {
+		return b.neighborHops(from)
+	}
+	var out []wire.Hop
+	for _, h := range b.advs.HopsOverlapping(f, from) {
+		if !h.IsClient() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// retractClientSub withdraws a per-client subscription along the hops it
+// was forwarded to.
+func (b *Broker) retractClientSub(sub wire.Subscription) {
+	key := sub.Key()
+	for _, h := range b.clientSubFwd[key] {
+		b.send(h, wire.NewUnsubscribe(sub))
+	}
+	delete(b.clientSubFwd, key)
+	delete(b.knownSubs, key)
+	delete(b.fetched, key)
+}
+
+// recomputeAggregates refreshes the aggregate subscriptions forwarded to
+// every neighbor after a change caused by the given hop. Only plain
+// (non-per-client-propagated) entries feed the aggregation.
+func (b *Broker) recomputeAggregates(changed wire.Hop) {
+	for _, n := range b.neighborHops(wire.Hop{}) {
+		inputs := b.aggregateInputs(n)
+		u := b.fwd.Recompute(n, inputs)
+		for _, f := range u.Subscribe {
+			b.send(n, wire.NewSubscribe(wire.Subscription{Filter: f}))
+		}
+		for _, f := range u.Unsubscribe {
+			b.send(n, wire.NewUnsubscribe(wire.Subscription{Filter: f}))
+		}
+	}
+	_ = changed
+}
+
+// aggregateInputs collects the filters of plain entries not pointing at
+// the given neighbor.
+func (b *Broker) aggregateInputs(n wire.Hop) []filter.Filter {
+	var out []filter.Filter
+	for _, e := range b.subs.EntriesNotFrom(n) {
+		if b.isPerClientEntry(e) {
+			continue
+		}
+		out = append(out, e.Filter)
+	}
+	return out
+}
+
+// isPerClientEntry reports whether the entry belongs to a subscription
+// that propagates per-client (mobile or location-dependent) rather than
+// through aggregation.
+func (b *Broker) isPerClientEntry(e routing.Entry) bool {
+	if e.Client == "" {
+		return false
+	}
+	if _, ok := b.knownSubs[subKey(e.Client, e.SubID)]; ok {
+		return true
+	}
+	if _, ok := b.locSubs[subKey(e.Client, e.SubID)]; ok {
+		return true
+	}
+	// Local plain client subscriptions carry client identity for delivery
+	// but propagate via aggregation.
+	if cs, ok := b.clients[e.Client]; ok {
+		if st, ok := cs.subs[e.SubID]; ok {
+			return st.sub.Mobile() || st.sub.LocDependent
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Advertisements.
+// ---------------------------------------------------------------------------
+
+func (b *Broker) handleAdvertise(from wire.Hop, adv wire.Subscription) {
+	if !b.advs.Add(routing.Entry{Filter: adv.Filter, Hop: from, Client: adv.Client, SubID: adv.ID}) {
+		return
+	}
+	// Advertisements flood the whole overlay so every broker knows which
+	// hops lead toward which producers.
+	key := "adv:" + adv.Key() + ":" + adv.Filter.ID()
+	sent := b.advFwd[key]
+	if sent == nil {
+		sent = make(map[string]bool)
+		b.advFwd[key] = sent
+	}
+	for _, h := range b.neighborHops(from) {
+		if sent[h.String()] {
+			continue
+		}
+		sent[h.String()] = true
+		b.send(h, wire.NewAdvertise(adv))
+	}
+	// Flush known per-client subscriptions toward the new advertiser if
+	// they overlap and have not traveled that way yet.
+	b.flushSubsToward(from, adv.Filter)
+}
+
+func (b *Broker) handleUnadvertise(from wire.Hop, adv wire.Subscription) {
+	if !b.advs.Remove(routing.Entry{Filter: adv.Filter, Hop: from, Client: adv.Client, SubID: adv.ID}) {
+		return
+	}
+	key := "adv:" + adv.Key() + ":" + adv.Filter.ID()
+	delete(b.advFwd, key)
+	b.broadcast(wire.NewUnadvertise(adv), from)
+}
+
+// flushSubsToward forwards already-known per-client subscriptions toward a
+// newly learned advertisement direction.
+func (b *Broker) flushSubsToward(advHop wire.Hop, advFilter filter.Filter) {
+	if advHop.IsClient() {
+		// Local producers: subscriptions need not travel anywhere to reach
+		// them; publish routing consults the local table directly.
+		return
+	}
+	for key, sub := range b.knownSubs {
+		overlap := sub.Filter.Overlaps(advFilter)
+		if !overlap {
+			continue
+		}
+		already := false
+		for _, h := range b.clientSubFwd[key] {
+			if h == advHop {
+				already = true
+				break
+			}
+		}
+		// Do not forward a subscription back where it came from.
+		cameFrom := false
+		for _, e := range b.subs.ClientEntries(sub.Client, sub.ID) {
+			if e.Hop == advHop {
+				cameFrom = true
+				break
+			}
+		}
+		if already || cameFrom {
+			continue
+		}
+		b.clientSubFwd[key] = append(b.clientSubFwd[key], advHop)
+		b.send(advHop, wire.NewSubscribe(sub))
+	}
+	for key, ls := range b.locSubs {
+		b.flushLocSubToward(key, ls, advHop, advFilter)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Publish routing and delivery.
+// ---------------------------------------------------------------------------
+
+func (b *Broker) handlePublish(from wire.Hop, n message.Notification) {
+	if b.opts.Strategy == routing.Flooding {
+		b.broadcast(wire.NewPublish(n), from)
+		b.deliverFlooded(n)
+		return
+	}
+	seenHops := make(map[string]bool)
+	seenSubs := make(map[string]bool)
+	for _, e := range b.subs.MatchingEntries(n, from) {
+		if e.Hop.IsClient() {
+			sk := subKey(e.Client, e.SubID)
+			if seenSubs[sk] {
+				continue
+			}
+			seenSubs[sk] = true
+			b.deliverTo(e.Client, e.SubID, n, false)
+			continue
+		}
+		hk := e.Hop.String()
+		if seenHops[hk] {
+			continue
+		}
+		seenHops[hk] = true
+		b.send(e.Hop, wire.NewPublish(n))
+	}
+}
+
+// deliverFlooded performs client-side filtering under the flooding
+// strategy: every attached client's subscriptions are evaluated locally.
+func (b *Broker) deliverFlooded(n message.Notification) {
+	for _, cs := range b.clients {
+		for id, st := range cs.subs {
+			if st.exact.Matches(n) {
+				b.deliverTo(cs.id, id, n, false)
+			}
+		}
+	}
+}
+
+// deliverTo hands a notification to a local client subscription, assigning
+// the per-subscription sequence number; disconnected clients accumulate
+// into the virtual counterpart buffer, and relocating subscriptions (at
+// the new border broker) buffer until the replay arrives.
+func (b *Broker) deliverTo(client wire.ClientID, id wire.SubID, n message.Notification, replayed bool) {
+	cs, ok := b.clients[client]
+	if !ok {
+		return
+	}
+	st, ok := cs.subs[id]
+	if !ok {
+		return
+	}
+	// Exact client-side filtering (F0): for location-dependent
+	// subscriptions the routing entry is widened, so the final decision is
+	// made here against the client's true location.
+	if !st.exact.Matches(n) {
+		return
+	}
+	if p, relocating := b.pending[subKey(client, id)]; relocating && !replayed {
+		p.notifs = append(p.notifs, n)
+		if len(p.notifs) > b.opts.MaxBufferPerSub {
+			p.notifs = p.notifs[1:]
+		}
+		return
+	}
+	item := wire.SeqNotification{Seq: st.nextSeq, Notif: n}
+	st.nextSeq++
+	if !cs.connected || cs.deliver == nil {
+		st.buffer = append(st.buffer, item)
+		if len(st.buffer) > b.opts.MaxBufferPerSub {
+			st.buffer = st.buffer[1:]
+			st.overflow++
+		}
+		return
+	}
+	if b.opts.Counter != nil {
+		b.opts.Counter.Inc(metrics.CategoryDeliver)
+	}
+	cs.deliver(wire.Deliver{Client: client, ID: id, Item: item, Replayed: replayed})
+}

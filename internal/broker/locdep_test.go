@@ -1,0 +1,192 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/locfilter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+func locHarness(t *testing.T, edges [][2]wire.BrokerID) *harness {
+	t.Helper()
+	reg := locfilter.NewRegistry()
+	if err := reg.Register("fig7", location.FigureSeven()); err != nil {
+		t.Fatal(err)
+	}
+	return newHarness(t, Options{Registry: reg, ProcDelay: 50 * time.Millisecond}, edges)
+}
+
+func locSub(client wire.ClientID, id wire.SubID, loc location.Location) wire.Subscription {
+	return wire.Subscription{
+		Filter: filter.MustNew(
+			filter.EQ("svc", message.String("s")),
+			filter.EQ("room", message.String(locfilter.MarkerMyloc)),
+		),
+		Client:       client,
+		ID:           id,
+		LocDependent: true,
+		LocAttr:      "room",
+		GraphName:    "fig7",
+		Loc:          loc,
+		Delta:        100 * time.Millisecond,
+	}
+}
+
+// TestLocDepUnsubscribeTearsDownUpstream checks that withdrawing a
+// location-dependent subscription removes every upstream entry.
+func TestLocDepUnsubscribeTearsDownUpstream(t *testing.T) {
+	h := locHarness(t, [][2]wire.BrokerID{{"b1", "b2"}, {"b2", "b3"}})
+	b1 := h.brokers["b1"]
+	var rec recorder
+	if err := b1.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Subscribe(locSub("c", "s", "a")); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	for _, id := range []wire.BrokerID{"b2", "b3"} {
+		if subs, _ := h.brokers[id].TableSizes(); subs == 0 {
+			t.Fatalf("precondition: %s has no entry", id)
+		}
+	}
+	if err := b1.Unsubscribe("c", "s"); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	for id, b := range h.brokers {
+		if subs, _ := b.TableSizes(); subs != 0 {
+			t.Errorf("broker %s keeps %d entries after locdep unsubscribe", id, subs)
+		}
+	}
+	// Publishing afterwards delivers nothing.
+	if err := h.brokers["b3"].AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b3"].Publish("p", message.New(map[string]message.Value{
+		"svc":  message.String("s"),
+		"room": message.String("a"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if rec.len() != 0 {
+		t.Errorf("delivery after unsubscribe: %d", rec.len())
+	}
+}
+
+// TestLocDepLateAdvertiserFlush registers the advertiser after the
+// location-dependent subscription; the flush path must forward the
+// widened subscription toward the new advertiser.
+func TestLocDepLateAdvertiserFlush(t *testing.T) {
+	h := locHarness(t, [][2]wire.BrokerID{{"b1", "b2"}, {"b2", "b3"}})
+	b1 := h.brokers["b1"]
+	var rec recorder
+	if err := b1.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated advertisement puts the overlay into
+	// advertisement-scoped mode first.
+	if err := h.brokers["b2"].AttachClient("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b2"].Advertise("x", "noise", filter.MustParse(`svc = "zzz"`)); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if err := b1.Subscribe(locSub("c", "s", "a")); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+
+	// Now the real producer advertises from b3: the locdep subscription
+	// must flush toward it.
+	if err := h.brokers["b3"].AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b3"].Advertise("p", "adv", filter.MustParse(`svc = "s"`)); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if err := h.brokers["b3"].Publish("p", message.New(map[string]message.Value{
+		"svc":  message.String("s"),
+		"room": message.String("a"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if rec.len() != 1 {
+		t.Fatalf("late-advertiser flush failed: %d deliveries", rec.len())
+	}
+}
+
+// TestLocDepResubscriptionReplacesEntry re-issues a location-dependent
+// subscription over a link (refresh) and checks the entry is replaced,
+// not duplicated.
+func TestLocDepResubscriptionReplacesEntry(t *testing.T) {
+	h := locHarness(t, [][2]wire.BrokerID{{"b1", "b2"}})
+	b2 := h.brokers["b2"]
+	sub := locSub("c", "s", "a")
+	sub.Steps = 1
+	b2.Receive(inbound{From: wire.BrokerHop("b1"), Msg: wire.NewSubscribe(sub)})
+	h.settle()
+	subs1, _ := b2.TableSizes()
+	// Refresh with a different location.
+	sub2 := sub
+	sub2.Loc = "b"
+	b2.Receive(inbound{From: wire.BrokerHop("b1"), Msg: wire.NewSubscribe(sub2)})
+	h.settle()
+	subs2, _ := b2.TableSizes()
+	if subs1 != 1 || subs2 != 1 {
+		t.Errorf("entry counts = %d then %d, want 1 and 1", subs1, subs2)
+	}
+}
+
+// TestLocUpdateForUnknownSubscriptionIgnored injects a location update for
+// a subscription this broker never saw.
+func TestLocUpdateForUnknownSubscriptionIgnored(t *testing.T) {
+	h := locHarness(t, [][2]wire.BrokerID{{"b1", "b2"}})
+	b2 := h.brokers["b2"]
+	b2.Receive(inbound{From: wire.BrokerHop("b1"), Msg: wire.NewLocUpdate(wire.LocUpdate{
+		Client: "ghost", ID: "s", OldLoc: "a", NewLoc: "b",
+	})})
+	h.settle()
+	if subs, _ := b2.TableSizes(); subs != 0 {
+		t.Errorf("ghost update created state: %d", subs)
+	}
+}
+
+// TestLocDepDeliveryExactness publishes across every location while the
+// client sits at "a": only "a" events arrive even though the upstream
+// entry is widened to ploc(a, 1).
+func TestLocDepDeliveryExactness(t *testing.T) {
+	h := locHarness(t, [][2]wire.BrokerID{{"b1", "b2"}})
+	b1 := h.brokers["b1"]
+	var rec recorder
+	if err := b1.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Subscribe(locSub("c", "s", "a")); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if err := h.brokers["b2"].AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, room := range []string{"a", "b", "c", "d"} {
+		if err := h.brokers["b2"].Publish("p", message.New(map[string]message.Value{
+			"svc":  message.String("s"),
+			"room": message.String(room),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.settle()
+	if rec.len() != 1 {
+		t.Fatalf("client-side exactness violated: %d deliveries", rec.len())
+	}
+}

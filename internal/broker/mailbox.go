@@ -1,0 +1,76 @@
+package broker
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue of broker tasks. Brokers consume
+// their mailbox from a single goroutine, which makes every routing
+// decision atomic (the paper's "routing decision is assumed to be an
+// atomic operation", Section 2.2) and lets links push without ever
+// blocking — avoiding send/receive deadlock cycles between neighboring
+// brokers.
+//
+// Unboundedness is deliberate: the system model assumes error-free FIFO
+// links, so backpressure would have to be modeled as latency, not loss.
+// The experiment harness bounds total load instead.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task
+	closed bool
+}
+
+// task is either an inbound wire message or a control closure to execute
+// on the broker goroutine.
+type task struct {
+	in *inbound
+	fn func()
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues a task. Pushing to a closed mailbox is a silent no-op
+// (late messages during shutdown are dropped, mirroring a closed link).
+func (m *mailbox) push(t task) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, t)
+	m.cond.Signal()
+}
+
+// pop blocks until a task is available or the mailbox is closed and
+// drained; ok is false in the latter case.
+func (m *mailbox) pop() (task, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return task{}, false
+	}
+	t := m.queue[0]
+	m.queue = m.queue[1:]
+	return t, true
+}
+
+// close stops accepting tasks; pop drains the remainder then reports done.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// len returns the number of queued tasks (diagnostics only).
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

@@ -1,0 +1,102 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox()
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		m.push(task{fn: func() { _ = i }})
+	}
+	if m.len() != n {
+		t.Fatalf("len = %d", m.len())
+	}
+	// Tag tasks through a side channel to verify order.
+	m2 := newMailbox()
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		m2.push(task{fn: func() { got = append(got, i) }})
+	}
+	for i := 0; i < n; i++ {
+		tk, ok := m2.pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		tk.fn()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestMailboxCloseDrains(t *testing.T) {
+	m := newMailbox()
+	m.push(task{fn: func() {}})
+	m.push(task{fn: func() {}})
+	m.close()
+	// Remaining tasks still pop after close.
+	if _, ok := m.pop(); !ok {
+		t.Fatal("drained item lost")
+	}
+	if _, ok := m.pop(); !ok {
+		t.Fatal("drained item lost")
+	}
+	if _, ok := m.pop(); ok {
+		t.Fatal("pop after drain should report done")
+	}
+	// Pushing after close is a silent no-op.
+	m.push(task{fn: func() {}})
+	if _, ok := m.pop(); ok {
+		t.Fatal("push after close should be dropped")
+	}
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	m := newMailbox()
+	const producers, each = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.push(task{fn: func() {}})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	count := 0
+	go func() {
+		defer close(done)
+		for count < producers*each {
+			if _, ok := m.pop(); !ok {
+				return
+			}
+			count++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if count != producers*each {
+		t.Fatalf("consumed %d of %d", count, producers*each)
+	}
+}
+
+func TestMailboxPopBlocksUntilPush(t *testing.T) {
+	m := newMailbox()
+	got := make(chan struct{})
+	go func() {
+		if _, ok := m.pop(); ok {
+			close(got)
+		}
+	}()
+	m.push(task{fn: func() {}})
+	<-got
+}

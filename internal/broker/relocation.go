@@ -1,0 +1,232 @@
+package broker
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// This file implements the physical-mobility relocation protocol of
+// Section 4. The moving parts:
+//
+//   - The old border broker keeps a "virtual counterpart" of the roaming
+//     client: its subscriptions stay in the routing tables and matching
+//     notifications are buffered with continuing sequence numbers.
+//   - When the client reattaches at a new border broker it re-issues each
+//     subscription together with the last sequence number it received
+//     (e.g. (C, F, 123) in the paper). The new border broker buffers live
+//     deliveries and propagates the relocation subscription.
+//   - The junction broker — the first broker on the propagation path that
+//     already has a routing entry for (C, F) pointing elsewhere — diverts
+//     new notifications onto the new path and sends a fetch request
+//     (C, F, seq, B) along the old path.
+//   - Brokers along the old path flip their (C, F) entries to point back
+//     toward the junction as the fetch passes (preserving the invariant
+//     that every entry points toward the client's current location).
+//   - The old border broker replays the buffered notifications with
+//     sequence numbers greater than the client's last; the replay travels
+//     along the flipped path. The new border broker delivers the replayed
+//     messages first, then its own buffered ones, preserving order.
+//
+// All relocation traffic uses ordinary FIFO broker links, which is what
+// makes the no-loss/no-duplicate argument go through: notifications in
+// flight toward the old border broker are ahead of the fetch on every
+// link, so they are buffered and replayed exactly once.
+
+// localRelocateSubscribe handles a relocation re-subscription issued by a
+// client that just attached to this broker. Runs on the broker goroutine.
+func (b *Broker) localRelocateSubscribe(cs *clientState, sub wire.Subscription) error {
+	key := subKey(sub.Client, sub.ID)
+	clientHop := wire.ClientHop(sub.Client)
+
+	if old, ok := cs.subs[sub.ID]; ok {
+		// The client reappeared at the very broker it left: the virtual
+		// counterpart is local. Deliver the buffered notifications beyond
+		// LastSeq directly; no network protocol needed.
+		b.drainLocalBuffer(cs, old, sub.LastSeq)
+		return nil
+	}
+
+	state := &clientSub{sub: sub, exact: sub.Filter, nextSeq: sub.LastSeq + 1}
+	cs.subs[sub.ID] = state
+	b.knownSubs[key] = persistentForm(sub)
+
+	olds := b.oldEntries(sub.Client, sub.ID, clientHop)
+	b.subs.Add(routing.Entry{Filter: sub.Filter, Hop: clientHop, Client: sub.Client, SubID: sub.ID})
+	b.pending[key] = &relocationPending{}
+
+	if len(olds) > 0 {
+		// The new border broker itself lies on the old delivery path: it
+		// is its own junction.
+		b.fetched[key] = sub.RelocEpoch
+		for _, old := range olds {
+			b.subs.Remove(old)
+			fetch := wire.Fetch{
+				Client:   sub.Client,
+				ID:       sub.ID,
+				Filter:   sub.Filter,
+				LastSeq:  sub.LastSeq,
+				Junction: b.id,
+				Epoch:    sub.RelocEpoch,
+			}
+			b.send(old.Hop, wire.NewFetch(fetch))
+		}
+		return nil
+	}
+	b.propagateClientSub(sub, clientHop)
+	return nil
+}
+
+// persistentForm strips the one-shot relocation flags so the stored
+// subscription can be re-forwarded later (e.g. toward new advertisers).
+func persistentForm(sub wire.Subscription) wire.Subscription {
+	sub.Relocate = false
+	sub.LastSeq = 0
+	sub.IsMobile = true
+	return sub
+}
+
+// drainLocalBuffer delivers the virtual counterpart's buffered items with
+// sequence numbers beyond lastSeq to the (re-)connected client.
+func (b *Broker) drainLocalBuffer(cs *clientState, st *clientSub, lastSeq uint64) {
+	items := st.buffer
+	st.buffer = nil
+	for _, it := range items {
+		if it.Seq <= lastSeq {
+			continue
+		}
+		if cs.connected && cs.deliver != nil {
+			if b.opts.Counter != nil {
+				b.opts.Counter.Inc(metrics.CategoryDeliver)
+			}
+			cs.deliver(wire.Deliver{Client: cs.id, ID: st.sub.ID, Item: it, Replayed: true})
+		}
+	}
+}
+
+// handleFetch processes a relocation fetch request traveling along the old
+// delivery path (Section 4.1, step 5). At most one fetch is honored per
+// relocation epoch at each broker; later fetches (possible when the new
+// subscription met the old path at several junctions) are dropped, which
+// keeps the flipped entries forming a tree pointing at the client.
+func (b *Broker) handleFetch(from wire.Hop, f wire.Fetch) {
+	key := subKey(f.Client, f.ID)
+	if last, ok := b.fetched[key]; ok && last >= f.Epoch {
+		return
+	}
+	olds := b.subs.ClientEntries(f.Client, f.ID)
+	var forward []routing.Entry
+	for _, e := range olds {
+		if e.Hop != from {
+			forward = append(forward, e)
+		}
+	}
+	if len(forward) == 0 {
+		return // stale fetch; nothing to divert here
+	}
+	b.fetched[key] = f.Epoch
+	for _, e := range forward {
+		b.subs.Remove(e)
+	}
+	// Flip: the client is now reachable via the hop the fetch came from.
+	b.subs.Add(routing.Entry{Filter: f.Filter, Hop: from, Client: f.Client, SubID: f.ID})
+	for _, e := range forward {
+		if e.Hop.IsClient() {
+			// This broker is the old border broker: the virtual
+			// counterpart lives here. Replay and garbage collect.
+			b.replayFromCounterpart(f, from)
+			continue
+		}
+		b.send(e.Hop, wire.NewFetch(f))
+	}
+}
+
+// replayFromCounterpart sends the virtual counterpart's buffered
+// notifications (those the roaming client has not seen) back toward the
+// junction and garbage collects the client's local state (Section 4.1,
+// step 6: "Replay & clean up").
+func (b *Broker) replayFromCounterpart(f wire.Fetch, toward wire.Hop) {
+	replay := wire.Replay{
+		Client:  f.Client,
+		ID:      f.ID,
+		From:    b.id,
+		NextSeq: f.LastSeq + 1,
+	}
+	if cs, ok := b.clients[f.Client]; ok {
+		if st, ok := cs.subs[f.ID]; ok {
+			for _, it := range st.buffer {
+				if it.Seq > f.LastSeq {
+					replay.Items = append(replay.Items, it)
+				}
+			}
+			replay.NextSeq = st.nextSeq
+			delete(cs.subs, f.ID)
+		}
+		if !cs.connected && len(cs.subs) == 0 && len(cs.advs) == 0 {
+			delete(b.clients, f.Client)
+		}
+	}
+	b.send(toward, wire.NewReplay(replay))
+}
+
+// handleReplay routes a replay batch along the (already flipped) delivery
+// path toward the client's new border broker, where it completes the
+// relocation: replayed messages are delivered first, then the
+// notifications buffered during the relocation, preserving FIFO order.
+func (b *Broker) handleReplay(from wire.Hop, r wire.Replay) {
+	entries := b.subs.ClientEntries(r.Client, r.ID)
+	for _, e := range entries {
+		if e.Hop.IsClient() {
+			b.completeRelocation(r)
+			return
+		}
+	}
+	for _, e := range entries {
+		if e.Hop != from {
+			b.send(e.Hop, wire.NewReplay(r))
+			return
+		}
+	}
+}
+
+// completeRelocation runs at the new border broker when the replay
+// arrives.
+func (b *Broker) completeRelocation(r wire.Replay) {
+	key := subKey(r.Client, r.ID)
+	cs, ok := b.clients[r.Client]
+	if !ok {
+		delete(b.pending, key)
+		return
+	}
+	st, ok := cs.subs[r.ID]
+	if !ok {
+		delete(b.pending, key)
+		return
+	}
+	p := b.pending[key]
+	delete(b.pending, key)
+
+	// Adopt the old border broker's numbering.
+	if r.NextSeq > st.nextSeq {
+		st.nextSeq = r.NextSeq
+	}
+	// Old messages first …
+	for _, it := range r.Items {
+		if cs.connected && cs.deliver != nil {
+			if b.opts.Counter != nil {
+				b.opts.Counter.Inc(metrics.CategoryDeliver)
+			}
+			cs.deliver(wire.Deliver{Client: r.Client, ID: r.ID, Item: it, Replayed: true})
+		} else {
+			st.buffer = append(st.buffer, it)
+		}
+	}
+	// … then the ones that arrived over the new path meanwhile (the
+	// pending entry is already deleted, so these deliver normally and get
+	// fresh sequence numbers continuing the old broker's numbering).
+	if p != nil {
+		for _, n := range p.notifs {
+			b.deliverTo(r.Client, r.ID, n, false)
+		}
+	}
+}

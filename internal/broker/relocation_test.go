@@ -1,0 +1,225 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// These tests poke the relocation protocol's edge cases directly at the
+// broker level; the end-to-end happy paths live in package core.
+
+func relocHarness(t *testing.T) (*harness, *recorder) {
+	t.Helper()
+	h := newHarness(t, Options{}, [][2]wire.BrokerID{
+		{"b1", "b2"}, {"b2", "b3"}, {"b3", "b4"},
+	})
+	var rec recorder
+	if err := h.brokers["b4"].AttachClient("C", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b1"].AttachClient("P", nil); err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`k = "v"`)
+	if err := h.brokers["b1"].Advertise("P", "adv", f); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if err := h.brokers["b4"].Subscribe(wire.Subscription{
+		Filter: f, Client: "C", ID: "s", IsMobile: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	return h, &rec
+}
+
+func pubV(t *testing.T, h *harness, n int64) {
+	t.Helper()
+	if err := h.brokers["b1"].Publish("P", message.New(map[string]message.Value{
+		"k": message.String("v"),
+		"n": message.Int(n),
+	})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleFetchIsIgnored sends a fabricated fetch for a subscription that
+// has no entries at the receiving broker; nothing must change.
+func TestStaleFetchIsIgnored(t *testing.T) {
+	h, _ := relocHarness(t)
+	b2 := h.brokers["b2"]
+	before, _ := b2.TableSizes()
+	// Inject a fetch for an unknown subscription.
+	b2.Receive(inbound{
+		From: wire.BrokerHop("b3"),
+		Msg: wire.NewFetch(wire.Fetch{
+			Client: "ghost", ID: "nope",
+			Filter: filter.MustParse(`k = "v"`), LastSeq: 3, Junction: "b3", Epoch: 1,
+		}),
+	})
+	h.settle()
+	after, _ := b2.TableSizes()
+	if before != after {
+		t.Errorf("stale fetch changed the table: %d -> %d", before, after)
+	}
+}
+
+// TestDuplicateFetchSameEpochDropped verifies the fetch dedup: a second
+// fetch of the same epoch must not re-flip entries.
+func TestDuplicateFetchSameEpochDropped(t *testing.T) {
+	h, rec := relocHarness(t)
+	// Relocate C from b4 to b2 (real flow).
+	if err := h.brokers["b4"].DetachClient("C"); err != nil {
+		t.Fatal(err)
+	}
+	pubV(t, h, 1)
+	h.settle()
+	if err := h.brokers["b2"].AttachClient("C", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b2"].Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`k = "v"`), Client: "C", ID: "s",
+		Relocate: true, LastSeq: 0, RelocEpoch: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if rec.len() != 1 {
+		t.Fatalf("relocation delivered %d, want 1", rec.len())
+	}
+	// Replay a duplicate fetch of the same epoch at b3 (on the old path):
+	// must be dropped, table unchanged.
+	b3 := h.brokers["b3"]
+	before, _ := b3.TableSizes()
+	b3.Receive(inbound{
+		From: wire.BrokerHop("b2"),
+		Msg: wire.NewFetch(wire.Fetch{
+			Client: "C", ID: "s",
+			Filter: filter.MustParse(`k = "v"`), LastSeq: 0, Junction: "b2", Epoch: 1,
+		}),
+	})
+	h.settle()
+	after, _ := b3.TableSizes()
+	if before != after {
+		t.Errorf("duplicate fetch mutated b3: %d -> %d", before, after)
+	}
+	// Traffic still flows exactly once to the new location.
+	pubV(t, h, 2)
+	h.settle()
+	if rec.len() != 2 {
+		t.Errorf("post-duplicate-fetch delivery count = %d, want 2", rec.len())
+	}
+}
+
+// TestReplayWithNoItems covers a relocation where nothing was missed: the
+// replay is empty but must still unblock the pending buffer.
+func TestReplayWithNoItems(t *testing.T) {
+	h, rec := relocHarness(t)
+	if err := h.brokers["b4"].DetachClient("C"); err != nil {
+		t.Fatal(err)
+	}
+	// No traffic while away.
+	if err := h.brokers["b2"].AttachClient("C", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b2"].Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`k = "v"`), Client: "C", ID: "s",
+		Relocate: true, LastSeq: 0, RelocEpoch: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	pubV(t, h, 1)
+	h.settle()
+	if rec.len() != 1 || rec.seqs()[0] != 1 {
+		t.Fatalf("empty replay left the pipeline stuck: %v", rec.seqs())
+	}
+}
+
+// TestUnsubscribeDuringRelocation withdraws the subscription while the
+// relocation is pending; the overlay must clean up without delivering.
+func TestUnsubscribeDuringRelocation(t *testing.T) {
+	h, rec := relocHarness(t)
+	if err := h.brokers["b4"].DetachClient("C"); err != nil {
+		t.Fatal(err)
+	}
+	pubV(t, h, 1)
+	h.settle()
+	if err := h.brokers["b2"].AttachClient("C", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b2"].Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`k = "v"`), Client: "C", ID: "s",
+		Relocate: true, LastSeq: 0, RelocEpoch: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Unsubscribe immediately (possibly before the replay lands — with
+	// zero-latency links it already did, but the call must be safe either
+	// way).
+	if err := h.brokers["b2"].Unsubscribe("C", "s"); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	pubV(t, h, 2)
+	h.settle()
+	// No further deliveries after unsubscribe.
+	for _, d := range rec.seqsDetail() {
+		if d.Item.Seq > 1 {
+			t.Errorf("delivery after unsubscribe: %+v", d)
+		}
+	}
+}
+
+// TestRelocationPreservesOtherClients makes sure flipping C's entries does
+// not disturb an unrelated subscriber on the old path.
+func TestRelocationPreservesOtherClients(t *testing.T) {
+	h, rec := relocHarness(t)
+	var other recorder
+	if err := h.brokers["b3"].AttachClient("D", other.deliver); err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`k = "v"`)
+	if err := h.brokers["b3"].Subscribe(wire.Subscription{
+		Filter: f, Client: "D", ID: "d",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+
+	if err := h.brokers["b4"].DetachClient("C"); err != nil {
+		t.Fatal(err)
+	}
+	pubV(t, h, 1)
+	h.settle()
+	if err := h.brokers["b2"].AttachClient("C", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.brokers["b2"].Subscribe(wire.Subscription{
+		Filter: f, Client: "C", ID: "s", Relocate: true, LastSeq: 0, RelocEpoch: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	pubV(t, h, 2)
+	h.settle()
+	if other.len() != 2 {
+		t.Errorf("bystander D received %d, want 2", other.len())
+	}
+	if rec.len() != 2 {
+		t.Errorf("roamer C received %d, want 2", rec.len())
+	}
+}
+
+// seqsDetail exposes the raw deliveries for edge-case assertions.
+func (r *recorder) seqsDetail() []wire.Deliver {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]wire.Deliver, len(r.items))
+	copy(out, r.items)
+	return out
+}

@@ -1,0 +1,127 @@
+package broker
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestRemoteClientOverTCP drives a full remote-client session against a
+// broker over a real TCP connection: advertise, subscribe, publish,
+// deliver, unsubscribe.
+func TestRemoteClientOverTCP(t *testing.T) {
+	b := New("b1", Options{})
+	b.Start()
+	t.Cleanup(b.Close)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			link, err := transport.AcceptTCP(conn, "b1", b)
+			if err != nil {
+				continue
+			}
+			if link.Peer().IsClient() {
+				_ = b.AttachRemoteClient(link.Peer().Client, link)
+			}
+		}
+	}()
+
+	// Consumer connects over TCP.
+	deliveries := make(chan wire.Deliver, 16)
+	consumerLink, err := transport.DialTCPClient(ln.Addr().String(), "alice",
+		transport.ReceiverFunc(func(in transport.Inbound) {
+			if in.Msg.Type == wire.TypeDeliver && in.Msg.Deliver != nil {
+				deliveries <- *in.Msg.Deliver
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = consumerLink.Close() })
+
+	// Producer connects over TCP too.
+	producerLink, err := transport.DialTCPClient(ln.Addr().String(), "ticker",
+		transport.ReceiverFunc(func(transport.Inbound) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = producerLink.Close() })
+
+	f := filter.MustParse(`sym = "ACME"`)
+	if err := producerLink.Send(wire.NewAdvertise(wire.Subscription{
+		Filter: f, Client: "ticker", ID: "adv",
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumerLink.Send(wire.NewSubscribe(wire.Subscription{
+		Filter: f, Client: "alice", ID: "sub",
+	})); err != nil {
+		t.Fatal(err)
+	}
+	waitTCP(t, func() bool {
+		subs, _ := b.TableSizes()
+		return subs >= 1
+	})
+
+	for i := int64(1); i <= 3; i++ {
+		n := message.New(map[string]message.Value{
+			"sym":   message.String("ACME"),
+			"price": message.Int(i),
+		})
+		if err := producerLink.Send(wire.NewPublish(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Off-filter notification must not be delivered.
+	if err := producerLink.Send(wire.NewPublish(message.New(map[string]message.Value{
+		"sym": message.String("OTHER"),
+	}))); err != nil {
+		t.Fatal(err)
+	}
+
+	for want := uint64(1); want <= 3; want++ {
+		select {
+		case d := <-deliveries:
+			if d.Item.Seq != want {
+				t.Fatalf("remote delivery seq %d, want %d", d.Item.Seq, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout waiting for delivery %d", want)
+		}
+	}
+
+	// Unsubscribe stops the stream.
+	if err := consumerLink.Send(wire.NewUnsubscribe(wire.Subscription{
+		Client: "alice", ID: "sub",
+	})); err != nil {
+		t.Fatal(err)
+	}
+	waitTCP(t, func() bool {
+		subs, _ := b.TableSizes()
+		return subs == 0
+	})
+	if err := producerLink.Send(wire.NewPublish(message.New(map[string]message.Value{
+		"sym": message.String("ACME"),
+	}))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-deliveries:
+		t.Fatalf("delivery after unsubscribe: %+v", d)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -1,0 +1,55 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+func TestBrokerStats(t *testing.T) {
+	h := newHarness(t, Options{}, [][2]wire.BrokerID{{"b1", "b2"}})
+	b1, b2 := h.brokers["b1"], h.brokers["b2"]
+	var rec recorder
+	if err := b1.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`k = "v"`), Client: "c", ID: "s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.settle()
+	if err := b2.AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b2.Publish("p", message.New(map[string]message.Value{
+			"k": message.String("v"),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.settle()
+
+	s2 := b2.Stats()
+	if s2.SubEntries != 1 {
+		t.Errorf("b2 SubEntries = %d, want 1", s2.SubEntries)
+	}
+	if s2.Processed[wire.TypeSubscribe] != 1 {
+		t.Errorf("b2 processed %d subscribes, want 1", s2.Processed[wire.TypeSubscribe])
+	}
+	s1 := b1.Stats()
+	if s1.Processed[wire.TypePublish] != 3 {
+		t.Errorf("b1 processed %d publishes, want 3", s1.Processed[wire.TypePublish])
+	}
+	if s1.MailboxDepth != 0 {
+		t.Errorf("b1 mailbox depth = %d after settle", s1.MailboxDepth)
+	}
+	// The snapshot must be a copy.
+	s1.Processed[wire.TypePublish] = 999
+	if b1.Stats().Processed[wire.TypePublish] == 999 {
+		t.Error("Stats aliases internal state")
+	}
+}

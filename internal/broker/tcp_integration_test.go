@@ -1,0 +1,132 @@
+package broker
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestTCPOverlayEndToEnd runs two brokers connected over a real TCP link
+// (handshake, framing, wire codec) and checks subscription propagation,
+// publish routing, and the relocation protocol across the wire.
+func TestTCPOverlayEndToEnd(t *testing.T) {
+	b1 := New("b1", Options{})
+	b1.Start()
+	t.Cleanup(b1.Close)
+	b2 := New("b2", Options{})
+	b2.Start()
+	t.Cleanup(b2.Close)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+
+	acceptDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptDone <- err
+			return
+		}
+		link, err := transport.AcceptTCP(conn, "b1", b1)
+		if err != nil {
+			acceptDone <- err
+			return
+		}
+		acceptDone <- b1.AddLink(link.Peer().Broker, link)
+	}()
+	link2, err := transport.DialTCP(ln.Addr().String(), "b2", b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AddLink(link2.Peer().Broker, link2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acceptDone; err != nil {
+		t.Fatal(err)
+	}
+
+	var rec recorder
+	if err := b1.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`svc = "tcp" && n >= 0`)
+	if err := b2.Advertise("p", "adv", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Subscribe(wire.Subscription{Filter: f, Client: "c", ID: "s", IsMobile: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP delivery is asynchronous: wait for the subscription to land.
+	waitTCP(t, func() bool {
+		subs, _ := b2.TableSizes()
+		return subs >= 1
+	})
+
+	for i := int64(0); i < 5; i++ {
+		if err := b2.Publish("p", message.New(map[string]message.Value{
+			"svc": message.String("tcp"),
+			"n":   message.Int(i),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitTCP(t, func() bool { return rec.len() == 5 })
+	for i, s := range rec.seqs() {
+		if s != uint64(i+1) {
+			t.Fatalf("TCP FIFO/seq violated: %v", rec.seqs())
+		}
+	}
+
+	// Roam across the TCP link: detach at b1, buffer, relocate to b2.
+	if err := b1.DetachClient("c"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(5); i < 8; i++ {
+		if err := b2.Publish("p", message.New(map[string]message.Value{
+			"svc": message.String("tcp"),
+			"n":   message.Int(i),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let the buffered traffic settle at b1
+	if err := b2.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Subscribe(wire.Subscription{
+		Filter: f, Client: "c", ID: "s",
+		Relocate: true, LastSeq: 5, RelocEpoch: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitTCP(t, func() bool { return rec.len() == 8 })
+	for i, s := range rec.seqs() {
+		if s != uint64(i+1) {
+			t.Fatalf("relocation over TCP broke ordering: %v", rec.seqs())
+		}
+	}
+}
+
+func waitTCP(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("timeout waiting for TCP overlay condition")
+}

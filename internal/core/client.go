@@ -1,0 +1,488 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// Errors returned by Client operations.
+var (
+	ErrDetached       = errors.New("core: client is detached")
+	ErrUnknownSub     = errors.New("core: unknown subscription")
+	ErrLocDepMove     = errors.New("core: physical roaming of location-dependent subscriptions is not supported (paper future work)")
+	ErrDuplicateSubID = errors.New("core: duplicate subscription id")
+)
+
+// Event is one delivered notification, as seen by a consumer.
+type Event struct {
+	SubID        wire.SubID
+	Seq          uint64
+	Notification message.Notification
+	// Replayed marks notifications recovered through the relocation
+	// protocol rather than the live delivery path.
+	Replayed bool
+}
+
+// Handler consumes delivered events. It runs on the client's delivery
+// goroutine, one event at a time, in delivery order.
+type Handler func(Event)
+
+// LocSpec configures a location-dependent subscription (Section 5).
+type LocSpec struct {
+	// Graph names a movement graph registered with the Network.
+	Graph string
+	// Attr is the notification attribute holding the event's location.
+	Attr string
+	// Start is the client's initial location.
+	Start location.Location
+	// Delta is the client's expected dwell time at one location (the Δ of
+	// the adaptivity scheme).
+	Delta time.Duration
+}
+
+// SubSpec describes one subscription.
+type SubSpec struct {
+	ID     wire.SubID
+	Filter filter.Filter
+	// Mobile requests physical-mobility support: the subscription
+	// propagates per-client and survives MoveTo with no loss, no
+	// duplicates, and preserved order.
+	Mobile bool
+	// Presubscribe (implies Mobile) plants the subscription at every
+	// broker so a future handoff finds its junction at the first hop —
+	// the paper's "pre-subscribe at brokers at possible next locations"
+	// outlook. Costs broader subscription state for faster handoffs.
+	Presubscribe bool
+	// Loc, when non-nil, makes the subscription location-dependent.
+	Loc *LocSpec
+	// Handler receives the deliveries. When nil, the client-level handler
+	// passed to NewClient is used.
+	Handler Handler
+}
+
+// subRecord is the client-side state of one subscription.
+type subRecord struct {
+	spec    SubSpec
+	lastSeq uint64
+	loc     location.Location
+	// epoch counts relocations of this subscription; brokers use it to
+	// tell apart fetch requests from different relocations.
+	epoch uint64
+}
+
+// Client is a pub/sub client: producer, consumer, or both. A client is
+// attached to one border broker at a time and may roam between brokers
+// with MoveTo.
+type Client struct {
+	id      wire.ClientID
+	network *Network
+	handler Handler
+
+	queue *deliveryQueue
+
+	mu       sync.Mutex
+	brokerID wire.BrokerID
+	at       *broker.Broker // nil while detached
+	subs     map[wire.SubID]*subRecord
+	advs     map[wire.SubID]filter.Filter
+}
+
+// NewClient creates a client attached to the given broker. The handler
+// receives deliveries for subscriptions without their own handler; it may
+// be nil if every subscription sets one.
+func (n *Network) NewClient(id wire.ClientID, at wire.BrokerID, handler Handler) (*Client, error) {
+	b, err := n.Broker(at)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		id:      id,
+		network: n,
+		handler: handler,
+		subs:    make(map[wire.SubID]*subRecord),
+		advs:    make(map[wire.SubID]filter.Filter),
+	}
+	c.queue = newDeliveryQueue(c.dispatch)
+	if err := b.AttachClient(id, c.queue.push); err != nil {
+		c.queue.close()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.at = b
+	c.brokerID = at
+	c.mu.Unlock()
+
+	n.mu.Lock()
+	n.clients[id] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// ID returns the client's identity.
+func (c *Client) ID() wire.ClientID { return c.id }
+
+// At returns the ID of the border broker the client is attached to, or ""
+// while detached.
+func (c *Client) At() wire.BrokerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at == nil {
+		return ""
+	}
+	return c.brokerID
+}
+
+// dispatch runs on the delivery goroutine for every delivered item.
+func (c *Client) dispatch(d wire.Deliver) {
+	c.mu.Lock()
+	rec := c.subs[d.ID]
+	var h Handler
+	if rec != nil {
+		if d.Item.Seq > rec.lastSeq {
+			rec.lastSeq = d.Item.Seq
+		}
+		h = rec.spec.Handler
+	}
+	if h == nil {
+		h = c.handler
+	}
+	c.mu.Unlock()
+	if h != nil {
+		h(Event{
+			SubID:        d.ID,
+			Seq:          d.Item.Seq,
+			Notification: d.Item.Notif,
+			Replayed:     d.Replayed,
+		})
+	}
+}
+
+// Subscribe registers a subscription per its spec.
+func (c *Client) Subscribe(spec SubSpec) error {
+	c.mu.Lock()
+	b := c.at
+	if b == nil {
+		c.mu.Unlock()
+		return ErrDetached
+	}
+	if _, dup := c.subs[spec.ID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateSubID, spec.ID)
+	}
+	rec := &subRecord{spec: spec}
+	if spec.Loc != nil {
+		rec.loc = spec.Loc.Start
+	}
+	c.subs[spec.ID] = rec
+	c.mu.Unlock()
+
+	if err := b.Subscribe(c.wireSub(spec, rec)); err != nil {
+		c.mu.Lock()
+		delete(c.subs, spec.ID)
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// wireSub converts a spec to the wire form.
+func (c *Client) wireSub(spec SubSpec, rec *subRecord) wire.Subscription {
+	s := wire.Subscription{
+		Filter:       spec.Filter,
+		Client:       c.id,
+		ID:           spec.ID,
+		IsMobile:     spec.Mobile || spec.Presubscribe,
+		Presubscribe: spec.Presubscribe,
+	}
+	if spec.Loc != nil {
+		s.LocDependent = true
+		s.LocAttr = spec.Loc.Attr
+		s.GraphName = spec.Loc.Graph
+		s.Loc = rec.loc
+		s.Delta = spec.Loc.Delta
+	}
+	return s
+}
+
+// Unsubscribe withdraws a subscription.
+func (c *Client) Unsubscribe(id wire.SubID) error {
+	c.mu.Lock()
+	b := c.at
+	_, ok := c.subs[id]
+	delete(c.subs, id)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSub, id)
+	}
+	if b == nil {
+		return ErrDetached
+	}
+	return b.Unsubscribe(c.id, id)
+}
+
+// Publish injects a notification.
+func (c *Client) Publish(n message.Notification) error {
+	c.mu.Lock()
+	b := c.at
+	c.mu.Unlock()
+	if b == nil {
+		return ErrDetached
+	}
+	return b.Publish(c.id, n)
+}
+
+// Advertise announces the notifications this client will publish.
+func (c *Client) Advertise(id wire.SubID, f filter.Filter) error {
+	c.mu.Lock()
+	b := c.at
+	c.advs[id] = f
+	c.mu.Unlock()
+	if b == nil {
+		return ErrDetached
+	}
+	return b.Advertise(c.id, id, f)
+}
+
+// Unadvertise withdraws an advertisement.
+func (c *Client) Unadvertise(id wire.SubID) error {
+	c.mu.Lock()
+	b := c.at
+	delete(c.advs, id)
+	c.mu.Unlock()
+	if b == nil {
+		return ErrDetached
+	}
+	return b.Unadvertise(c.id, id)
+}
+
+// SetLocation declares a new location for a location-dependent
+// subscription (logical mobility). The move must be a legal step of the
+// movement graph.
+func (c *Client) SetLocation(id wire.SubID, loc location.Location) error {
+	c.mu.Lock()
+	b := c.at
+	rec, ok := c.subs[id]
+	c.mu.Unlock()
+	if !ok || rec.spec.Loc == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownSub, id)
+	}
+	if b == nil {
+		return ErrDetached
+	}
+	if err := b.SetLocation(c.id, id, loc); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	rec.loc = loc
+	c.mu.Unlock()
+	return nil
+}
+
+// Location returns the current location of a location-dependent
+// subscription.
+func (c *Client) Location(id wire.SubID) (location.Location, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.subs[id]
+	if !ok || rec.spec.Loc == nil {
+		return "", fmt.Errorf("%w: %s", ErrUnknownSub, id)
+	}
+	return rec.loc, nil
+}
+
+// LastSeq returns the last delivered sequence number of a subscription.
+func (c *Client) LastSeq(id wire.SubID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec, ok := c.subs[id]; ok {
+		return rec.lastSeq
+	}
+	return 0
+}
+
+// Detach disconnects the client from its border broker without
+// unsubscribing: the broker keeps a virtual counterpart buffering matching
+// notifications (physical mobility, disconnected phase).
+func (c *Client) Detach() error {
+	c.mu.Lock()
+	b := c.at
+	c.at = nil
+	c.mu.Unlock()
+	if b == nil {
+		return ErrDetached
+	}
+	return b.DetachClient(c.id)
+}
+
+// MoveTo rebinds the client to a different border broker (physical
+// mobility). Mobile subscriptions are relocated with the Section 4
+// protocol: the client re-issues each subscription together with its last
+// received sequence number, and the middleware guarantees gapless,
+// duplicate-free, order-preserving delivery. Plain subscriptions are
+// re-issued naively (they may miss interim notifications — that is exactly
+// the deficit the paper's protocol removes). Location-dependent
+// subscriptions cannot roam (paper future work).
+func (c *Client) MoveTo(newBroker wire.BrokerID) error {
+	c.mu.Lock()
+	for _, rec := range c.subs {
+		if rec.spec.Loc != nil {
+			c.mu.Unlock()
+			return ErrLocDepMove
+		}
+	}
+	old := c.at
+	c.mu.Unlock()
+
+	if old != nil {
+		if err := old.DetachClient(c.id); err != nil {
+			return err
+		}
+	}
+	nb, err := c.network.Broker(newBroker)
+	if err != nil {
+		return err
+	}
+	if err := nb.AttachClient(c.id, c.queue.push); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.at = nb
+	c.brokerID = newBroker
+	type pendingSub struct {
+		spec    SubSpec
+		lastSeq uint64
+		epoch   uint64
+	}
+	var resubs []pendingSub
+	var advs []struct {
+		id wire.SubID
+		f  filter.Filter
+	}
+	for _, rec := range c.subs {
+		if rec.spec.Mobile || rec.spec.Presubscribe {
+			rec.epoch++
+		}
+		resubs = append(resubs, pendingSub{spec: rec.spec, lastSeq: rec.lastSeq, epoch: rec.epoch})
+	}
+	for id, f := range c.advs {
+		advs = append(advs, struct {
+			id wire.SubID
+			f  filter.Filter
+		}{id, f})
+	}
+	c.mu.Unlock()
+
+	for _, a := range advs {
+		if err := nb.Advertise(c.id, a.id, a.f); err != nil {
+			return err
+		}
+	}
+	for _, ps := range resubs {
+		s := wire.Subscription{
+			Filter:       ps.spec.Filter,
+			Client:       c.id,
+			ID:           ps.spec.ID,
+			IsMobile:     ps.spec.Mobile || ps.spec.Presubscribe,
+			Presubscribe: ps.spec.Presubscribe,
+		}
+		if s.IsMobile {
+			s.Relocate = true
+			s.LastSeq = ps.lastSeq
+			s.RelocEpoch = ps.epoch
+		}
+		if err := nb.Subscribe(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close tears the client down (used by Network.Close).
+func (c *Client) close() {
+	c.mu.Lock()
+	b := c.at
+	c.at = nil
+	c.mu.Unlock()
+	if b != nil {
+		_ = b.DetachClient(c.id)
+	}
+	c.queue.close()
+}
+
+// Flush blocks until every delivery queued so far has been handed to its
+// handler. Useful in tests and examples to make output deterministic.
+func (c *Client) Flush() { c.queue.flush() }
+
+// deliveryQueue decouples broker goroutines from user handlers: the broker
+// pushes (never blocking), a dedicated goroutine dispatches in order.
+type deliveryQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []wire.Deliver
+	busy   bool
+	closed bool
+	done   chan struct{}
+}
+
+func newDeliveryQueue(dispatch func(wire.Deliver)) *deliveryQueue {
+	q := &deliveryQueue{done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go func() {
+		defer close(q.done)
+		for {
+			q.mu.Lock()
+			for len(q.items) == 0 && !q.closed {
+				q.cond.Wait()
+			}
+			if len(q.items) == 0 && q.closed {
+				q.mu.Unlock()
+				return
+			}
+			d := q.items[0]
+			q.items = q.items[1:]
+			q.busy = true
+			q.mu.Unlock()
+			dispatch(d)
+			q.mu.Lock()
+			q.busy = false
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		}
+	}()
+	return q
+}
+
+func (q *deliveryQueue) push(d wire.Deliver) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, d)
+	q.cond.Broadcast()
+}
+
+// flush waits until the queue is drained and no dispatch is in flight.
+func (q *deliveryQueue) flush() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for (len(q.items) > 0 || q.busy) && !q.closed {
+		q.cond.Wait()
+	}
+}
+
+func (q *deliveryQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	<-q.done
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// TestRelocationMultipleProducers reproduces the right-hand side of
+// Figure 5: several producers publish into the old delivery tree; after
+// the move, everything converges onto the new path exactly once.
+func TestRelocationMultipleProducers(t *testing.T) {
+	// Topology:  p1 - b5
+	//                   \
+	//   b1 - b2 - b3 - b4 - b6 (consumer old)    p2 at b2, p3 at b6's side b7
+	net := NewNetwork()
+	for _, id := range []wire.BrokerID{"b1", "b2", "b3", "b4", "b5", "b6", "b7"} {
+		net.MustAddBroker(id)
+	}
+	for _, e := range [][2]wire.BrokerID{
+		{"b1", "b2"}, {"b2", "b3"}, {"b3", "b4"}, {"b4", "b6"}, {"b4", "b5"}, {"b6", "b7"},
+	} {
+		net.MustConnect(e[0], e[1], 0)
+	}
+	t.Cleanup(net.Close)
+
+	var got collector
+	consumer, err := net.NewClient("C", "b6", got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`kind = "tick"`)
+	producers := make([]*Client, 3)
+	for i, at := range []wire.BrokerID{"b5", "b2", "b7"} {
+		p, err := net.NewClient(wire.ClientID(fmt.Sprintf("P%d", i)), at, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Advertise("adv", f); err != nil {
+			t.Fatal(err)
+		}
+		producers[i] = p
+	}
+	net.Settle()
+	if err := consumer.Subscribe(SubSpec{ID: "s", Filter: f, Mobile: true}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	pubRound := func(round int64) {
+		t.Helper()
+		for i, p := range producers {
+			err := p.Publish(message.New(map[string]message.Value{
+				"kind": message.String("tick"),
+				"src":  message.Int(int64(i)),
+				"rnd":  message.Int(round),
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	pubRound(1)
+	net.Settle()
+	if got.len() != 3 {
+		t.Fatalf("phase 1: %d deliveries, want 3", got.len())
+	}
+
+	if err := consumer.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	pubRound(2)
+	net.Settle()
+
+	if err := consumer.MoveTo("b1"); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	pubRound(3)
+	net.Settle()
+
+	evs := got.snapshot()
+	if len(evs) != 9 {
+		t.Fatalf("total deliveries = %d, want 9 (3 rounds x 3 producers)", len(evs))
+	}
+	// Exactly once, gapless.
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d: %v", i, e.Seq, evs)
+		}
+	}
+	// Every (src, round) pair appears exactly once.
+	seen := make(map[string]int)
+	for _, e := range evs {
+		src, _ := e.Notification.Get("src")
+		rnd, _ := e.Notification.Get("rnd")
+		seen[fmt.Sprintf("%d/%d", src.IntVal(), rnd.IntVal())]++
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Errorf("notification %s delivered %d times", k, c)
+		}
+	}
+}
+
+// TestRepeatedRelocations roams the consumer across several brokers in
+// sequence, with traffic during every disconnected phase.
+func TestRepeatedRelocations(t *testing.T) {
+	net, ids := newChain(t, 5)
+	var got collector
+	consumer, err := net.NewClient("C", ids[0], got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", ids[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`kind = "x"`)
+	if err := producer.Advertise("adv", f); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	if err := consumer.Subscribe(SubSpec{ID: "s", Filter: f, Mobile: true}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	var published int64
+	pub := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			published++
+			err := producer.Publish(message.New(map[string]message.Value{
+				"kind": message.String("x"),
+				"n":    message.Int(published),
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	pub(2)
+	net.Settle()
+	for hop := 1; hop < 5; hop++ {
+		if err := consumer.Detach(); err != nil {
+			t.Fatal(err)
+		}
+		pub(3)
+		net.Settle()
+		if err := consumer.MoveTo(ids[hop]); err != nil {
+			t.Fatal(err)
+		}
+		net.Settle()
+		pub(1)
+		net.Settle()
+	}
+
+	evs := got.snapshot()
+	if int64(len(evs)) != published {
+		t.Fatalf("delivered %d of %d published", len(evs), published)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+		n, _ := e.Notification.Get("n")
+		if n.IntVal() != int64(i+1) {
+			t.Fatalf("payload order violated at %d: %d", i, n.IntVal())
+		}
+	}
+}
+
+// TestEpochCompleteness verifies the Figure 4 QoS definition for logical
+// mobility: dividing the notification stream into epochs at each location
+// change, every notification matching the location of its epoch must be
+// delivered — "as if flooding were used".
+func TestEpochCompleteness(t *testing.T) {
+	net, ids := newChain(t, 3, WithProcDelay(time.Hour)) // force max widening
+	if err := net.RegisterGraph("fig7", location.FigureSeven()); err != nil {
+		t.Fatal(err)
+	}
+	var got collector
+	consumer, err := net.NewClient("C", ids[0], got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", ids[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Advertise("adv", filter.MustParse(`svc = "s"`)); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	base := filter.MustNew(
+		filter.EQ("svc", message.String("s")),
+		filter.EQ("loc", message.String("$myloc")),
+	)
+	err = consumer.Subscribe(SubSpec{
+		ID: "s", Filter: base,
+		Loc: &LocSpec{Graph: "fig7", Attr: "loc", Start: "a", Delta: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	// Walk the paper's itinerary a -> b -> d. In each epoch, publish one
+	// notification per location; exactly the one matching the current
+	// location must be delivered — every epoch, no blackout.
+	itinerary := location.Itinerary{"a", "b", "d"}
+	var want []string
+	seq := 0
+	for step, loc := range itinerary {
+		if step > 0 {
+			if err := consumer.SetLocation("s", loc); err != nil {
+				t.Fatal(err)
+			}
+			net.Settle()
+		}
+		for _, l := range []location.Location{"a", "b", "c", "d"} {
+			seq++
+			err := producer.Publish(message.New(map[string]message.Value{
+				"svc": message.String("s"),
+				"loc": message.String(string(l)),
+				"i":   message.Int(int64(seq)),
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l == loc {
+				want = append(want, string(l))
+			}
+		}
+		net.Settle()
+	}
+
+	evs := got.snapshot()
+	if len(evs) != len(want) {
+		t.Fatalf("delivered %d, want %d (one per epoch)", len(evs), len(want))
+	}
+	for i, e := range evs {
+		l, _ := e.Notification.Get("loc")
+		if l.Str() != want[i] {
+			t.Errorf("epoch %d delivered loc=%s, want %s", i, l.Str(), want[i])
+		}
+	}
+}
+
+// TestLocDepNoBlackoutUnderLatency is the paper's central logical-mobility
+// claim: with ploc widening, a location change takes effect instantly even
+// though links have real latency — notifications for the new location were
+// already flowing. The baseline GlobalSubUnsub test (package baseline)
+// shows the same scenario losing the event.
+func TestLocDepNoBlackoutUnderLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	net := NewNetwork(WithLinkLatency(lat), WithProcDelay(50*time.Millisecond))
+	for _, id := range []wire.BrokerID{"x", "y", "z"} {
+		net.MustAddBroker(id)
+	}
+	net.MustConnect("x", "y", -1)
+	net.MustConnect("y", "z", -1)
+	t.Cleanup(net.Close)
+	if err := net.RegisterGraph("fig7", location.FigureSeven()); err != nil {
+		t.Fatal(err)
+	}
+
+	var got collector
+	consumer, err := net.NewClient("C", "x", got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", "z", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Advertise("adv", filter.MustParse(`svc = "s"`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(6 * lat)
+	base := filter.MustNew(
+		filter.EQ("svc", message.String("s")),
+		filter.EQ("loc", message.String("$myloc")),
+	)
+	err = consumer.Subscribe(SubSpec{
+		ID: "s", Filter: base,
+		// Delta well below the per-hop delay: the schedule widens every
+		// hop, so neighbors of the current location are always covered.
+		Loc: &LocSpec{Graph: "fig7", Attr: "loc", Start: "a", Delta: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(8 * lat) // initial subscription propagates
+
+	// Move a -> b and publish for b IMMEDIATELY. The LocUpdate is still
+	// in flight, but the widened upstream filters already cover b, so the
+	// event arrives — no blackout.
+	if err := consumer.SetLocation("s", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Publish(message.New(map[string]message.Value{
+		"svc": message.String("s"),
+		"loc": message.String("b"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "instant post-move delivery", func() bool { return got.len() == 1 })
+}
+
+// TestMoveToRejectsLocDep documents the paper's future-work boundary:
+// physically roaming a location-dependent subscription is rejected.
+func TestMoveToRejectsLocDep(t *testing.T) {
+	net, ids := newChain(t, 2)
+	if err := net.RegisterGraph("fig7", location.FigureSeven()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.NewClient("C", ids[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Subscribe(SubSpec{
+		ID:     "s",
+		Filter: filter.MustParse(`loc = "$myloc"`),
+		Loc:    &LocSpec{Graph: "fig7", Attr: "loc", Start: "a", Delta: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MoveTo(ids[1]); err != ErrLocDepMove {
+		t.Errorf("MoveTo with locdep sub = %v, want ErrLocDepMove", err)
+	}
+}
+
+// TestClientAPIErrors covers the client-facing error paths.
+func TestClientAPIErrors(t *testing.T) {
+	net, ids := newChain(t, 2)
+	c, err := net.NewClient("C", ids[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.NewClient("X", "nope", nil); err == nil {
+		t.Error("attach at unknown broker should fail")
+	}
+	f := filter.MustParse(`a = 1`)
+	if err := c.Subscribe(SubSpec{ID: "s", Filter: f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(SubSpec{ID: "s", Filter: f}); err == nil {
+		t.Error("duplicate SubID should fail")
+	}
+	if err := c.Unsubscribe("ghost"); err == nil {
+		t.Error("unsubscribe unknown should fail")
+	}
+	if err := c.SetLocation("s", "a"); err == nil {
+		t.Error("SetLocation on non-locdep sub should fail")
+	}
+	if _, err := c.Location("s"); err == nil {
+		t.Error("Location on non-locdep sub should fail")
+	}
+	if c.LastSeq("ghost") != 0 {
+		t.Error("LastSeq of unknown sub should be 0")
+	}
+	if c.At() != ids[0] {
+		t.Errorf("At = %s", c.At())
+	}
+	if err := c.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if c.At() != "" {
+		t.Error("At after detach should be empty")
+	}
+	if err := c.Detach(); err != ErrDetached {
+		t.Errorf("double detach = %v", err)
+	}
+	if err := c.Publish(message.New(nil)); err != ErrDetached {
+		t.Errorf("publish while detached = %v", err)
+	}
+	if err := c.Subscribe(SubSpec{ID: "s2", Filter: f}); err != ErrDetached {
+		t.Errorf("subscribe while detached = %v", err)
+	}
+	if err := c.Advertise("a", f); err != ErrDetached {
+		t.Errorf("advertise while detached = %v", err)
+	}
+	// Unsubscribe of a known sub while detached reports detachment.
+	if err := c.Unsubscribe("s"); err != ErrDetached {
+		t.Errorf("unsubscribe while detached = %v", err)
+	}
+}
+
+// TestNetworkTopologyInvariants checks the acyclicity guard and setup
+// errors.
+func TestNetworkTopologyInvariants(t *testing.T) {
+	net := NewNetwork()
+	t.Cleanup(net.Close)
+	net.MustAddBroker("a")
+	net.MustAddBroker("b")
+	net.MustAddBroker("c")
+	if _, err := net.AddBroker("a"); err == nil {
+		t.Error("duplicate broker should fail")
+	}
+	if err := net.Connect("a", "zz", 0); err == nil {
+		t.Error("connect to unknown should fail")
+	}
+	if err := net.Connect("zz", "a", 0); err == nil {
+		t.Error("connect from unknown should fail")
+	}
+	net.MustConnect("a", "b", 0)
+	net.MustConnect("b", "c", 0)
+	if err := net.Connect("a", "c", 0); err == nil {
+		t.Error("closing a cycle must be rejected (acyclic overlay)")
+	}
+	if _, err := net.Broker("nope"); err == nil {
+		t.Error("unknown broker lookup should fail")
+	}
+}
+
+// TestNetworkCounters checks that link traffic is categorized and counted.
+func TestNetworkCounters(t *testing.T) {
+	net, ids := newChain(t, 3)
+	var got collector
+	consumer, err := net.NewClient("C", ids[0], got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", ids[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`a = 1`)
+	if err := consumer.Subscribe(SubSpec{ID: "s", Filter: f}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	if err := producer.Publish(message.New(map[string]message.Value{"a": message.Int(1)})); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	c := net.Counter()
+	if c.Total() == 0 {
+		t.Fatal("no messages counted")
+	}
+	if c.Get(2) == 0 { // CategoryAdmin: the subscription crossing links
+		t.Error("no admin messages counted")
+	}
+	if c.Get(1) != 2 { // CategoryNotification: publish crossed 2 links
+		t.Errorf("notification count = %d, want 2", c.Get(1))
+	}
+}
+
+// TestCloseIsIdempotentAndOpsFail verifies behavior after Close.
+func TestCloseIsIdempotentAndOpsFail(t *testing.T) {
+	net := NewNetwork()
+	net.MustAddBroker("a")
+	net.Close()
+	net.Close()
+	if _, err := net.AddBroker("b"); err != ErrClosed {
+		t.Errorf("AddBroker after close = %v", err)
+	}
+	if err := net.Connect("a", "b", 0); err != ErrClosed {
+		t.Errorf("Connect after close = %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// TestSenderFIFOOrdering verifies the end-to-end sender-FIFO requirement
+// of Sections 2.2 and 3.2: for each producer, the consumer observes that
+// producer's notifications in publication order, even when several
+// producers interleave across different path lengths.
+func TestSenderFIFOOrdering(t *testing.T) {
+	net := NewNetwork()
+	t.Cleanup(net.Close)
+	ids, err := net.BuildChain("b", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got collector
+	consumer, err := net.NewClient("C", ids[0], got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`k = "v"`)
+	if err := consumer.Subscribe(SubSpec{ID: "s", Filter: f}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	// Three producers at different distances from the consumer.
+	producers := make([]*Client, 3)
+	for i, at := range []wire.BrokerID{ids[1], ids[2], ids[3]} {
+		p, err := net.NewClient(wire.ClientID(fmt.Sprintf("P%d", i)), at, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		producers[i] = p
+	}
+
+	const perProducer = 20
+	for round := 0; round < perProducer; round++ {
+		for pi, p := range producers {
+			err := p.Publish(message.New(map[string]message.Value{
+				"k":   message.String("v"),
+				"src": message.Int(int64(pi)),
+				"n":   message.Int(int64(round)),
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, "all deliveries", func() bool {
+		return got.len() == perProducer*len(producers)
+	})
+
+	// Per-producer order must be preserved.
+	last := map[int64]int64{0: -1, 1: -1, 2: -1}
+	for _, e := range got.snapshot() {
+		src, _ := e.Notification.Get("src")
+		n, _ := e.Notification.Get("n")
+		if n.IntVal() != last[src.IntVal()]+1 {
+			t.Fatalf("producer %d FIFO violated: got %d after %d",
+				src.IntVal(), n.IntVal(), last[src.IntVal()])
+		}
+		last[src.IntVal()] = n.IntVal()
+	}
+	// Delivery sequence numbers are strictly increasing without gaps.
+	for i, e := range got.snapshot() {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("delivery seq gap at %d: %d", i, e.Seq)
+		}
+	}
+}
+
+// TestTwoConsumersIndependentStreams checks that per-subscription sequence
+// numbering is independent across consumers and subscriptions.
+func TestTwoConsumersIndependentStreams(t *testing.T) {
+	net := NewNetwork()
+	t.Cleanup(net.Close)
+	ids, err := net.BuildChain("b", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotA, gotB collector
+	ca, err := net.NewClient("A", ids[0], gotA.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := net.NewClient("B", ids[1], gotB.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", ids[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAll := filter.MustParse(`k = "v"`)
+	fEven := filter.MustParse(`k = "v" && n in [0, 1]`)
+	if err := ca.Subscribe(SubSpec{ID: "all", Filter: fAll}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Subscribe(SubSpec{ID: "some", Filter: fEven}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	for i := int64(0); i < 6; i++ {
+		err := producer.Publish(message.New(map[string]message.Value{
+			"k": message.String("v"),
+			"n": message.Int(i),
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Settle()
+	if gotA.len() != 6 {
+		t.Errorf("A got %d, want 6", gotA.len())
+	}
+	if gotB.len() != 2 {
+		t.Errorf("B got %d, want 2", gotB.len())
+	}
+	for i, e := range gotB.snapshot() {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("B's stream must be numbered independently: %v", e.Seq)
+		}
+	}
+}
+
+// TestOverlappingSubscriptionsOneClient checks that two overlapping
+// subscriptions of one client each receive their own stream.
+func TestOverlappingSubscriptionsOneClient(t *testing.T) {
+	net := NewNetwork()
+	t.Cleanup(net.Close)
+	ids, err := net.BuildChain("b", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got collector
+	c, err := net.NewClient("C", ids[0], got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(SubSpec{ID: "wide", Filter: filter.MustParse(`p in [0, 100]`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(SubSpec{ID: "narrow", Filter: filter.MustParse(`p in [40, 60]`)}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := net.NewClient("P", ids[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	if err := p.Publish(message.New(map[string]message.Value{"p": message.Int(50)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Publish(message.New(map[string]message.Value{"p": message.Int(10)})); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	counts := map[wire.SubID]int{}
+	for _, e := range got.snapshot() {
+		counts[e.SubID]++
+	}
+	if counts["wide"] != 2 || counts["narrow"] != 1 {
+		t.Errorf("per-subscription delivery counts = %v, want wide:2 narrow:1", counts)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// presubTopology builds a star-with-arms overlay where the producer sits
+// far from both the consumer's old and new border broker, so that without
+// pre-subscription the relocation subscription has several hops to travel.
+func presubTopology(t *testing.T) (*Network, []wire.BrokerID) {
+	t.Helper()
+	net := NewNetwork()
+	t.Cleanup(net.Close)
+	// old - m1 - hub - m2 - new ;  producer hangs off hub.
+	ids := []wire.BrokerID{"old", "m1", "hub", "m2", "new", "prod"}
+	for _, id := range ids {
+		net.MustAddBroker(id)
+	}
+	net.MustConnect("old", "m1", 0)
+	net.MustConnect("m1", "hub", 0)
+	net.MustConnect("hub", "m2", 0)
+	net.MustConnect("m2", "new", 0)
+	net.MustConnect("hub", "prod", 0)
+	return net, ids
+}
+
+// runHandoff performs the same roam with and without pre-subscription and
+// returns the exact event stream plus the admin traffic spent during the
+// move phase.
+func runHandoff(t *testing.T, presub bool) (events []Event, moveAdmin uint64) {
+	t.Helper()
+	net, _ := presubTopology(t)
+	var got collector
+	consumer, err := net.NewClient("C", "old", got.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", "prod", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`k = "v"`)
+	if err := producer.Advertise("adv", f); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	if err := consumer.Subscribe(SubSpec{
+		ID: "s", Filter: f, Mobile: true, Presubscribe: presub,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	pub := func(n int64) {
+		t.Helper()
+		if err := producer.Publish(message.New(map[string]message.Value{
+			"k": message.String("v"), "n": message.Int(n),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub(1)
+	net.Settle()
+	if err := consumer.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	pub(2)
+	pub(3)
+	net.Settle()
+
+	before := net.Counter().Get(metrics.CategoryAdmin)
+	if err := consumer.MoveTo("new"); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	moveAdmin = net.Counter().Get(metrics.CategoryAdmin) - before
+	pub(4)
+	net.Settle()
+	return got.snapshot(), moveAdmin
+}
+
+// TestPresubscribeHandoff verifies that pre-subscription keeps the
+// exactly-once guarantee while spending less subscription traffic at
+// handoff time (the junction is the new border broker itself).
+func TestPresubscribeHandoff(t *testing.T) {
+	plain, plainAdmin := runHandoff(t, false)
+	warm, warmAdmin := runHandoff(t, true)
+
+	check := func(name string, evs []Event) {
+		t.Helper()
+		if len(evs) != 4 {
+			t.Fatalf("%s: delivered %d of 4", name, len(evs))
+		}
+		for i, e := range evs {
+			if e.Seq != uint64(i+1) {
+				t.Fatalf("%s: seq[%d] = %d", name, i, e.Seq)
+			}
+		}
+	}
+	check("plain", plain)
+	check("presubscribed", warm)
+
+	// The warm handoff must not spend more admin traffic than the cold
+	// one; on this topology it saves the relocation subscription's travel
+	// toward the junction.
+	if warmAdmin >= plainAdmin {
+		t.Errorf("pre-subscription did not reduce handoff admin traffic: warm=%d cold=%d",
+			warmAdmin, plainAdmin)
+	}
+}
+
+// TestPresubscribePlantsEntriesEverywhere checks the propagation policy
+// itself: with pre-subscription every broker holds the client entry, even
+// off the consumer-producer paths.
+func TestPresubscribePlantsEntriesEverywhere(t *testing.T) {
+	net, ids := presubTopology(t)
+	consumer, err := net.NewClient("C", "old", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewClient("P", "prod", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`k = "v"`)
+	if err := producer.Advertise("adv", f); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	if err := consumer.Subscribe(SubSpec{ID: "s", Filter: f, Presubscribe: true}); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	for _, id := range ids {
+		b, err := net.Broker(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if subs, _ := b.TableSizes(); subs == 0 {
+			t.Errorf("broker %s has no entry despite pre-subscription", id)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Topology builders: convenience constructors for the overlay shapes used
+// throughout the paper's discussion and this repository's experiments. All
+// of them produce acyclic connected overlays.
+
+// BuildChain creates brokers named prefix1 … prefixN connected in a line
+// and returns their IDs in order.
+func (n *Network) BuildChain(prefix string, count int, latency time.Duration) ([]wire.BrokerID, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("core: chain needs at least 1 broker, got %d", count)
+	}
+	ids := make([]wire.BrokerID, count)
+	for i := 0; i < count; i++ {
+		ids[i] = wire.BrokerID(fmt.Sprintf("%s%d", prefix, i+1))
+		if _, err := n.AddBroker(ids[i]); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			if err := n.Connect(ids[i-1], ids[i], latency); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ids, nil
+}
+
+// BuildStar creates a hub broker with count leaf brokers attached and
+// returns (hub, leaves).
+func (n *Network) BuildStar(prefix string, count int, latency time.Duration) (wire.BrokerID, []wire.BrokerID, error) {
+	hub := wire.BrokerID(prefix + "-hub")
+	if _, err := n.AddBroker(hub); err != nil {
+		return "", nil, err
+	}
+	leaves := make([]wire.BrokerID, count)
+	for i := 0; i < count; i++ {
+		leaves[i] = wire.BrokerID(fmt.Sprintf("%s-leaf%d", prefix, i+1))
+		if _, err := n.AddBroker(leaves[i]); err != nil {
+			return "", nil, err
+		}
+		if err := n.Connect(hub, leaves[i], latency); err != nil {
+			return "", nil, err
+		}
+	}
+	return hub, leaves, nil
+}
+
+// BuildBinaryTree creates a complete binary tree of the given depth
+// (depth 0 is a single root). It returns all broker IDs in breadth-first
+// order; the leaves are the last 2^depth entries.
+func (n *Network) BuildBinaryTree(prefix string, depth int, latency time.Duration) ([]wire.BrokerID, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("core: negative tree depth %d", depth)
+	}
+	total := 1<<(depth+1) - 1
+	ids := make([]wire.BrokerID, total)
+	for i := 0; i < total; i++ {
+		ids[i] = wire.BrokerID(fmt.Sprintf("%s%d", prefix, i))
+		if _, err := n.AddBroker(ids[i]); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			parent := (i - 1) / 2
+			if err := n.Connect(ids[parent], ids[i], latency); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ids, nil
+}
+
+// Leaves returns the leaf IDs of a tree built by BuildBinaryTree.
+func TreeLeaves(ids []wire.BrokerID, depth int) []wire.BrokerID {
+	leafCount := 1 << depth
+	return ids[len(ids)-leafCount:]
+}

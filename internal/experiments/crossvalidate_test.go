@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// TestFig9ModelCrossValidation validates the Figure 9 counting model
+// against the live overlay on a small instance: the same workload is run
+// under flooding and under the location-dependent algorithm, and the
+// measured link-message totals must show the same ordering and a
+// comparable savings factor as the model predicts.
+func TestFig9ModelCrossValidation(t *testing.T) {
+	const (
+		depth    = 2  // 7 brokers, 6 links
+		gridSide = 5  // 25 locations
+		rounds   = 20 // publications per producer leaf
+	)
+	grid := location.Grid(gridSide, gridSide)
+
+	run := func(strategy routing.Strategy, locdep bool) uint64 {
+		t.Helper()
+		net := core.NewNetwork(core.WithStrategy(strategy), core.WithProcDelay(time.Hour))
+		defer net.Close()
+		ids, err := net.BuildBinaryTree("n", depth, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.RegisterGraph("grid", grid); err != nil {
+			t.Fatal(err)
+		}
+		leaves := core.TreeLeaves(ids, depth)
+		consumerAt, producersAt := leaves[0], leaves[1:]
+
+		consumer, err := net.NewClient("C", consumerAt, func(core.Event) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		producers := make([]*core.Client, len(producersAt))
+		advFilter := filter.MustParse(`svc = "s"`)
+		for i, at := range producersAt {
+			p, err := net.NewClient(wire.ClientID(fmt.Sprintf("P%d", i)), at, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Advertise("adv", advFilter); err != nil {
+				t.Fatal(err)
+			}
+			producers[i] = p
+		}
+		net.Settle()
+
+		start := location.GridName(2, 2)
+		if locdep {
+			base := filter.MustNew(
+				filter.EQ("svc", message.String("s")),
+				filter.EQ("loc", message.String("$myloc")),
+			)
+			err = consumer.Subscribe(core.SubSpec{
+				ID: "s", Filter: base,
+				Loc: &core.LocSpec{Graph: "grid", Attr: "loc", Start: start, Delta: time.Second},
+			})
+		} else {
+			// Flooding needs only client-side interest.
+			err = consumer.Subscribe(core.SubSpec{
+				ID:     "s",
+				Filter: filter.MustParse(`svc = "s"`),
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Settle()
+		baseCount := net.Counter().Get(metrics.CategoryNotification)
+
+		// Uniform workload over the location grid, identical for both
+		// systems (deterministic round-robin over cells).
+		cells := grid.Locations()
+		k := 0
+		for r := 0; r < rounds; r++ {
+			for _, p := range producers {
+				cell := cells[k%len(cells)]
+				k++
+				err := p.Publish(message.New(map[string]message.Value{
+					"svc": message.String("s"),
+					"loc": message.String(string(cell)),
+				}))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		net.Settle()
+		return net.Counter().Get(metrics.CategoryNotification) - baseCount
+	}
+
+	flooding := run(routing.Flooding, false)
+	locdep := run(routing.Covering, true)
+	if flooding == 0 || locdep == 0 {
+		t.Fatalf("no traffic measured: flooding=%d locdep=%d", flooding, locdep)
+	}
+	if locdep >= flooding {
+		t.Fatalf("live overlay contradicts the model: locdep %d >= flooding %d", locdep, flooding)
+	}
+	factor := float64(flooding) / float64(locdep)
+	// The model (same parameters, maximal widening since ProcDelay is
+	// huge: ploc(x,1) = 5 of 25 cells) predicts roughly a 3–6x saving;
+	// accept a generous band around it.
+	if factor < 2 || factor > 12 {
+		t.Errorf("savings factor %.1f outside the model's plausible band [2, 12]", factor)
+	}
+	t.Logf("flooding=%d locdep=%d factor=%.2f", flooding, locdep, factor)
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/location"
+)
+
+// set is a test helper building a location set.
+func set(ls ...location.Location) location.Set { return location.NewSet(ls...) }
+
+// TestTable1MatchesPaper pins every cell of Table 1 to the paper's values.
+func TestTable1MatchesPaper(t *testing.T) {
+	tb := Table1()
+	want := map[int]map[location.Location]location.Set{
+		0: {"a": set("a"), "b": set("b"), "c": set("c"), "d": set("d")},
+		1: {"a": set("a", "b", "c"), "b": set("a", "b", "d"), "c": set("a", "c", "d"), "d": set("b", "c", "d")},
+		2: {"a": set("a", "b", "c", "d"), "b": set("a", "b", "c", "d"), "c": set("a", "b", "c", "d"), "d": set("a", "b", "c", "d")},
+		3: {"a": set("a", "b", "c", "d"), "b": set("a", "b", "c", "d"), "c": set("a", "b", "c", "d"), "d": set("a", "b", "c", "d")},
+	}
+	for tt, row := range want {
+		for x, exp := range row {
+			got := tb.Cells[tt][x]
+			if !got.Equal(exp) {
+				t.Errorf("Table1 ploc(%s, %d) = %s, want %s", x, tt, got, exp)
+			}
+		}
+	}
+}
+
+// TestTable2MatchesPaper pins the filter values of Table 2.
+func TestTable2MatchesPaper(t *testing.T) {
+	res := Table2()
+	if len(res.Rows) != 3 {
+		t.Fatalf("Table2 has %d rows, want 3", len(res.Rows))
+	}
+	full := set("a", "b", "c", "d")
+	want := [][]location.Set{
+		// t=0: F0..F3 for location a
+		{set("a"), set("a", "b", "c"), full, full},
+		// t=1: location b
+		{set("b"), set("a", "b", "d"), full, full},
+		// t=2: location d
+		{set("d"), set("b", "c", "d"), full, full},
+	}
+	for tt, row := range want {
+		for i, exp := range row {
+			got := res.Rows[tt].Filters[i]
+			if !got.Equal(exp) {
+				t.Errorf("Table2 F%d at t=%d = %s, want %s", i, tt, got, exp)
+			}
+		}
+	}
+}
+
+// TestTable3MatchesPaper pins the two trivial instantiations.
+func TestTable3MatchesPaper(t *testing.T) {
+	top, bottom := Table3()
+	// Top: global sub/unsub — row t >= 1 is always ploc(x, 1).
+	for _, tt := range []int{1, 2, 3} {
+		if got := top.Cells[tt]["a"]; !got.Equal(set("a", "b", "c")) {
+			t.Errorf("Table3 top ploc(a, %d) = %s, want {a, b, c}", tt, got)
+		}
+		if got := top.Cells[tt]["d"]; !got.Equal(set("b", "c", "d")) {
+			t.Errorf("Table3 top ploc(d, %d) = %s, want {b, c, d}", tt, got)
+		}
+	}
+	// Bottom: flooding — row t >= 1 is the full universe.
+	full := set("a", "b", "c", "d")
+	for _, tt := range []int{1, 2, 3} {
+		for _, x := range []location.Location{"a", "b", "c", "d"} {
+			if got := bottom.Cells[tt][x]; !got.Equal(full) {
+				t.Errorf("Table3 bottom ploc(%s, %d) = %s, want full set", x, tt, got)
+			}
+		}
+	}
+	// Row 0 is exact in both.
+	for _, x := range []location.Location{"a", "b", "c", "d"} {
+		if got := top.Cells[0][x]; !got.Equal(set(x)) {
+			t.Errorf("Table3 top ploc(%s, 0) = %s, want {%s}", x, got, x)
+		}
+		if got := bottom.Cells[0][x]; !got.Equal(set(x)) {
+			t.Errorf("Table3 bottom ploc(%s, 0) = %s, want {%s}", x, got, x)
+		}
+	}
+}
+
+// TestTable4MatchesPaper pins the adaptive schedule and the resulting ploc
+// table for Δ = 100ms, δ = (120, 50, 50, 20) ms.
+func TestTable4MatchesPaper(t *testing.T) {
+	res := Table4(DefaultTable4Config())
+	wantSteps := []int{0, 1, 1, 2, 2}
+	if len(res.Schedule.Steps) != len(wantSteps) {
+		t.Fatalf("schedule has %d steps, want %d", len(res.Schedule.Steps), len(wantSteps))
+	}
+	for i, w := range wantSteps {
+		if res.Schedule.Steps[i] != w {
+			t.Errorf("step s%d = %d, want %d (schedule %s)", i, res.Schedule.Steps[i], w, res.Schedule)
+		}
+	}
+	// Paper's Table 4: rows t = 1 and t = 2 both show ploc(x, 1); row
+	// t = 3 shows the full set.
+	if got := res.Table.Cells[1]["a"]; !got.Equal(set("a", "b", "c")) {
+		t.Errorf("Table4 row1 x=a = %s, want {a, b, c}", got)
+	}
+	if got := res.Table.Cells[2]["b"]; !got.Equal(set("a", "b", "d")) {
+		t.Errorf("Table4 row2 x=b = %s, want {a, b, d}", got)
+	}
+	full := set("a", "b", "c", "d")
+	if got := res.Table.Cells[3]["c"]; !got.Equal(full) {
+		t.Errorf("Table4 row3 x=c = %s, want full set", got)
+	}
+}
+
+// TestFig3BlackoutShape checks the 2·t_d blackout under simple routing and
+// its absence under flooding.
+func TestFig3BlackoutShape(t *testing.T) {
+	res := Fig3(DefaultFig3Config())
+	td := res.Simple.Td
+
+	// a) Simple routing: blackout within [2td, 2td + publish interval].
+	blackout := res.Simple.Blackout()
+	if blackout < 2*td || blackout > 2*td+res.Simple.Config.PublishInterval {
+		t.Errorf("simple-routing blackout = %v, want ≈ 2·t_d = %v", blackout, 2*td)
+	}
+	// b) Flooding: first delivery within one publish interval of the
+	// subscription (events already in flight).
+	fb := res.Flooding.Blackout()
+	if fb < 0 || fb > res.Flooding.Config.PublishInterval {
+		t.Errorf("flooding blackout = %v, want ≈ 0", fb)
+	}
+	// b) sees events published up to t_d before the subscription.
+	earliest := res.Flooding.EarliestPublishedDelivered()
+	wantEarliest := res.Flooding.Config.SubscribeAt - td
+	if earliest > wantEarliest+res.Flooding.Config.PublishInterval {
+		t.Errorf("flooding earliest published = %v, want ≈ %v", earliest, wantEarliest)
+	}
+	// Simple routing must lose every event published before the
+	// subscription reached the producer.
+	if res.Simple.EarliestPublishedDelivered() < res.Simple.Config.SubscribeAt+td {
+		t.Errorf("simple routing delivered an event published before the subscription arrived")
+	}
+}
+
+// TestFig2NaiveVsProtocol checks that the naive handoff exhibits both
+// failure modes and that the protocol removes them.
+func TestFig2NaiveVsProtocol(t *testing.T) {
+	res := Fig2(DefaultFig2Config())
+	if res.Naive.Missed == 0 {
+		t.Error("naive roaming should miss notifications (Figure 2 right)")
+	}
+	if res.Naive.Duplicates == 0 {
+		t.Error("naive roaming should duplicate notifications (Figure 2 left)")
+	}
+	if res.Protocol.Missed != 0 || res.Protocol.Duplicates != 0 {
+		t.Errorf("protocol must be exactly-once, got missed=%d dup=%d",
+			res.Protocol.Missed, res.Protocol.Duplicates)
+	}
+	if res.Protocol.DeliveredOnce() != res.Protocol.Published {
+		t.Errorf("protocol delivered %d of %d", res.Protocol.DeliveredOnce(), res.Protocol.Published)
+	}
+	if res.Protocol.OnceReplay == 0 {
+		t.Error("protocol run should exercise the replay path")
+	}
+}
+
+// TestFig9Shape checks the qualitative shape of Figure 9: flooding on top,
+// Δ = 1s in the middle, Δ = 10s at the bottom, with order-of-magnitude
+// separations, monotone growth, and a log-scale-worthy spread.
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(DefaultFig9Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []int{1, 10, 50, 100} {
+		f, d1, d10 := res.Flooding.At(tt), res.Delta1.At(tt), res.Delta10.At(tt)
+		if !(f > d1 && d1 > d10) {
+			t.Errorf("t=%d: want flooding > Δ1 > Δ10, got %g, %g, %g", tt, f, d1, d10)
+		}
+	}
+	// The paper's fraction of messages saved is "considerable": at least
+	// ~5x for the fast consumer and ~20x for the slow one.
+	if factor := res.Flooding.At(100) / res.Delta1.At(100); factor < 5 {
+		t.Errorf("flooding/Δ1 factor = %.2f, want >= 5", factor)
+	}
+	if factor := res.Flooding.At(100) / res.Delta10.At(100); factor < 20 {
+		t.Errorf("flooding/Δ10 factor = %.2f, want >= 20", factor)
+	}
+	// Monotone growth.
+	for i := 1; i < len(res.Delta1.Points); i++ {
+		if res.Delta1.Points[i].Total < res.Delta1.Points[i-1].Total {
+			t.Fatalf("Δ1 series not monotone at %d", i)
+		}
+	}
+}
+
+// TestFig8Schedule checks the Figure 8 walkthrough values.
+func TestFig8Schedule(t *testing.T) {
+	res := Fig8(DefaultTable4Config())
+	if got := res.Schedule.Steps; len(got) != 5 || got[1] != 1 || got[2] != 1 || got[3] != 2 {
+		t.Errorf("Fig8 schedule steps = %v, want [0 1 1 2 2]", got)
+	}
+	// Marks must include the paper's scale points 100, 120, 170, 200, 220.
+	wantMarks := map[time.Duration]bool{
+		100 * time.Millisecond: false,
+		120 * time.Millisecond: false,
+		170 * time.Millisecond: false,
+		200 * time.Millisecond: false,
+		220 * time.Millisecond: false,
+	}
+	for _, m := range res.Marks {
+		if _, ok := wantMarks[m.At]; ok {
+			wantMarks[m.At] = true
+		}
+	}
+	for at, seen := range wantMarks {
+		if !seen {
+			t.Errorf("Fig8 scale misses mark at %v", at)
+		}
+	}
+}
+
+// TestRegistryRunsAll smoke-tests every registered experiment.
+func TestRegistryRunsAll(t *testing.T) {
+	out, err := Run("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range Names() {
+		if !strings.Contains(out, "=== "+n+" ===") {
+			t.Errorf("combined output misses experiment %s", n)
+		}
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Fig2Result compares naive roaming with the relocation protocol under the
+// Figure 2 scenario.
+type Fig2Result struct {
+	Naive    sim.RoamingResult
+	Protocol sim.RoamingResult
+}
+
+// DefaultFig2Config returns a handoff scenario that produces both failure
+// modes of Figure 2: the path to the new broker is slower than to the old
+// one (duplicates) and there is a handoff gap (losses).
+func DefaultFig2Config() sim.RoamingConfig {
+	return sim.RoamingConfig{
+		DelayToOld:      10 * time.Millisecond,
+		DelayToNew:      40 * time.Millisecond,
+		DelayJitter:     80 * time.Millisecond,
+		MoveAt:          500 * time.Millisecond,
+		HandoffGap:      100 * time.Millisecond,
+		PublishInterval: 5 * time.Millisecond,
+		Horizon:         time.Second,
+	}
+}
+
+// Fig2 reproduces Figure 2: with naive unsubscribe/subscribe a roaming
+// client misses notifications and can receive duplicates; the relocation
+// protocol delivers everything exactly once.
+func Fig2(cfg sim.RoamingConfig) Fig2Result {
+	naive := cfg
+	naive.Protocol = false
+	proto := cfg
+	proto.Protocol = true
+	return Fig2Result{
+		Naive:    sim.RunRoaming(naive),
+		Protocol: sim.RunRoaming(proto),
+	}
+}
+
+// Render prints the comparison.
+func (r Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 2. Missing notifications in a flooding scenario.\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s\n", "variant", "published", "once", "missed", "duplicate")
+	fmt.Fprintf(&b, "%-22s %10d %10d %10d %10d\n", "naive unsub/sub",
+		r.Naive.Published, r.Naive.DeliveredOnce(), r.Naive.Missed, r.Naive.Duplicates)
+	fmt.Fprintf(&b, "%-22s %10d %10d %10d %10d\n", "relocation protocol",
+		r.Protocol.Published, r.Protocol.DeliveredOnce(), r.Protocol.Missed, r.Protocol.Duplicates)
+	fmt.Fprintf(&b, "  (replayed via virtual counterpart: %d)\n", r.Protocol.OnceReplay)
+	return b.String()
+}
+
+// Fig3Result contrasts the blackout behavior of simple routing and
+// flooding with client-side filtering.
+type Fig3Result struct {
+	Simple   sim.BlackoutResult
+	Flooding sim.BlackoutResult
+}
+
+// DefaultFig3Config returns the chain scenario used for Figure 3: a
+// 4-link chain with 25ms links (t_d = 100ms).
+func DefaultFig3Config() sim.BlackoutConfig {
+	return sim.BlackoutConfig{
+		Hops:            4,
+		LinkDelay:       25 * time.Millisecond,
+		PublishInterval: 10 * time.Millisecond,
+		SubscribeAt:     300 * time.Millisecond,
+		Horizon:         time.Second,
+	}
+}
+
+// Fig3 reproduces Figure 3: simple routing shows a blackout of 2·t_d after
+// subscribing; flooding with client-side filtering delivers events
+// published up to t_d before the subscription.
+func Fig3(cfg sim.BlackoutConfig) Fig3Result {
+	simpleCfg := cfg
+	simpleCfg.Mode = sim.ModeSimpleRouting
+	floodCfg := cfg
+	floodCfg.Mode = sim.ModeFloodingClientSide
+	return Fig3Result{
+		Simple:   sim.RunBlackout(simpleCfg),
+		Flooding: sim.RunBlackout(floodCfg),
+	}
+}
+
+// Render prints the comparison.
+func (r Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3. Blackout period after subscribing with simple routing (a)\n")
+	b.WriteString("        and flooding with client-side filtering (b).\n")
+	td := r.Simple.Td
+	fmt.Fprintf(&b, "t_d = %v, subscription at t = %v\n", td, r.Simple.Config.SubscribeAt)
+	fmt.Fprintf(&b, "%-26s %14s %20s %24s\n", "variant", "blackout", "first delivery at", "earliest published seen")
+	fmt.Fprintf(&b, "%-26s %14v %20v %24v\n", "a) simple routing",
+		r.Simple.Blackout(), r.Simple.FirstDeliveryAt(), r.Simple.EarliestPublishedDelivered())
+	fmt.Fprintf(&b, "%-26s %14v %20v %24v\n", "b) flooding+client filter",
+		r.Flooding.Blackout(), r.Flooding.FirstDeliveryAt(), r.Flooding.EarliestPublishedDelivered())
+	fmt.Fprintf(&b, "expected: a) blackout ≈ 2·t_d = %v, b) sees events from ≈ t_sub − t_d = %v\n",
+		2*td, r.Simple.Config.SubscribeAt-td)
+	return b.String()
+}
+
+// Fig9Result holds the three cumulative message-count series of Figure 9.
+type Fig9Result struct {
+	Flooding sim.Series
+	Delta1   sim.Series
+	Delta10  sim.Series
+}
+
+// DefaultFig9Config returns the substituted network setting documented in
+// DESIGN.md: a depth-5 binary broker tree (63 brokers, 62 links), a
+// 100-location ring, 1000 notifications/s published uniformly over
+// locations, δ = 400ms per hop (wireless-grade subscription processing, so
+// the fast consumer forces real widening), horizon 100s.
+func DefaultFig9Config() sim.Fig9Config {
+	return sim.Fig9Config{
+		TreeDepth: 5,
+		Locations: 100,
+		Rate:      1000,
+		HopDelay:  400 * time.Millisecond,
+		Horizon:   100 * time.Second,
+	}
+}
+
+// Fig9 reproduces Figure 9: total messages for flooding and the new
+// algorithm with Δ = 1s and Δ = 10s over 100 seconds.
+func Fig9(cfg sim.Fig9Config) (Fig9Result, error) {
+	flood := cfg
+	flood.Algorithm = sim.AlgFlooding
+	flood.Delta = time.Second // unused by flooding
+	d1 := cfg
+	d1.Algorithm = sim.AlgLocDep
+	d1.Delta = time.Second
+	d10 := cfg
+	d10.Algorithm = sim.AlgLocDep
+	d10.Delta = 10 * time.Second
+
+	var res Fig9Result
+	var err error
+	if res.Flooding, err = sim.RunFig9(flood); err != nil {
+		return Fig9Result{}, err
+	}
+	if res.Delta1, err = sim.RunFig9(d1); err != nil {
+		return Fig9Result{}, err
+	}
+	if res.Delta10, err = sim.RunFig9(d10); err != nil {
+		return Fig9Result{}, err
+	}
+	return res, nil
+}
+
+// Render prints sampled values and an ASCII log-scale plot of the three
+// series.
+func (r Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9. Total number of messages generated for flooding and two\n")
+	b.WriteString("        scenarios of the new algorithm (Δ = 1s and Δ = 10s); log-scale y.\n")
+	samples := []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	fmt.Fprintf(&b, "%-6s %16s %16s %16s\n", "t[s]", "flooding", "new alg Δ=1", "new alg Δ=10")
+	for _, t := range samples {
+		fmt.Fprintf(&b, "%-6d %16.3g %16.3g %16.3g\n",
+			t, r.Flooding.At(t), r.Delta1.At(t), r.Delta10.At(t))
+	}
+	fmt.Fprintf(&b, "factor at t=100: flooding/Δ=1 = %.1f, flooding/Δ=10 = %.1f\n",
+		r.Flooding.At(100)/r.Delta1.At(100), r.Flooding.At(100)/r.Delta10.At(100))
+	b.WriteString(r.plot(samples))
+	return b.String()
+}
+
+// plot draws a coarse ASCII chart with a logarithmic y axis.
+func (r Fig9Result) plot(samples []int) string {
+	const rows = 12
+	maxV := math.Log10(math.Max(r.Flooding.Final(), 10))
+	minV := math.Log10(math.Max(math.Min(r.Delta10.At(1), r.Delta1.At(1)), 1))
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(samples)*3))
+	}
+	put := func(s sim.Series, mark byte) {
+		for col, t := range samples {
+			v := s.At(t)
+			if v <= 0 {
+				continue
+			}
+			frac := (math.Log10(v) - minV) / (maxV - minV)
+			row := rows - 1 - int(frac*float64(rows-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= rows {
+				row = rows - 1
+			}
+			grid[row][col*3+1] = mark
+		}
+	}
+	put(r.Flooding, 'F')
+	put(r.Delta1, '1')
+	put(r.Delta10, 'X')
+	var b strings.Builder
+	b.WriteString("log10(total messages)  F=flooding  1=Δ1s  X=Δ10s\n")
+	for i, row := range grid {
+		level := maxV - (maxV-minV)*float64(i)/float64(rows-1)
+		fmt.Fprintf(&b, "1e%-4.1f |%s\n", level, string(row))
+	}
+	b.WriteString("       +" + strings.Repeat("-", len(samples)*3) + "\n        ")
+	for _, t := range samples {
+		fmt.Fprintf(&b, "%-3d", t)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

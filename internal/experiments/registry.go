@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run executes the named experiment and returns its rendered artifact.
+// Names: table1, table2, table3, table4, fig2, fig3, fig8, fig9, all.
+func Run(name string) (string, error) {
+	switch name {
+	case "table1":
+		return Table1().Render(), nil
+	case "table2":
+		return Table2().Render(), nil
+	case "table3":
+		top, bottom := Table3()
+		return "Table 3. Values of ploc(x, t) for trivial sub/unsub implementation (top)\n" +
+			"         and flooding with client-side filtering (bottom).\n" +
+			top.Render() + "\n" + bottom.Render(), nil
+	case "table4":
+		res := Table4(DefaultTable4Config())
+		return res.Table.Render() + fmt.Sprintf("derived schedule: %s\n", res.Schedule), nil
+	case "fig2":
+		return Fig2(DefaultFig2Config()).Render(), nil
+	case "fig3":
+		return Fig3(DefaultFig3Config()).Render(), nil
+	case "fig8":
+		return Fig8(DefaultTable4Config()).Render(), nil
+	case "fig9":
+		res, err := Fig9(DefaultFig9Config())
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "all":
+		var b strings.Builder
+		for _, n := range Names() {
+			out, err := Run(n)
+			if err != nil {
+				return "", fmt.Errorf("experiment %s: %w", n, err)
+			}
+			fmt.Fprintf(&b, "=== %s ===\n%s\n", n, out)
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names lists all experiment identifiers in a stable order.
+func Names() []string {
+	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9"}
+	sort.Strings(names)
+	return names
+}

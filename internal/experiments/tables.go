@@ -1,0 +1,246 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Tables 1–4 (ploc values, filter settings, trivial
+// instantiations, adaptive schedule) and Figures 2, 3, 8, and 9 (naive
+// roaming losses, blackout periods, schedule estimation, total message
+// counts). Each experiment returns structured data plus a plain-text
+// rendering shaped like the paper's artifact.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/location"
+	"repro/internal/locfilter"
+)
+
+// PlocTable is the data behind Tables 1, 3, and 4: ploc(x, step(t)) for
+// every location x and time index t.
+type PlocTable struct {
+	Title     string
+	Graph     *location.Graph
+	Times     []int           // the t column
+	StepFor   func(t int) int // maps the time row to the ploc step used
+	Locations []location.Location
+	Cells     map[int]map[location.Location]location.Set
+}
+
+// computePlocTable fills the cell matrix.
+func computePlocTable(title string, g *location.Graph, times []int, stepFor func(int) int) PlocTable {
+	tb := PlocTable{
+		Title:     title,
+		Graph:     g,
+		Times:     times,
+		StepFor:   stepFor,
+		Locations: g.Locations(),
+		Cells:     make(map[int]map[location.Location]location.Set, len(times)),
+	}
+	for _, t := range times {
+		row := make(map[location.Location]location.Set, len(tb.Locations))
+		for _, x := range tb.Locations {
+			row[x] = g.Ploc(x, stepFor(t))
+		}
+		tb.Cells[t] = row
+	}
+	return tb
+}
+
+// Render prints the table in the paper's layout.
+func (tb PlocTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", tb.Title)
+	fmt.Fprintf(&b, "%-4s", "t")
+	for _, x := range tb.Locations {
+		fmt.Fprintf(&b, " %-14s", "x = "+string(x))
+	}
+	b.WriteByte('\n')
+	for _, t := range tb.Times {
+		fmt.Fprintf(&b, "%-4d", t)
+		for _, x := range tb.Locations {
+			fmt.Fprintf(&b, " %-14s", tb.Cells[t][x].String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table1 reproduces Table 1: ploc(x, t) for the Figure 7 movement graph,
+// t = 0 … 3.
+func Table1() PlocTable {
+	return computePlocTable(
+		"Table 1. Values of ploc(x, t) for the example setting.",
+		location.FigureSeven(),
+		[]int{0, 1, 2, 3},
+		func(t int) int { return t },
+	)
+}
+
+// Table3 reproduces Table 3: the two trivial implementations as
+// instantiations of the ploc scheme — global sub/unsub (top: capped at one
+// step) and flooding with client-side filtering (bottom: saturated).
+func Table3() (top, bottom PlocTable) {
+	g := location.FigureSeven()
+	diam := g.Diameter()
+	top = computePlocTable(
+		"ploc(x, t) for global sub/unsub",
+		g,
+		[]int{0, 1, 2, 3},
+		func(t int) int { return locfilter.PolicyTrivialSubUnsub.Apply(t, t, diam) },
+	)
+	bottom = computePlocTable(
+		"ploc(x, t) for flooding",
+		g,
+		[]int{0, 1, 2, 3},
+		func(t int) int { return locfilter.PolicyFlooding.Apply(t, t, diam) },
+	)
+	return top, bottom
+}
+
+// Table4Config carries the concrete timing values of Section 5.3.
+type Table4Config struct {
+	Delta time.Duration
+	Hops  []time.Duration
+}
+
+// DefaultTable4Config returns the paper's example values: Δ = 100ms,
+// δ = (120, 50, 50, 20) ms.
+func DefaultTable4Config() Table4Config {
+	return Table4Config{
+		Delta: 100 * time.Millisecond,
+		Hops: []time.Duration{
+			120 * time.Millisecond,
+			50 * time.Millisecond,
+			50 * time.Millisecond,
+			20 * time.Millisecond,
+		},
+	}
+}
+
+// Table4Result bundles the schedule with the rendered ploc table.
+type Table4Result struct {
+	Schedule locfilter.Schedule
+	Table    PlocTable
+}
+
+// Table4 reproduces Table 4: ploc values under the adaptive schedule for
+// the concrete timing values (steps 0, 1, 1, 2 for F₀ … F₃).
+func Table4(cfg Table4Config) Table4Result {
+	sched := locfilter.ComputeSchedule(cfg.Delta, cfg.Hops)
+	times := make([]int, 0, len(sched.Steps))
+	for i := range sched.Steps {
+		times = append(times, i)
+	}
+	tb := computePlocTable(
+		"Table 4. Values of ploc(x, t) for the example setting with concrete timing values.",
+		location.FigureSeven(),
+		times[:4], // the paper prints rows t = 0 … 3
+		func(t int) int { return sched.Steps[t] },
+	)
+	return Table4Result{Schedule: sched, Table: tb}
+}
+
+// Table2Result is the data behind Table 2: the filter sets F₀ … F₃ along
+// the Figure 6 chain while the consumer follows the itinerary a → b → d.
+type Table2Result struct {
+	Itinerary location.Itinerary
+	Depth     int // number of filters beyond F₀
+	Rows      []Table2Row
+}
+
+// Table2Row is one time step of Table 2.
+type Table2Row struct {
+	T       int
+	Filters []location.Set // index i is Fᵢ
+}
+
+// Table2 reproduces Table 2: Fᵢ(t) = ploc(loc(t), i) for the example
+// setting where a broker needs about one movement step to process a
+// subscription change.
+func Table2() Table2Result {
+	g := location.FigureSeven()
+	it := location.Itinerary{"a", "b", "d"}
+	const depth = 3
+	res := Table2Result{Itinerary: it, Depth: depth}
+	for t := 0; t < len(it); t++ {
+		row := Table2Row{T: t, Filters: make([]location.Set, depth+1)}
+		for i := 0; i <= depth; i++ {
+			row.Filters[i] = g.Ploc(it.At(t), i)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints Table 2 in the paper's layout (F₃ … F₀ left to right).
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2. Values of filters in example setting.\n")
+	fmt.Fprintf(&b, "%-8s", "time t")
+	for i := r.Depth; i >= 0; i-- {
+		fmt.Fprintf(&b, " %-14s", fmt.Sprintf("F%d", i))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d", row.T)
+		for i := r.Depth; i >= 0; i-- {
+			fmt.Fprintf(&b, " %-14s", row.Filters[i].String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig8Result is the schedule-estimation walkthrough of Figure 8.
+type Fig8Result struct {
+	Schedule locfilter.Schedule
+	// Marks are the cumulative δ sums and the Δ multiples, merged and
+	// sorted, as plotted on Figure 8's single time scale.
+	Marks []Fig8Mark
+}
+
+// Fig8Mark is one tick on the Figure 8 scale.
+type Fig8Mark struct {
+	At    time.Duration
+	Label string
+}
+
+// Fig8 reproduces Figure 8: the cumulative δ sums placed against the
+// multiples of Δ, and the resulting step schedule.
+func Fig8(cfg Table4Config) Fig8Result {
+	sched := locfilter.ComputeSchedule(cfg.Delta, cfg.Hops)
+	res := Fig8Result{Schedule: sched}
+	cum := time.Duration(0)
+	for i, d := range cfg.Hops {
+		cum += d
+		res.Marks = append(res.Marks, Fig8Mark{
+			At:    cum,
+			Label: fmt.Sprintf("δ1..δ%d", i+1),
+		})
+	}
+	for m := 1; time.Duration(m)*cfg.Delta <= cum+cfg.Delta; m++ {
+		res.Marks = append(res.Marks, Fig8Mark{
+			At:    time.Duration(m) * cfg.Delta,
+			Label: fmt.Sprintf("%dΔ", m),
+		})
+	}
+	for i := 0; i < len(res.Marks); i++ {
+		for j := i + 1; j < len(res.Marks); j++ {
+			if res.Marks[j].At < res.Marks[i].At {
+				res.Marks[i], res.Marks[j] = res.Marks[j], res.Marks[i]
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the Figure 8 scale and the derived steps.
+func (r Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8. Estimating ploc steps with respect to concrete timing bounds.\n")
+	for _, m := range r.Marks {
+		fmt.Fprintf(&b, "  t=%-8v %s\n", m.At, m.Label)
+	}
+	fmt.Fprintf(&b, "schedule: %s\n", r.Schedule)
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package filter
+
+import (
+	"repro/internal/message"
+)
+
+// Merge attempts a perfect merge of two filters (Section 2.2, following
+// Mühl's generic merging): if f and g agree on all attributes except at
+// most one, and the differing constraints can be combined into a single
+// constraint accepting exactly their union, Merge returns that merged
+// filter and true. Otherwise it returns the zero Filter and false.
+//
+// A perfect merge never widens the accepted set, so replacing f and g with
+// the merge in a routing table is always safe.
+func Merge(f, g Filter) (Filter, bool) {
+	if f.Covers(g) {
+		return f, true
+	}
+	if g.Covers(f) {
+		return g, true
+	}
+	// Both must constrain the same attribute set with the same number of
+	// constraints per attribute; exactly one attribute may differ.
+	fa, ga := f.Attrs(), g.Attrs()
+	if len(fa) != len(ga) {
+		return Filter{}, false
+	}
+	for i := range fa {
+		if fa[i] != ga[i] {
+			return Filter{}, false
+		}
+	}
+	diffAttr := ""
+	for _, attr := range fa {
+		fc, gc := f.ConstraintsOn(attr), g.ConstraintsOn(attr)
+		if constraintsEqual(fc, gc) {
+			continue
+		}
+		if diffAttr != "" {
+			return Filter{}, false // more than one differing attribute
+		}
+		diffAttr = attr
+	}
+	if diffAttr == "" {
+		return f, true // identical filters
+	}
+	fc, gc := f.ConstraintsOn(diffAttr), g.ConstraintsOn(diffAttr)
+	if len(fc) != 1 || len(gc) != 1 {
+		return Filter{}, false
+	}
+	merged, ok := mergeConstraints(fc[0], gc[0])
+	if !ok {
+		return Filter{}, false
+	}
+	base := f.Without(diffAttr)
+	if merged.Op == OpExists {
+		// The union is unconstrained on the attribute, but dropping the
+		// constraint entirely would also accept notifications lacking the
+		// attribute; OpExists preserves exactness.
+		out, err := base.With(merged)
+		if err != nil {
+			return Filter{}, false
+		}
+		return out, true
+	}
+	out, err := base.With(merged)
+	if err != nil {
+		return Filter{}, false
+	}
+	return out, true
+}
+
+func constraintsEqual(a, b []Constraint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeConstraints combines two constraints on the same attribute into one
+// accepting exactly their union, when possible.
+func mergeConstraints(c, d Constraint) (Constraint, bool) {
+	if c.Covers(d) {
+		return c, true
+	}
+	if d.Covers(c) {
+		return d, true
+	}
+	// Finite sets: EQ/In unions.
+	cv, cFinite := dValues(c)
+	dv, dFinite := dValues(d)
+	if cFinite && dFinite {
+		return In(c.Attr, append(append([]message.Value{}, cv...), dv...)...), true
+	}
+	// Interval unions.
+	cLo, cHi, cLoO, cHiO, cOK := orderBounds(c)
+	dLo, dHi, dLoO, dHiO, dOK := orderBounds(d)
+	if cOK && dOK && intervalsTouch(cLo, cHi, cLoO, cHiO, dLo, dHi, dLoO, dHiO) {
+		return mergeIntervals(c.Attr, cLo, cHi, cLoO, cHiO, dLo, dHi, dLoO, dHiO)
+	}
+	// NE v merged with EQ v (or a set containing v) yields "exists".
+	if c.Op == OpNE && dFinite && containsValue(dv, c.Value) {
+		return Exists(c.Attr), true
+	}
+	if d.Op == OpNE && cFinite && containsValue(cv, d.Value) {
+		return Exists(c.Attr), true
+	}
+	return Constraint{}, false
+}
+
+func containsValue(vs []message.Value, v message.Value) bool {
+	for _, w := range vs {
+		if w.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// intervalsTouch reports whether the union of the two intervals is itself
+// an interval (they overlap or are adjacent at a shared closed endpoint).
+// Adjacency of integer intervals (e.g. [0,5] and [6,10]) is additionally
+// recognized.
+func intervalsTouch(aLo, aHi message.Value, aLoO, aHiO bool,
+	bLo, bHi message.Value, bLoO, bHiO bool) bool {
+	if intervalsOverlap(aLo, aHi, aLoO, aHiO, bLo, bHi, bLoO, bHiO) {
+		return true
+	}
+	// Check closed adjacency: aHi == bLo with at most one endpoint open, or
+	// consecutive integers.
+	adjacent := func(hi, lo message.Value, hiO, loO bool) bool {
+		if !hi.IsValid() || !lo.IsValid() || hi.Kind() != lo.Kind() {
+			return false
+		}
+		cmp, err := hi.Compare(lo)
+		if err != nil {
+			return false
+		}
+		if cmp == 0 {
+			return !(hiO && loO)
+		}
+		if hi.Kind() == message.KindInt && !hiO && !loO {
+			return lo.IntVal() == hi.IntVal()+1
+		}
+		return false
+	}
+	return adjacent(aHi, bLo, aHiO, bLoO) || adjacent(bHi, aLo, bHiO, aLoO)
+}
+
+// mergeIntervals returns the constraint for the union interval.
+func mergeIntervals(attr string,
+	aLo, aHi message.Value, aLoO, aHiO bool,
+	bLo, bHi message.Value, bLoO, bHiO bool) (Constraint, bool) {
+	lo, loO := lowerOf(aLo, aLoO, bLo, bLoO)
+	hi, hiO := upperOf(aHi, aHiO, bHi, bHiO)
+	switch {
+	case !lo.IsValid() && !hi.IsValid():
+		return Exists(attr), true
+	case !lo.IsValid():
+		if hiO {
+			return LT(attr, hi), true
+		}
+		return LE(attr, hi), true
+	case !hi.IsValid():
+		if loO {
+			return GT(attr, lo), true
+		}
+		return GE(attr, lo), true
+	default:
+		if loO || hiO {
+			// Half-open ranges are not representable by OpRange; give up
+			// rather than widen.
+			return Constraint{}, false
+		}
+		return Range(attr, lo, hi), true
+	}
+}
+
+func lowerOf(a message.Value, aO bool, b message.Value, bO bool) (message.Value, bool) {
+	if !a.IsValid() || !b.IsValid() {
+		return message.Value{}, false // unbounded below
+	}
+	cmp, err := a.Compare(b)
+	if err != nil {
+		return message.Value{}, false
+	}
+	switch {
+	case cmp < 0:
+		return a, aO
+	case cmp > 0:
+		return b, bO
+	default:
+		return a, aO && bO
+	}
+}
+
+func upperOf(a message.Value, aO bool, b message.Value, bO bool) (message.Value, bool) {
+	if !a.IsValid() || !b.IsValid() {
+		return message.Value{}, false // unbounded above
+	}
+	cmp, err := a.Compare(b)
+	if err != nil {
+		return message.Value{}, false
+	}
+	switch {
+	case cmp > 0:
+		return a, aO
+	case cmp < 0:
+		return b, bO
+	default:
+		return a, aO && bO
+	}
+}
+
+// MergeAll greedily merges a list of filters, repeatedly combining any
+// mergeable pair until a fixed point. The result accepts exactly the union
+// of the inputs.
+func MergeAll(fs []Filter) []Filter {
+	out := make([]Filter, len(fs))
+	copy(out, fs)
+	for {
+		merged := false
+	outer:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if m, ok := Merge(out[i], out[j]); ok {
+					out[i] = m
+					out = append(out[:j], out[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}

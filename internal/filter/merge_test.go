@@ -1,0 +1,217 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/message"
+)
+
+func TestMergeEqualOnOneAttr(t *testing.T) {
+	v := func(i int) message.Value { return message.Int(int64(i)) }
+	s := func(ss string) message.Value { return message.String(ss) }
+
+	tests := []struct {
+		name    string
+		f, g    Filter
+		ok      bool
+		inside  []message.Notification // must match the merge
+		outside []message.Notification // must not match the merge
+	}{
+		{
+			name: "eq union to set",
+			f:    MustNew(EQ("loc", s("a")), EQ("svc", s("p"))),
+			g:    MustNew(EQ("loc", s("b")), EQ("svc", s("p"))),
+			ok:   true,
+			inside: []message.Notification{
+				notif("loc", "a", "svc", "p"),
+				notif("loc", "b", "svc", "p"),
+			},
+			outside: []message.Notification{
+				notif("loc", "c", "svc", "p"),
+				notif("loc", "a", "svc", "x"),
+			},
+		},
+		{
+			name:   "set union",
+			f:      MustNew(In("loc", s("a"), s("b"))),
+			g:      MustNew(In("loc", s("c"))),
+			ok:     true,
+			inside: []message.Notification{notif("loc", "a"), notif("loc", "c")},
+			outside: []message.Notification{
+				notif("loc", "x"),
+			},
+		},
+		{
+			name:    "adjacent int ranges",
+			f:       MustNew(Range("p", v(0), v(5))),
+			g:       MustNew(Range("p", v(6), v(10))),
+			ok:      true,
+			inside:  []message.Notification{notif("p", 0), notif("p", 6), notif("p", 10)},
+			outside: []message.Notification{notif("p", 11), notif("p", -1)},
+		},
+		{
+			name:    "overlapping ranges",
+			f:       MustNew(Range("p", v(0), v(6))),
+			g:       MustNew(Range("p", v(4), v(10))),
+			ok:      true,
+			inside:  []message.Notification{notif("p", 5), notif("p", 10)},
+			outside: []message.Notification{notif("p", 11)},
+		},
+		{
+			name:    "lt and ge covering line",
+			f:       MustNew(LT("p", v(5))),
+			g:       MustNew(GE("p", v(5))),
+			ok:      true,
+			inside:  []message.Notification{notif("p", -100), notif("p", 5), notif("p", 100)},
+			outside: []message.Notification{notif("q", 1)}, // attribute must still exist
+		},
+		{
+			name: "covering pair returns cover",
+			f:    MustNew(LE("p", v(10))),
+			g:    MustNew(LE("p", v(5))),
+			ok:   true,
+			inside: []message.Notification{
+				notif("p", 10), notif("p", -3),
+			},
+			outside: []message.Notification{notif("p", 11)},
+		},
+		{
+			name: "two differing attrs cannot merge",
+			f:    MustNew(EQ("a", v(1)), EQ("b", v(1))),
+			g:    MustNew(EQ("a", v(2)), EQ("b", v(2))),
+			ok:   false,
+		},
+		{
+			name: "different attr sets cannot merge",
+			f:    MustNew(EQ("a", v(1))),
+			g:    MustNew(EQ("b", v(1))),
+			ok:   false,
+		},
+		{
+			name:    "ne plus eq gives exists",
+			f:       MustNew(NE("a", v(1))),
+			g:       MustNew(EQ("a", v(1))),
+			ok:      true,
+			inside:  []message.Notification{notif("a", 1), notif("a", 2)},
+			outside: []message.Notification{notif("b", 1)},
+		},
+		{
+			name: "disjoint ranges do not merge",
+			f:    MustNew(Range("p", v(0), v(3))),
+			g:    MustNew(Range("p", v(7), v(9))),
+			ok:   false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, ok := Merge(tt.f, tt.g)
+			if ok != tt.ok {
+				t.Fatalf("Merge ok = %v, want %v (m=%s)", ok, tt.ok, m)
+			}
+			if !ok {
+				return
+			}
+			if !m.Covers(tt.f) || !m.Covers(tt.g) {
+				t.Errorf("merge %s must cover both inputs", m)
+			}
+			for _, n := range tt.inside {
+				if !m.Matches(n) {
+					t.Errorf("merge %s should match %s", m, n)
+				}
+			}
+			for _, n := range tt.outside {
+				if m.Matches(n) {
+					t.Errorf("merge %s should NOT match %s (perfect merge violated)", m, n)
+				}
+			}
+		})
+	}
+}
+
+func TestMergeAllGreedy(t *testing.T) {
+	s := func(ss string) message.Value { return message.String(ss) }
+	fs := []Filter{
+		MustNew(EQ("loc", s("a"))),
+		MustNew(EQ("loc", s("b"))),
+		MustNew(EQ("loc", s("c"))),
+	}
+	out := MergeAll(fs)
+	if len(out) != 1 {
+		t.Fatalf("MergeAll: %d filters remain, want 1", len(out))
+	}
+	for _, l := range []string{"a", "b", "c"} {
+		if !out[0].Matches(notif("loc", l)) {
+			t.Errorf("merged filter misses loc=%s", l)
+		}
+	}
+	if out[0].Matches(notif("loc", "z")) {
+		t.Error("merged filter over-accepts")
+	}
+}
+
+// TestMergeExactnessQuick property-tests perfection of merges: the merged
+// filter accepts a notification iff one of the inputs does.
+func TestMergeExactnessQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randInterval := func() Filter {
+		lo := rng.Intn(50)
+		hi := lo + rng.Intn(20)
+		return MustNew(Range("p", message.Int(int64(lo)), message.Int(int64(hi))))
+	}
+	for i := 0; i < 500; i++ {
+		f, g := randInterval(), randInterval()
+		m, ok := Merge(f, g)
+		if !ok {
+			continue
+		}
+		for p := -2; p < 80; p++ {
+			n := notif("p", p)
+			want := f.Matches(n) || g.Matches(n)
+			if got := m.Matches(n); got != want {
+				t.Fatalf("merge of %s and %s -> %s: p=%d got %v want %v", f, g, m, p, got, want)
+			}
+		}
+	}
+}
+
+// TestCoversSoundnessQuick property-tests the covering relation: whenever
+// Covers reports true, every notification matching the covered filter must
+// match the cover.
+func TestCoversSoundnessQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(loF, spanF, loG, spanG uint8, probe int16) bool {
+		ff := MustNew(Range("p", message.Int(int64(loF)), message.Int(int64(loF)+int64(spanF))))
+		gg := MustNew(Range("p", message.Int(int64(loG)), message.Int(int64(loG)+int64(spanG))))
+		if !ff.Covers(gg) {
+			return true // nothing to check
+		}
+		n := notif("p", int(probe))
+		if gg.Matches(n) && !ff.Matches(n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverTransitivityQuick checks transitivity on interval constraints.
+func TestCoverTransitivityQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	mk := func(lo, span uint8) Filter {
+		return MustNew(Range("p", message.Int(int64(lo)), message.Int(int64(lo)+int64(span))))
+	}
+	f := func(a, sa, b, sb, c, sc uint8) bool {
+		fa, fb, fc := mk(a, sa), mk(b, sb), mk(c, sc)
+		if fa.Covers(fb) && fb.Covers(fc) && !fa.Covers(fc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/message"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The paper's Section 2.1 example subscription.
+	f, err := Parse(`service = "parking" && location = "100 Rebeca Drive" && cost < 3 && car-type >= "compact"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("parsed %d constraints, want 4", f.Len())
+	}
+	match := notif("service", "parking", "location", "100 Rebeca Drive", "cost", 2, "car-type", "suv")
+	if !f.Matches(match) {
+		t.Errorf("paper example should match %s", match)
+	}
+	if f.Matches(match.With("cost", message.Int(3))) {
+		t.Error("cost < 3 violated but matched")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	tests := []struct {
+		src       string
+		matching  message.Notification
+		unmatched message.Notification
+	}{
+		{`a = 1`, notif("a", 1), notif("a", 2)},
+		{`a == 1`, notif("a", 1), notif("a", 2)},
+		{`a != 1`, notif("a", 2), notif("a", 1)},
+		{`a < 1.5`, notif("a", 1.0), notif("a", 2.0)},
+		{`a <= 1`, notif("a", 1), notif("a", 2)},
+		{`a > 1`, notif("a", 2), notif("a", 1)},
+		{`a >= 2`, notif("a", 2), notif("a", 1)},
+		{`a prefix "re"`, notif("a", "rebeca"), notif("a", "siena")},
+		{`a suffix "ca"`, notif("a", "rebeca"), notif("a", "gryphon")},
+		{`a contains "bec"`, notif("a", "rebeca"), notif("a", "elvin")},
+		{`a exists`, notif("a", 0), notif("b", 0)},
+		{`a in {x, y}`, notif("a", "x"), notif("a", "z")},
+		{`a in {"q w", 'e'}`, notif("a", "q w"), notif("a", "qw")},
+		{`a in [1, 5]`, notif("a", 3), notif("a", 6)},
+		{`a = true`, notif("a", true), notif("a", false)},
+		{`a = false`, notif("a", false), notif("a", true)},
+		{`a = 1 && b = 2`, notif("a", 1, "b", 2), notif("a", 1, "b", 3)},
+		{`a = 1 and b = 2`, notif("a", 1, "b", 2), notif("a", 2, "b", 2)},
+		{`a = "esc\"aped"`, notif("a", `esc"aped`), notif("a", "escaped")},
+		{`a = -5`, notif("a", -5), notif("a", 5)},
+		{`a = 2.5`, notif("a", 2.5), notif("a", 2.0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			f, err := Parse(tt.src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.src, err)
+			}
+			if !f.Matches(tt.matching) {
+				t.Errorf("%q should match %s (filter %s)", tt.src, tt.matching, f)
+			}
+			if f.Matches(tt.unmatched) {
+				t.Errorf("%q should not match %s (filter %s)", tt.src, tt.unmatched, f)
+			}
+		})
+	}
+}
+
+func TestParseMatchAll(t *testing.T) {
+	for _, src := range []string{"", "  ", "true"} {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if !f.IsMatchAll() {
+			t.Errorf("Parse(%q) should be match-all", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`a`,
+		`a =`,
+		`= 1`,
+		`a = 1 &&`,
+		`a = 1 b = 2`,
+		`a in {}`,
+		`a in {1,`,
+		`a in [1]`,
+		`a in [1, 2`,
+		`a = "unterminated`,
+		`a = "dangling\`,
+		`a ~= 1`,
+		`a in (1, 2)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("a =")
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		`a = 1 && b < 2 && c prefix "x"`,
+		`loc in {a, b, c} && svc = "parking"`,
+		`p in [0, 10]`,
+	}
+	for _, src := range srcs {
+		f := MustParse(src)
+		// String() uses the paper's notation, not the parse syntax, so we
+		// only check stability: equal filters render identically.
+		g := MustParse(src)
+		if f.String() != g.String() || f.ID() != g.ID() {
+			t.Errorf("parse of %q is not deterministic", src)
+		}
+	}
+}

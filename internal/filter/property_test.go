@@ -1,0 +1,188 @@
+package filter
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/message"
+)
+
+// randomConstraint draws a constraint on attribute "p" (numeric families)
+// or "s" (string families) from a seeded source.
+func randomConstraint(rng *rand.Rand) Constraint {
+	iv := func() message.Value { return message.Int(int64(rng.Intn(30))) }
+	sv := func() message.Value {
+		full := strings.Repeat("ab", 3) // "ababab"
+		n := rng.Intn(len(full)) + 1
+		return message.String(full[:n])
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return EQ("p", iv())
+	case 1:
+		return NE("p", iv())
+	case 2:
+		return LT("p", iv())
+	case 3:
+		return LE("p", iv())
+	case 4:
+		return GT("p", iv())
+	case 5:
+		return GE("p", iv())
+	case 6:
+		lo := rng.Intn(20)
+		return Range("p", message.Int(int64(lo)), message.Int(int64(lo+rng.Intn(10))))
+	case 7:
+		vs := make([]message.Value, rng.Intn(4)+1)
+		for i := range vs {
+			vs[i] = iv()
+		}
+		return In("p", vs...)
+	case 8:
+		return Exists("p")
+	default:
+		switch rng.Intn(3) {
+		case 0:
+			return Prefix("s", sv().Str())
+		case 1:
+			return Suffix("s", sv().Str())
+		default:
+			return Contains("s", sv().Str())
+		}
+	}
+}
+
+// probeNotifications enumerates a value space dense enough to distinguish
+// the random constraints above.
+func probeNotifications() []message.Notification {
+	var out []message.Notification
+	for p := -2; p < 35; p++ {
+		out = append(out, notif("p", p))
+	}
+	for _, s := range []string{"", "a", "b", "ab", "ba", "aba", "bab", "abab", "baba"} {
+		out = append(out, notif("s", s))
+	}
+	out = append(out, notif("q", 1)) // neither p nor s present
+	return out
+}
+
+// TestConstraintCoversSoundnessRandom checks soundness of Covers over the
+// full operator matrix: if c covers d then every probe matching d matches
+// c.
+func TestConstraintCoversSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	probes := probeNotifications()
+	for trial := 0; trial < 5000; trial++ {
+		c, d := randomConstraint(rng), randomConstraint(rng)
+		if c.Attr != d.Attr || !c.Covers(d) {
+			continue
+		}
+		for _, n := range probes {
+			if d.Matches(n) && !c.Matches(n) {
+				t.Fatalf("unsound cover: %s covers %s but %s matches only d", c, d, n)
+			}
+		}
+	}
+}
+
+// TestConstraintOverlapSoundnessRandom checks the contrapositive of
+// Overlaps: whenever it reports false, no probe may match both.
+func TestConstraintOverlapSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	probes := probeNotifications()
+	for trial := 0; trial < 5000; trial++ {
+		c, d := randomConstraint(rng), randomConstraint(rng)
+		if c.Attr != d.Attr || c.Overlaps(d) {
+			continue
+		}
+		for _, n := range probes {
+			if c.Matches(n) && d.Matches(n) {
+				t.Fatalf("unsound non-overlap: %s and %s both match %s", c, d, n)
+			}
+		}
+	}
+}
+
+// TestFilterCoversImpliesMatchSubsetRandom lifts the soundness check to
+// whole filters with several random constraints.
+func TestFilterCoversImpliesMatchSubsetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	probes := probeNotifications()
+	mkFilter := func() Filter {
+		n := rng.Intn(3) + 1
+		cs := make([]Constraint, 0, n)
+		for i := 0; i < n; i++ {
+			cs = append(cs, randomConstraint(rng))
+		}
+		f, err := New(cs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	for trial := 0; trial < 3000; trial++ {
+		f, g := mkFilter(), mkFilter()
+		if !f.Covers(g) {
+			continue
+		}
+		for _, n := range probes {
+			if g.Matches(n) && !f.Matches(n) {
+				t.Fatalf("unsound filter cover: %s covers %s but %s slips through", f, g, n)
+			}
+		}
+	}
+}
+
+// TestMergePerfectionRandom checks merge exactness over random constraint
+// pairs on a single attribute: the merge, when offered, accepts exactly
+// the union.
+func TestMergePerfectionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	probes := probeNotifications()
+	for trial := 0; trial < 5000; trial++ {
+		c, d := randomConstraint(rng), randomConstraint(rng)
+		if c.Attr != d.Attr {
+			continue
+		}
+		fc, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := Merge(fc, fd)
+		if !ok {
+			continue
+		}
+		for _, n := range probes {
+			want := fc.Matches(n) || fd.Matches(n)
+			if got := m.Matches(n); got != want {
+				t.Fatalf("imperfect merge of %s and %s -> %s: probe %s got %v want %v",
+					c, d, m, n, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalIDStableQuick: filters built from permuted constraint
+// orders share an ID.
+func TestCanonicalIDStableQuick(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		c1 := EQ("x", message.Int(a))
+		c2 := LT("y", message.Int(b))
+		c3 := GE("z", message.Int(c))
+		f1, err1 := New(c1, c2, c3)
+		f2, err2 := New(c3, c1, c2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return f1.ID() == f2.ID() && f1.Equal(f2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

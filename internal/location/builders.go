@@ -1,0 +1,161 @@
+package location
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FigureSeven returns the paper's example movement graph of Figure 7: four
+// locations {a, b, c, d} arranged in a cycle a–b–d–c–a, so that
+//
+//	ploc(a, 1) = {a, b, c}   ploc(b, 1) = {a, b, d}
+//	ploc(c, 1) = {a, c, d}   ploc(d, 1) = {b, c, d}
+//
+// exactly matching Table 1.
+func FigureSeven() *Graph {
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddEdge("c", "d")
+	return g
+}
+
+// Line returns a path graph l0 – l1 – … – l(n-1), modeling movement along
+// a street.
+func Line(n int) *Graph {
+	g := NewGraph()
+	if n == 1 {
+		g.AddLocation(lineName(0))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(lineName(i), lineName(i+1))
+	}
+	return g
+}
+
+func lineName(i int) Location { return Location("l" + strconv.Itoa(i)) }
+
+// Ring returns a cycle graph of n locations, modeling a circular route.
+func Ring(n int) *Graph {
+	g := NewGraph()
+	if n == 1 {
+		g.AddLocation(lineName(0))
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(lineName(i), lineName((i+1)%n))
+	}
+	return g
+}
+
+// Grid returns a w×h four-connected grid of locations named "r<y>c<x>",
+// modeling a city street grid (the parking example of the paper's
+// introduction).
+func Grid(w, h int) *Graph {
+	g := NewGraph()
+	name := func(x, y int) Location {
+		return Location(fmt.Sprintf("r%dc%d", y, x))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.AddLocation(name(x, y))
+			if x+1 < w {
+				g.AddEdge(name(x, y), name(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(name(x, y), name(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// GridName returns the canonical location name for grid cell (x, y),
+// matching the naming used by Grid.
+func GridName(x, y int) Location {
+	return Location(fmt.Sprintf("r%dc%d", y, x))
+}
+
+// Complete returns the complete movement graph over the given locations:
+// every location reachable from every other in a single step (no movement
+// restriction — the worst case for the widening scheme).
+func Complete(locs ...Location) *Graph {
+	g := NewGraph()
+	for _, l := range locs {
+		g.AddLocation(l)
+	}
+	for i := 0; i < len(locs); i++ {
+		for j := i + 1; j < len(locs); j++ {
+			g.AddEdge(locs[i], locs[j])
+		}
+	}
+	return g
+}
+
+// FromEdges builds a graph from an explicit edge list.
+func FromEdges(edges [][2]Location) *Graph {
+	g := NewGraph()
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Itinerary is a scripted movement of a consumer: loc(t) for discrete
+// movement steps t = 0, 1, 2, … (the function loc : T → L of Section 5.1).
+type Itinerary []Location
+
+// At returns the consumer's location at movement step t. Steps beyond the
+// end of the itinerary stay at the final location; an empty itinerary
+// returns "".
+func (it Itinerary) At(t int) Location {
+	if len(it) == 0 {
+		return ""
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(it) {
+		return it[len(it)-1]
+	}
+	return it[t]
+}
+
+// Valid reports whether every consecutive pair of the itinerary is either
+// stationary or a single movement edge of the graph (the movement
+// restriction of Section 5.1).
+func (it Itinerary) Valid(g *Graph) bool {
+	for i := 0; i+1 < len(it); i++ {
+		a, b := it[i], it[i+1]
+		if !g.Contains(a) || !g.Contains(b) {
+			return false
+		}
+		if a != b && !g.Ploc(a, 1).Has(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomWalk produces a valid itinerary of the given length starting at
+// start, using the supplied deterministic step chooser (e.g. a seeded
+// PRNG's Intn) to pick among neighbors. Passing the chooser keeps the
+// package free of global randomness.
+func RandomWalk(g *Graph, start Location, length int, intn func(n int) int) Itinerary {
+	it := make(Itinerary, 0, length)
+	cur := start
+	for i := 0; i < length; i++ {
+		it = append(it, cur)
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			continue
+		}
+		// Index len(ns) means "stay"; all moves equally likely.
+		pick := intn(len(ns) + 1)
+		if pick < len(ns) {
+			cur = ns[pick]
+		}
+	}
+	return it
+}

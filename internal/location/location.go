@@ -1,0 +1,297 @@
+// Package location implements the location substrate of Section 5: a
+// finite universe L of consumer locations, movement graphs that restrict
+// how fast a consumer can move, and the possible-location function
+//
+//	ploc : L × N → 2^L
+//
+// which returns the set of locations reachable from x in at most q
+// movement steps (remaining in place is always a possible move, so
+// ploc(x, q) ⊆ ploc(x, q+1) — Equation 1 of the paper).
+package location
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Location names one element of the location universe L — a room, a street
+// block, a GPS cell, depending on the application.
+type Location string
+
+// Set is a set of locations.
+type Set map[Location]struct{}
+
+// NewSet builds a set from the given locations.
+func NewSet(ls ...Location) Set {
+	s := make(Set, len(ls))
+	for _, l := range ls {
+		s[l] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(l Location) bool {
+	_, ok := s[l]
+	return ok
+}
+
+// Add inserts a location.
+func (s Set) Add(l Location) { s[l] = struct{}{} }
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for l := range s {
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// Union returns s ∪ t as a new set.
+func (s Set) Union(t Set) Set {
+	out := s.Clone()
+	for l := range t {
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// Minus returns s \ t as a new set.
+func (s Set) Minus(t Set) Set {
+	out := make(Set)
+	for l := range s {
+		if !t.Has(l) {
+			out[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Set) Intersect(t Set) Set {
+	out := make(Set)
+	for l := range s {
+		if t.Has(l) {
+			out[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets contain the same locations.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for l := range s {
+		if !t.Has(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether s ⊆ t.
+func (s Set) Subset(t Set) bool {
+	for l := range s {
+		if !t.Has(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the locations in sorted order.
+func (s Set) Sorted() []Location {
+	out := make([]Location, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set in the paper's notation, e.g. "{a, b, c}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(l))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Graph is an undirected movement graph over a location universe
+// (Figure 7). An edge (x, y) means a consumer at x can be at y after one
+// movement step. Staying in place is always possible and need not be
+// modeled as a self-loop.
+type Graph struct {
+	adj map[Location]Set
+}
+
+// NewGraph returns an empty movement graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[Location]Set)}
+}
+
+// AddLocation ensures the location exists in the universe, even if
+// isolated.
+func (g *Graph) AddLocation(l Location) {
+	if _, ok := g.adj[l]; !ok {
+		g.adj[l] = make(Set)
+	}
+}
+
+// AddEdge inserts an undirected movement edge between a and b, creating
+// the locations as needed.
+func (g *Graph) AddEdge(a, b Location) {
+	g.AddLocation(a)
+	g.AddLocation(b)
+	g.adj[a].Add(b)
+	g.adj[b].Add(a)
+}
+
+// Contains reports whether the location is part of the universe.
+func (g *Graph) Contains(l Location) bool {
+	_, ok := g.adj[l]
+	return ok
+}
+
+// Len returns |L|.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// Locations returns the universe in sorted order.
+func (g *Graph) Locations() []Location {
+	out := make([]Location, 0, len(g.adj))
+	for l := range g.adj {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Universe returns the whole location set.
+func (g *Graph) Universe() Set {
+	out := make(Set, len(g.adj))
+	for l := range g.adj {
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// Neighbors returns the locations adjacent to l (excluding l itself),
+// sorted.
+func (g *Graph) Neighbors(l Location) []Location {
+	return g.adj[l].Sorted()
+}
+
+// Degree returns the number of neighbors of l.
+func (g *Graph) Degree(l Location) int { return len(g.adj[l]) }
+
+// Ploc returns ploc(x, q): the set of locations reachable from x within q
+// movement steps, always including x itself. If x is not in the universe
+// the result is empty. For q < 0 the result is empty as well.
+func (g *Graph) Ploc(x Location, q int) Set {
+	out := make(Set)
+	if q < 0 || !g.Contains(x) {
+		return out
+	}
+	out.Add(x)
+	frontier := []Location{x}
+	for step := 0; step < q && len(frontier) > 0; step++ {
+		var next []Location
+		for _, l := range frontier {
+			for n := range g.adj[l] {
+				if !out.Has(n) {
+					out.Add(n)
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Distance returns the number of movement steps on a shortest path from x
+// to y, or -1 when unreachable.
+func (g *Graph) Distance(x, y Location) int {
+	if !g.Contains(x) || !g.Contains(y) {
+		return -1
+	}
+	if x == y {
+		return 0
+	}
+	visited := NewSet(x)
+	frontier := []Location{x}
+	for d := 1; len(frontier) > 0; d++ {
+		var next []Location
+		for _, l := range frontier {
+			for n := range g.adj[l] {
+				if n == y {
+					return d
+				}
+				if !visited.Has(n) {
+					visited.Add(n)
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// Eccentricity returns the greatest distance from x to any reachable
+// location. It equals the smallest q with ploc(x, q) maximal.
+func (g *Graph) Eccentricity(x Location) int {
+	ecc := 0
+	for _, y := range g.Locations() {
+		if d := g.Distance(x, y); d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the maximum eccentricity over the universe.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for _, x := range g.Locations() {
+		if e := g.Eccentricity(x); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// Connected reports whether every location is reachable from every other.
+func (g *Graph) Connected() bool {
+	locs := g.Locations()
+	if len(locs) <= 1 {
+		return true
+	}
+	return g.Ploc(locs[0], len(locs)).Len() == len(locs)
+}
+
+// Validate checks that the graph is non-empty and connected, which the
+// adaptivity scheme assumes (otherwise ploc never reaches the full
+// universe and flooding semantics are unattainable).
+func (g *Graph) Validate() error {
+	if g.Len() == 0 {
+		return fmt.Errorf("location: empty movement graph")
+	}
+	if !g.Connected() {
+		return fmt.Errorf("location: movement graph is not connected")
+	}
+	return nil
+}

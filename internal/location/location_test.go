@@ -1,0 +1,254 @@
+package location
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetOperations(t *testing.T) {
+	a := NewSet("a", "b")
+	b := NewSet("b", "c")
+	if got := a.Union(b); !got.Equal(NewSet("a", "b", "c")) {
+		t.Errorf("Union = %s", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewSet("a")) {
+		t.Errorf("Minus = %s", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewSet("b")) {
+		t.Errorf("Intersect = %s", got)
+	}
+	if !NewSet("a").Subset(a) || a.Subset(NewSet("a")) {
+		t.Error("Subset misbehaves")
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets reported equal")
+	}
+	if got := NewSet("c", "a", "b").String(); got != "{a, b, c}" {
+		t.Errorf("String = %q", got)
+	}
+	cl := a.Clone()
+	cl.Add("z")
+	if a.Has("z") {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestFigureSevenPlocMatchesTable1(t *testing.T) {
+	g := FigureSeven()
+	tests := []struct {
+		x    Location
+		q    int
+		want Set
+	}{
+		{"a", 0, NewSet("a")},
+		{"b", 0, NewSet("b")},
+		{"a", 1, NewSet("a", "b", "c")},
+		{"b", 1, NewSet("a", "b", "d")},
+		{"c", 1, NewSet("a", "c", "d")},
+		{"d", 1, NewSet("b", "c", "d")},
+		{"a", 2, NewSet("a", "b", "c", "d")},
+		{"d", 3, NewSet("a", "b", "c", "d")},
+	}
+	for _, tt := range tests {
+		if got := g.Ploc(tt.x, tt.q); !got.Equal(tt.want) {
+			t.Errorf("ploc(%s, %d) = %s, want %s", tt.x, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestPlocEdgeCases(t *testing.T) {
+	g := FigureSeven()
+	if got := g.Ploc("nowhere", 1); got.Len() != 0 {
+		t.Errorf("ploc of unknown location = %s", got)
+	}
+	if got := g.Ploc("a", -1); got.Len() != 0 {
+		t.Errorf("ploc with negative steps = %s", got)
+	}
+}
+
+// TestPlocMonotonicity verifies Equation 1: ploc(x, q) ⊆ ploc(x, q+1).
+func TestPlocMonotonicity(t *testing.T) {
+	graphs := map[string]*Graph{
+		"fig7": FigureSeven(),
+		"line": Line(10),
+		"ring": Ring(9),
+		"grid": Grid(4, 4),
+	}
+	for name, g := range graphs {
+		for _, x := range g.Locations() {
+			for q := 0; q < g.Len(); q++ {
+				if !g.Ploc(x, q).Subset(g.Ploc(x, q+1)) {
+					t.Errorf("%s: ploc(%s, %d) not subset of ploc(%s, %d)", name, x, q, x, q+1)
+				}
+			}
+		}
+	}
+}
+
+// TestPlocComposition verifies the composition property the restricted
+// flooding optimization relies on: if ploc(x, q) == ploc(y, q) then
+// ploc(x, q') == ploc(y, q') for every q' >= q.
+func TestPlocComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := []*Graph{FigureSeven(), Line(8), Ring(7), Grid(3, 4)}
+	for _, g := range graphs {
+		locs := g.Locations()
+		for trial := 0; trial < 200; trial++ {
+			x := locs[rng.Intn(len(locs))]
+			y := locs[rng.Intn(len(locs))]
+			for q := 0; q <= g.Diameter(); q++ {
+				if g.Ploc(x, q).Equal(g.Ploc(y, q)) {
+					for qq := q; qq <= g.Diameter()+1; qq++ {
+						if !g.Ploc(x, qq).Equal(g.Ploc(y, qq)) {
+							t.Fatalf("composition violated: ploc(%s,%d)==ploc(%s,%d) but differs at %d",
+								x, q, y, q, qq)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	line := Line(5)
+	if line.Len() != 5 || line.Degree("l0") != 1 || line.Degree("l2") != 2 {
+		t.Error("Line(5) malformed")
+	}
+	if line.Diameter() != 4 {
+		t.Errorf("Line(5) diameter = %d, want 4", line.Diameter())
+	}
+	ring := Ring(6)
+	if ring.Len() != 6 || ring.Diameter() != 3 {
+		t.Errorf("Ring(6): len=%d diam=%d", ring.Len(), ring.Diameter())
+	}
+	grid := Grid(3, 3)
+	if grid.Len() != 9 {
+		t.Errorf("Grid(3,3) has %d locations", grid.Len())
+	}
+	if grid.Degree(GridName(1, 1)) != 4 || grid.Degree(GridName(0, 0)) != 2 {
+		t.Error("grid degrees wrong")
+	}
+	if grid.Diameter() != 4 {
+		t.Errorf("Grid(3,3) diameter = %d, want 4", grid.Diameter())
+	}
+	comp := Complete("x", "y", "z")
+	if comp.Diameter() != 1 {
+		t.Errorf("Complete diameter = %d", comp.Diameter())
+	}
+	single := Line(1)
+	if single.Len() != 1 || !single.Connected() {
+		t.Error("Line(1) malformed")
+	}
+	fe := FromEdges([][2]Location{{"p", "q"}, {"q", "r"}})
+	if fe.Distance("p", "r") != 2 {
+		t.Error("FromEdges distances wrong")
+	}
+}
+
+func TestDistanceAndEccentricity(t *testing.T) {
+	g := FigureSeven()
+	tests := []struct {
+		x, y Location
+		want int
+	}{
+		{"a", "a", 0},
+		{"a", "b", 1},
+		{"a", "d", 2},
+		{"b", "c", 2},
+	}
+	for _, tt := range tests {
+		if got := g.Distance(tt.x, tt.y); got != tt.want {
+			t.Errorf("Distance(%s, %s) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+	if got := g.Distance("a", "zz"); got != -1 {
+		t.Errorf("Distance to unknown = %d, want -1", got)
+	}
+	if got := g.Eccentricity("a"); got != 2 {
+		t.Errorf("Eccentricity(a) = %d, want 2", got)
+	}
+	if got := g.Diameter(); got != 2 {
+		t.Errorf("Diameter = %d, want 2", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewGraph().Validate(); err == nil {
+		t.Error("empty graph should fail validation")
+	}
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	g.AddLocation("island")
+	if err := g.Validate(); err == nil {
+		t.Error("disconnected graph should fail validation")
+	}
+	if err := FigureSeven().Validate(); err != nil {
+		t.Errorf("FigureSeven should validate: %v", err)
+	}
+}
+
+func TestItinerary(t *testing.T) {
+	g := FigureSeven()
+	it := Itinerary{"a", "b", "d"}
+	if !it.Valid(g) {
+		t.Error("paper itinerary a,b,d should be valid")
+	}
+	if (Itinerary{"a", "d"}).Valid(g) {
+		t.Error("a->d is two steps, itinerary should be invalid")
+	}
+	if (Itinerary{"a", "zz"}).Valid(g) {
+		t.Error("unknown location should invalidate")
+	}
+	if got := it.At(0); got != "a" {
+		t.Errorf("At(0) = %s", got)
+	}
+	if got := it.At(99); got != "d" {
+		t.Errorf("At(99) = %s, want final location", got)
+	}
+	if got := it.At(-1); got != "a" {
+		t.Errorf("At(-1) = %s", got)
+	}
+	if got := (Itinerary{}).At(3); got != "" {
+		t.Errorf("empty itinerary At = %q", got)
+	}
+	// Stationary steps are allowed.
+	if !(Itinerary{"a", "a", "b"}).Valid(g) {
+		t.Error("staying put must be a legal move")
+	}
+}
+
+func TestRandomWalkIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, g := range []*Graph{FigureSeven(), Grid(4, 4), Ring(8)} {
+		start := g.Locations()[0]
+		it := RandomWalk(g, start, 50, rng.Intn)
+		if len(it) != 50 {
+			t.Fatalf("walk length %d, want 50", len(it))
+		}
+		if it[0] != start {
+			t.Errorf("walk starts at %s, want %s", it[0], start)
+		}
+		if !it.Valid(g) {
+			t.Errorf("random walk violates the movement graph: %v", it)
+		}
+	}
+}
+
+// TestPlocSizeQuickOnRing property-tests |ploc| on rings: 2q+1 capped at n.
+func TestPlocSizeQuickOnRing(t *testing.T) {
+	f := func(nRaw, qRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		q := int(qRaw % 15)
+		g := Ring(n)
+		want := 2*q + 1
+		if want > n {
+			want = n
+		}
+		return g.Ploc(g.Locations()[0], q).Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

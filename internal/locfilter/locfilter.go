@@ -1,0 +1,153 @@
+// Package locfilter implements the logic of location-dependent filters
+// (Section 5): the myloc marker, instantiation of subscriptions with
+// ploc(x, q) sets, per-hop widening, location-change deltas, and the
+// adaptivity scheme of Section 5.3 that derives the widening steps from
+// the client dwell time Δ and the per-hop subscription-processing delays
+// δᵢ.
+//
+// The package is pure logic: it has no broker or transport dependencies,
+// which makes every rule in it directly unit-testable against the paper's
+// Tables 1–4.
+package locfilter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+)
+
+// MarkerMyloc is the reserved string value that marks a location
+// constraint as location-dependent: a subscription containing
+// (location = MarkerMyloc) or (location in {MarkerMyloc}) is rewritten by
+// the middleware into ploc-instantiated filters hop by hop.
+const MarkerMyloc = "$myloc"
+
+// ErrUnknownGraph is returned when a subscription references a movement
+// graph that was never registered.
+var ErrUnknownGraph = errors.New("locfilter: unknown movement graph")
+
+// Registry holds the shared, application-defined movement graphs, keyed by
+// name. All brokers of a network must agree on the registered graphs; the
+// paper treats the set L of locations and the movement restrictions as
+// application-level configuration.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*location.Graph
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*location.Graph)}
+}
+
+// Register stores a movement graph under a name, validating it first.
+func (r *Registry) Register(name string, g *location.Graph) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("locfilter: register %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.graphs[name] = g
+	return nil
+}
+
+// Lookup returns the named graph.
+func (r *Registry) Lookup(name string) (*location.Graph, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return g, nil
+}
+
+// HasMarker reports whether the filter contains a myloc marker on the
+// given attribute.
+func HasMarker(f filter.Filter, locAttr string) bool {
+	for _, c := range f.ConstraintsOn(locAttr) {
+		if constraintHasMarker(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func constraintHasMarker(c filter.Constraint) bool {
+	switch c.Op {
+	case filter.OpEQ:
+		return c.Value.Kind() == message.KindString && c.Value.Str() == MarkerMyloc
+	case filter.OpIn:
+		for _, v := range c.Values {
+			if v.Kind() == message.KindString && v.Str() == MarkerMyloc {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// SetConstraint converts a location set into the membership constraint
+// (locAttr in { ... }).
+func SetConstraint(locAttr string, s location.Set) filter.Constraint {
+	locs := s.Sorted()
+	vs := make([]message.Value, len(locs))
+	for i, l := range locs {
+		vs[i] = message.String(string(l))
+	}
+	return filter.In(locAttr, vs...)
+}
+
+// Instantiate replaces the myloc marker in the base filter with the
+// concrete set ploc(x, q). With q = 0 this is the perfect client-side
+// filter F₀ = F̃ of Section 5.1.
+func Instantiate(base filter.Filter, locAttr string, g *location.Graph, x location.Location, q int) (filter.Filter, error) {
+	if !g.Contains(x) {
+		return filter.Filter{}, fmt.Errorf("locfilter: location %q not in movement graph", x)
+	}
+	set := g.Ploc(x, q)
+	out, err := base.Replace(SetConstraint(locAttr, set))
+	if err != nil {
+		return filter.Filter{}, fmt.Errorf("locfilter: instantiate: %w", err)
+	}
+	return out, nil
+}
+
+// Delta describes the routing-table adjustment a broker performs when a
+// consumer moves from OldLoc to NewLoc while the broker's widening step is
+// q: Removed locations are unsubscribed, Added locations are subscribed
+// (Section 5.1: "removing and adding new locations corresponds to
+// unsubscribing and subscribing to the corresponding filters").
+type Delta struct {
+	Removed location.Set
+	Added   location.Set
+}
+
+// Empty reports whether the move changes nothing at this widening step.
+func (d Delta) Empty() bool { return d.Removed.Len() == 0 && d.Added.Len() == 0 }
+
+// MoveDelta computes the ploc difference for a move x → y at widening
+// step q.
+func MoveDelta(g *location.Graph, x, y location.Location, q int) Delta {
+	oldSet := g.Ploc(x, q)
+	newSet := g.Ploc(y, q)
+	return Delta{
+		Removed: oldSet.Minus(newSet),
+		Added:   newSet.Minus(oldSet),
+	}
+}
+
+// ValidMove reports whether a move x → y is allowed by the movement graph
+// (one movement step or staying put).
+func ValidMove(g *location.Graph, x, y location.Location) bool {
+	if x == y {
+		return g.Contains(x)
+	}
+	return g.Ploc(x, 1).Has(y)
+}

@@ -1,0 +1,254 @@
+package locfilter
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Error("lookup of unregistered graph should fail")
+	}
+	if err := r.Register("bad", location.NewGraph()); err == nil {
+		t.Error("registering an invalid (empty) graph should fail")
+	}
+	g := location.FigureSeven()
+	if err := r.Register("fig7", g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("fig7")
+	if err != nil || got != g {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+}
+
+func TestHasMarker(t *testing.T) {
+	base := filter.MustNew(
+		filter.EQ("service", message.String("parking")),
+		filter.EQ("location", message.String(MarkerMyloc)),
+	)
+	if !HasMarker(base, "location") {
+		t.Error("EQ marker not detected")
+	}
+	if HasMarker(base, "service") {
+		t.Error("marker reported on wrong attribute")
+	}
+	inSet := filter.MustNew(filter.In("location",
+		message.String("a"), message.String(MarkerMyloc)))
+	if !HasMarker(inSet, "location") {
+		t.Error("In marker not detected")
+	}
+	plain := filter.MustNew(filter.EQ("location", message.String("a")))
+	if HasMarker(plain, "location") {
+		t.Error("plain location constraint misreported as marker")
+	}
+	ranged := filter.MustNew(filter.Range("location", message.String("a"), message.String("z")))
+	if HasMarker(ranged, "location") {
+		t.Error("range constraint cannot carry a marker")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	g := location.FigureSeven()
+	base := filter.MustNew(
+		filter.EQ("service", message.String("parking")),
+		filter.EQ("location", message.String(MarkerMyloc)),
+	)
+	f0, err := Instantiate(base, "location", g, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := func(loc string) bool {
+		return f0.Matches(message.New(map[string]message.Value{
+			"service":  message.String("parking"),
+			"location": message.String(loc),
+		}))
+	}
+	if !match("a") || match("b") {
+		t.Errorf("F0 at a should accept exactly {a}: %s", f0)
+	}
+
+	f1, err := Instantiate(base, "location", g, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range []string{"a", "b", "c"} {
+		if !f1.Matches(message.New(map[string]message.Value{
+			"service":  message.String("parking"),
+			"location": message.String(loc),
+		})) {
+			t.Errorf("F1 = ploc(a,1) should accept %s: %s", loc, f1)
+		}
+	}
+	// Wrong service still rejected — the widening only touches location.
+	if f1.Matches(message.New(map[string]message.Value{
+		"service":  message.String("pizza"),
+		"location": message.String("a"),
+	})) {
+		t.Error("widened filter must keep the other constraints")
+	}
+
+	if _, err := Instantiate(base, "location", g, "nowhere", 0); err == nil {
+		t.Error("unknown location should fail")
+	}
+}
+
+func TestMoveDelta(t *testing.T) {
+	g := location.FigureSeven()
+	// Paper Section 5.2: at t=1 the client moves a -> b; F1 must
+	// unsubscribe c and subscribe d.
+	d := MoveDelta(g, "a", "b", 1)
+	if !d.Removed.Equal(location.NewSet("c")) {
+		t.Errorf("removed = %s, want {c}", d.Removed)
+	}
+	if !d.Added.Equal(location.NewSet("d")) {
+		t.Errorf("added = %s, want {d}", d.Added)
+	}
+	// At t=2 the client moves b -> d; F1 unsubscribes a and subscribes c.
+	d = MoveDelta(g, "b", "d", 1)
+	if !d.Removed.Equal(location.NewSet("a")) || !d.Added.Equal(location.NewSet("c")) {
+		t.Errorf("b->d at step 1: %v", d)
+	}
+	// At step 2 the sets are saturated: empty delta.
+	d = MoveDelta(g, "a", "b", 2)
+	if !d.Empty() {
+		t.Errorf("saturated delta should be empty, got %v", d)
+	}
+	if MoveDelta(g, "a", "a", 1).Empty() != true {
+		t.Error("no-move delta must be empty")
+	}
+}
+
+func TestValidMove(t *testing.T) {
+	g := location.FigureSeven()
+	if !ValidMove(g, "a", "b") || !ValidMove(g, "a", "a") {
+		t.Error("legal moves rejected")
+	}
+	if ValidMove(g, "b", "c") {
+		t.Error("b->c is not an edge of Figure 7")
+	}
+	if ValidMove(g, "zz", "a") || ValidMove(g, "zz", "zz") {
+		t.Error("unknown locations cannot move")
+	}
+}
+
+func TestSetConstraint(t *testing.T) {
+	c := SetConstraint("loc", location.NewSet("b", "a"))
+	if c.Op != filter.OpIn || len(c.Values) != 2 {
+		t.Fatalf("SetConstraint = %s", c)
+	}
+	if c.Values[0].Str() != "a" || c.Values[1].Str() != "b" {
+		t.Errorf("set not canonical: %s", c)
+	}
+}
+
+func TestComputeSchedulePaperValues(t *testing.T) {
+	// Section 5.3: Δ = 100ms, δ = 120, 50, 50, 20 ms -> steps 0,1,1,2,2.
+	s := ComputeSchedule(100*time.Millisecond, []time.Duration{
+		120 * time.Millisecond, 50 * time.Millisecond,
+		50 * time.Millisecond, 20 * time.Millisecond,
+	})
+	want := []int{0, 1, 1, 2, 2}
+	for i, w := range want {
+		if s.Steps[i] != w {
+			t.Fatalf("Steps = %v, want %v", s.Steps, want)
+		}
+	}
+}
+
+func TestComputeScheduleSlowClient(t *testing.T) {
+	// Very slow client: no step ever taken (raw schedule all zero —
+	// EffectiveStep then enforces the minimum widening of 1 at use site).
+	s := ComputeSchedule(10*time.Second, []time.Duration{
+		50 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond,
+	})
+	for i, st := range s.Steps {
+		if st != 0 {
+			t.Errorf("slow client step %d = %d, want 0", i, st)
+		}
+	}
+}
+
+func TestComputeScheduleFastClient(t *testing.T) {
+	// Client much faster than the network: one step per hop (flooding).
+	s := ComputeSchedule(time.Millisecond, []time.Duration{
+		time.Second, time.Second, time.Second,
+	})
+	want := []int{0, 1, 2, 3}
+	for i, w := range want {
+		if s.Steps[i] != w {
+			t.Fatalf("fast client Steps = %v, want %v", s.Steps, want)
+		}
+	}
+}
+
+func TestComputeScheduleZeroDelta(t *testing.T) {
+	s := ComputeSchedule(0, []time.Duration{time.Millisecond, time.Millisecond})
+	want := []int{0, 1, 2}
+	for i, w := range want {
+		if s.Steps[i] != w {
+			t.Fatalf("zero-delta Steps = %v, want %v", s.Steps, want)
+		}
+	}
+}
+
+func TestStepStateIncrementalMatchesBatch(t *testing.T) {
+	delta := 100 * time.Millisecond
+	hops := []time.Duration{120 * time.Millisecond, 50 * time.Millisecond,
+		50 * time.Millisecond, 20 * time.Millisecond, 300 * time.Millisecond}
+	batch := ComputeSchedule(delta, hops)
+	state := NewStepState(delta)
+	for i, d := range hops {
+		state = state.Advance(d)
+		if state.Steps != batch.Steps[i+1] {
+			t.Fatalf("incremental step %d = %d, batch = %d", i+1, state.Steps, batch.Steps[i+1])
+		}
+	}
+}
+
+func TestEffectiveStep(t *testing.T) {
+	tests := []struct{ raw, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {7, 7},
+	}
+	for _, tt := range tests {
+		if got := EffectiveStep(tt.raw); got != tt.want {
+			t.Errorf("EffectiveStep(%d) = %d, want %d", tt.raw, got, tt.want)
+		}
+	}
+}
+
+func TestStepPolicies(t *testing.T) {
+	const diameter = 3
+	tests := []struct {
+		policy StepPolicy
+		raw    int
+		index  int
+		want   int
+	}{
+		{PolicyAdaptive, 2, 1, 2},
+		{PolicyAdaptive, 0, 0, 0},
+		{PolicyTrivialSubUnsub, 0, 1, 1},
+		{PolicyTrivialSubUnsub, 5, 2, 1},
+		{PolicyTrivialSubUnsub, 5, 0, 0},
+		{PolicyFlooding, 0, 1, diameter},
+		{PolicyFlooding, 9, 3, diameter},
+		{PolicyFlooding, 9, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.policy.Apply(tt.raw, tt.index, diameter); got != tt.want {
+			t.Errorf("%s.Apply(%d, %d) = %d, want %d", tt.policy, tt.raw, tt.index, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := ComputeSchedule(100*time.Millisecond, []time.Duration{120 * time.Millisecond})
+	if got := s.String(); got == "" {
+		t.Error("empty rendering")
+	}
+}

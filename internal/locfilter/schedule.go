@@ -1,0 +1,166 @@
+package locfilter
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file implements the adaptivity scheme of Section 5.3: deriving the
+// widening step sᵢ of each filter Fᵢ along the path from the consumer's
+// local broker B₁ toward a producer from
+//
+//   - Δ, the average time the client remains at one location, and
+//   - δᵢ, the time it takes to process a batch of sub/unsub messages
+//     between brokers Bᵢ and Bᵢ₊₁.
+//
+// The rule (Figure 8): walking outward from the consumer, accumulate the
+// δᵢ; whenever the running sum exceeds the next unreached multiple of Δ,
+// the widening takes one additional step at that hop. Filter F₀
+// (client-side filtering at the local broker) is always exact (step 0).
+//
+// Consequences, matching the paper:
+//   - Slow clients (Σδᵢ < Δ): all steps stay at 0 beyond the mandatory
+//     widening — the scheme degenerates to the trivial sub/unsub solution.
+//   - Fast clients (Δ ≪ δ₁): every hop takes steps and the scheme
+//     degenerates to flooding.
+//   - The example Δ = 100ms, δ = (120, 50, 50, 20)ms yields steps
+//     (0, 1, 1, 2, 2) for (F₀ … F₄), reproducing Table 4 and Figure 8.
+
+// Schedule is the widening step per filter index: Steps[i] is sᵢ, the q
+// used for Fᵢ = ploc(x, sᵢ). Steps[0] is always 0.
+type Schedule struct {
+	Delta time.Duration
+	Hops  []time.Duration // δ₁ … δₖ
+	Steps []int           // s₀ … sₖ (len(Hops)+1 entries)
+}
+
+// ComputeSchedule derives the full widening schedule for a path whose
+// per-hop subscription-processing delays are hops = (δ₁ … δₖ). A
+// non-positive delta is treated as "client moves infinitely fast" and
+// yields one step per hop (flooding-like).
+func ComputeSchedule(delta time.Duration, hops []time.Duration) Schedule {
+	s := Schedule{Delta: delta, Hops: append([]time.Duration(nil), hops...)}
+	s.Steps = make([]int, len(hops)+1)
+	state := NewStepState(delta)
+	for i, d := range hops {
+		state = state.Advance(d)
+		s.Steps[i+1] = state.Steps
+	}
+	return s
+}
+
+// StepState is the incremental form of the schedule computation, carried
+// inside subscription messages as they propagate hop by hop (each broker
+// knows only its own δ, so the recursion state must travel with the
+// subscription).
+type StepState struct {
+	Delta        time.Duration
+	CumDelay     time.Duration
+	Steps        int
+	NextMultiple int // the next multiple of Delta not yet exceeded (1-based)
+}
+
+// NewStepState returns the state at the consumer's local broker: zero
+// accumulated delay, zero steps.
+func NewStepState(delta time.Duration) StepState {
+	return StepState{Delta: delta, NextMultiple: 1}
+}
+
+// Advance incorporates one more hop with subscription-processing delay d
+// and returns the updated state. The paper's rule: "whenever the sum of δᵢ
+// results in a value larger than the next multiple of Δ then the value of
+// ploc must take a step".
+func (s StepState) Advance(d time.Duration) StepState {
+	out := s
+	out.CumDelay += d
+	if out.Delta <= 0 {
+		// Degenerate case: the client dwells for no measurable time; every
+		// hop must widen.
+		out.Steps++
+		out.NextMultiple++
+		return out
+	}
+	if out.CumDelay > time.Duration(out.NextMultiple)*out.Delta {
+		out.Steps++
+		out.NextMultiple++
+	}
+	return out
+}
+
+// EffectiveStep converts the raw recursion value into the widening step a
+// non-local broker actually uses. Beyond the consumer's local broker the
+// widening is at least 1: "the algorithm always has to provide information
+// for 'the next' user location to maintain the semantics of flooding"
+// (Section 5.3 / Table 3) — otherwise notifications published during a
+// move could never reach the consumer in time.
+func EffectiveStep(raw int) int {
+	if raw < 1 {
+		return 1
+	}
+	return raw
+}
+
+// StepPolicy caps or overrides a schedule, expressing the two trivial
+// solutions of Section 3.3 as instantiations of the ploc scheme
+// (Table 3).
+type StepPolicy uint8
+
+// Step policies.
+const (
+	// PolicyAdaptive uses the computed schedule unchanged.
+	PolicyAdaptive StepPolicy = iota + 1
+	// PolicyTrivialSubUnsub caps every non-local step at 1: the system
+	// always provides information for "the next" user location only,
+	// mirroring a global sub/unsub on every move (Table 3, top).
+	PolicyTrivialSubUnsub
+	// PolicyFlooding forces every non-local step to the graph diameter, so
+	// every filter beyond the local broker accepts the full location
+	// universe (Table 3, bottom).
+	PolicyFlooding
+)
+
+// String returns the policy name.
+func (p StepPolicy) String() string {
+	switch p {
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyTrivialSubUnsub:
+		return "trivial-sub-unsub"
+	case PolicyFlooding:
+		return "flooding"
+	default:
+		return "invalid"
+	}
+}
+
+// Apply transforms a raw step value for a non-local hop (index >= 1)
+// according to the policy. diameter is the movement graph's diameter (the
+// step count at which ploc saturates).
+func (p StepPolicy) Apply(rawStep, index, diameter int) int {
+	if index == 0 {
+		return 0 // F₀ is always exact client-side filtering
+	}
+	switch p {
+	case PolicyTrivialSubUnsub:
+		if rawStep > 1 {
+			return 1
+		}
+		if rawStep < 1 {
+			return 1 // must cover "the next" location to emulate flooding semantics
+		}
+		return rawStep
+	case PolicyFlooding:
+		return diameter
+	default:
+		return rawStep
+	}
+}
+
+// String renders the schedule for diagnostics:
+// "Δ=100ms δ=[120ms 50ms 50ms 20ms] steps=[0 1 1 2 2]".
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Δ=%v δ=%v steps=%v", s.Delta, s.Hops, s.Steps)
+	return b.String()
+}

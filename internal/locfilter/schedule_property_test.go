@@ -1,0 +1,106 @@
+package locfilter
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/location"
+)
+
+// TestScheduleMonotoneQuick property-tests the adaptivity schedule: steps
+// never decrease along the path and never exceed the hop index (at most
+// one step per hop can be taken).
+func TestScheduleMonotoneQuick(t *testing.T) {
+	f := func(deltaMs uint16, hopsRaw []uint16) bool {
+		delta := time.Duration(deltaMs%2000+1) * time.Millisecond
+		hops := make([]time.Duration, 0, len(hopsRaw))
+		for _, h := range hopsRaw {
+			hops = append(hops, time.Duration(h%1000)*time.Millisecond)
+		}
+		s := ComputeSchedule(delta, hops)
+		if len(s.Steps) != len(hops)+1 || s.Steps[0] != 0 {
+			return false
+		}
+		for i := 1; i < len(s.Steps); i++ {
+			if s.Steps[i] < s.Steps[i-1] {
+				return false // must be nondecreasing
+			}
+			if s.Steps[i] > s.Steps[i-1]+1 {
+				return false // at most one step per hop
+			}
+			if s.Steps[i] > i {
+				return false // cannot exceed the hop index
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleStepBoundQuick checks the semantic bound the paper's rule
+// implies: the step count at hop i is exactly the number of Δ-multiples
+// strictly exceeded by some prefix sum δ₁+…+δⱼ with j ≤ i, counted
+// greedily one per hop.
+func TestScheduleStepBoundQuick(t *testing.T) {
+	f := func(hopsRaw []uint8) bool {
+		const deltaMs = 100
+		delta := deltaMs * time.Millisecond
+		hops := make([]time.Duration, 0, len(hopsRaw))
+		for _, h := range hopsRaw {
+			hops = append(hops, time.Duration(h)*time.Millisecond)
+		}
+		s := ComputeSchedule(delta, hops)
+		// Re-derive independently.
+		steps, next := 0, 1
+		cum := time.Duration(0)
+		for i, d := range hops {
+			cum += d
+			if cum > time.Duration(next)*delta {
+				steps++
+				next++
+			}
+			if s.Steps[i+1] != steps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoveDeltaConsistencyQuick property-tests the routing-table delta:
+// applying (old set − Removed + Added) must equal the new ploc set, for
+// random moves on random graphs.
+func TestMoveDeltaConsistencyQuick(t *testing.T) {
+	graphs := []*location.Graph{
+		location.FigureSeven(),
+		location.Grid(3, 3),
+		location.Ring(6),
+		location.Line(5),
+	}
+	f := func(gIdx, xIdx, steps, q uint8) bool {
+		g := graphs[int(gIdx)%len(graphs)]
+		locs := g.Locations()
+		x := locs[int(xIdx)%len(locs)]
+		// Take up to `steps` random-ish moves to find a y adjacent to x.
+		neighbors := g.Neighbors(x)
+		y := x
+		if len(neighbors) > 0 {
+			y = neighbors[int(steps)%len(neighbors)]
+		}
+		qq := int(q % 5)
+		d := MoveDelta(g, x, y, qq)
+		oldSet := g.Ploc(x, qq)
+		newSet := g.Ploc(y, qq)
+		reconstructed := oldSet.Minus(d.Removed).Union(d.Added)
+		return reconstructed.Equal(newSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for values and notifications. The format is a simple
+// length-prefixed layout:
+//
+//	value        := kind(u8) payload
+//	  string     := len(uvarint) bytes
+//	  int        := varint
+//	  float      := 8 bytes IEEE 754 big endian
+//	  bool       := u8 (0 or 1)
+//	notification := count(uvarint) { name-len(uvarint) name value }*
+//
+// The codec is deliberately independent of encoding/gob so that framing is
+// deterministic, versionable, and cheap.
+
+// ErrTruncated is returned when a buffer ends before a full value or
+// notification was decoded.
+var ErrTruncated = errors.New("message: truncated encoding")
+
+// AppendValue appends the binary encoding of v to buf and returns the
+// extended slice.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.str)))
+		buf = append(buf, v.str...)
+	case KindInt:
+		buf = binary.AppendVarint(buf, v.num)
+	case KindFloat:
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v.fnum))
+		buf = append(buf, tmp[:]...)
+	case KindBool:
+		if v.b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeValue decodes a value from the front of buf, returning the value
+// and the number of bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, ErrTruncated
+	}
+	kind := Kind(buf[0])
+	rest := buf[1:]
+	used := 1
+	switch kind {
+	case KindString:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Value{}, 0, ErrTruncated
+		}
+		rest = rest[sz:]
+		used += sz
+		if uint64(len(rest)) < n {
+			return Value{}, 0, ErrTruncated
+		}
+		return String(string(rest[:n])), used + int(n), nil
+	case KindInt:
+		i, sz := binary.Varint(rest)
+		if sz <= 0 {
+			return Value{}, 0, ErrTruncated
+		}
+		return Int(i), used + sz, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Value{}, 0, ErrTruncated
+		}
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))), used + 8, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, ErrTruncated
+		}
+		return Bool(rest[0] != 0), used + 1, nil
+	default:
+		return Value{}, 0, fmt.Errorf("message: decode: unknown kind %d", kind)
+	}
+}
+
+// AppendNotification appends the binary encoding of n to buf and returns
+// the extended slice. Attributes are encoded in sorted name order so the
+// encoding is canonical.
+func AppendNotification(buf []byte, n Notification) []byte {
+	names := n.Names()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		v, _ := n.Get(name)
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeNotification decodes a notification from the front of buf,
+// returning it and the number of bytes consumed.
+func DecodeNotification(buf []byte) (Notification, int, error) {
+	count, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return Notification{}, 0, ErrTruncated
+	}
+	used := sz
+	buf = buf[sz:]
+	attrs := make(map[string]Value, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, nsz := binary.Uvarint(buf)
+		if nsz <= 0 {
+			return Notification{}, 0, ErrTruncated
+		}
+		buf = buf[nsz:]
+		used += nsz
+		if uint64(len(buf)) < nameLen {
+			return Notification{}, 0, ErrTruncated
+		}
+		name := string(buf[:nameLen])
+		buf = buf[nameLen:]
+		used += int(nameLen)
+		v, vsz, err := DecodeValue(buf)
+		if err != nil {
+			return Notification{}, 0, err
+		}
+		buf = buf[vsz:]
+		used += vsz
+		attrs[name] = v
+	}
+	return Notification{attrs: attrs}, used, nil
+}

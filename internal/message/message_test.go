@@ -1,0 +1,279 @@
+package message
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{"string", String("hi"), KindString, `"hi"`},
+		{"int", Int(-42), KindInt, "-42"},
+		{"float", Float(2.5), KindFloat, "2.5"},
+		{"bool", Bool(true), KindBool, "true"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if !tt.v.IsValid() {
+				t.Error("IsValid() = false")
+			}
+			if got := tt.v.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+	var zero Value
+	if zero.IsValid() {
+		t.Error("zero Value should be invalid")
+	}
+	if zero.Kind() != KindInvalid {
+		t.Error("zero Value kind should be KindInvalid")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), false}, // kinds differ
+		{Float(1.5), Float(1.5), true},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{String("1"), Int(1), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%s.Equal(%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Equal(tt.a); got != tt.want {
+			t.Errorf("Equal not symmetric for %s, %s", tt.a, tt.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Float(2.5), -1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, tt := range tests {
+		got, err := tt.a.Compare(tt.b)
+		if err != nil {
+			t.Fatalf("Compare(%s, %s): %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if _, err := Int(1).Compare(String("1")); err == nil {
+		t.Error("cross-kind compare should fail")
+	}
+	if Int(1).Less(String("x")) {
+		t.Error("cross-kind Less should be false")
+	}
+	if !Int(1).Less(Int(2)) {
+		t.Error("1 < 2 should hold")
+	}
+}
+
+func TestValueKeyDisambiguatesKinds(t *testing.T) {
+	if Int(1).Key() == Float(1).Key() {
+		t.Error("Int(1) and Float(1) must have distinct keys")
+	}
+	if String("true").Key() == Bool(true).Key() {
+		t.Error("String(true) and Bool(true) must have distinct keys")
+	}
+}
+
+func TestNotificationBasics(t *testing.T) {
+	n := New(map[string]Value{
+		"b":   Int(2),
+		"a":   String("x"),
+		"bad": {},
+	})
+	if n.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2 (invalid dropped)", n.Len())
+	}
+	if got := n.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names() = %v", got)
+	}
+	v, ok := n.Get("a")
+	if !ok || v.Str() != "x" {
+		t.Errorf("Get(a) = %v, %v", v, ok)
+	}
+	if n.Has("missing") {
+		t.Error("Has(missing) = true")
+	}
+	if got := n.String(); got != `(a = "x"), (b = 2)` {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNotificationWithDoesNotMutate(t *testing.T) {
+	n := NewAttrs(Attr{"a", Int(1)})
+	m := n.With("b", Int(2))
+	if n.Len() != 1 {
+		t.Error("With mutated the receiver")
+	}
+	if m.Len() != 2 {
+		t.Error("With did not add")
+	}
+	if !n.Equal(NewAttrs(Attr{"a", Int(1)})) {
+		t.Error("original changed")
+	}
+	if m.Equal(n) {
+		t.Error("Equal should distinguish")
+	}
+}
+
+func TestNotificationEqual(t *testing.T) {
+	a := NewAttrs(Attr{"x", Int(1)}, Attr{"y", String("s")})
+	b := New(map[string]Value{"y": String("s"), "x": Int(1)})
+	if !a.Equal(b) {
+		t.Error("equal notifications not Equal")
+	}
+	c := b.With("x", Int(2))
+	if a.Equal(c) {
+		t.Error("different values reported Equal")
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	values := []Value{
+		String(""), String("hello"), String("with \x00 bytes"),
+		Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-3.25), Float(math.Inf(1)), Float(math.SmallestNonzeroFloat64),
+		Bool(true), Bool(false),
+	}
+	for _, v := range values {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %s: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %s consumed %d of %d bytes", v, n, len(buf))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %s -> %s", v, got)
+		}
+	}
+}
+
+func TestValueCodecNaN(t *testing.T) {
+	buf := AppendValue(nil, Float(math.NaN()))
+	got, _, err := DecodeValue(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.FloatVal()) {
+		t.Error("NaN did not survive the codec")
+	}
+}
+
+func TestNotificationCodecRoundTrip(t *testing.T) {
+	n := New(map[string]Value{
+		"s": String("str"),
+		"i": Int(99),
+		"f": Float(1.25),
+		"b": Bool(true),
+	})
+	buf := AppendNotification(nil, n)
+	got, used, err := DecodeNotification(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Errorf("consumed %d of %d", used, len(buf))
+	}
+	if !got.Equal(n) {
+		t.Errorf("round trip mismatch: %s vs %s", n, got)
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	n := New(map[string]Value{"key": String("value"), "n": Int(7)})
+	buf := AppendNotification(nil, n)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeNotification(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty value decode should fail")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+// TestCodecQuickRoundTrip property-tests the codec over random
+// notifications.
+func TestCodecQuickRoundTrip(t *testing.T) {
+	f := func(s1, s2 string, i int64, fl float64, b bool) bool {
+		n := New(map[string]Value{
+			"a" + s1: String(s2),
+			"i":      Int(i),
+			"f":      Float(fl),
+			"b":      Bool(b),
+		})
+		buf := AppendNotification(nil, n)
+		got, used, err := DecodeNotification(buf)
+		if err != nil || used != len(buf) {
+			return false
+		}
+		if math.IsNaN(fl) {
+			fv, _ := got.Get("f")
+			return math.IsNaN(fv.FloatVal())
+		}
+		return got.Equal(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareTotalOrderQuick property-tests antisymmetry and transitivity
+// of the value ordering within a kind.
+func TestCompareTotalOrderQuick(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Int(b), Int(c)
+		ab, _ := va.Compare(vb)
+		ba, _ := vb.Compare(va)
+		if ab != -ba {
+			return false
+		}
+		ac, _ := va.Compare(vc)
+		bc, _ := vb.Compare(vc)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false // transitivity violated
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

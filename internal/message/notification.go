@@ -1,0 +1,115 @@
+package message
+
+import (
+	"sort"
+	"strings"
+)
+
+// Notification is an immutable event notification: a set of attribute
+// name/value pairs describing an occurred event. Notifications are injected
+// into the event system by producers and conveyed to consumers whose
+// subscription filters match.
+type Notification struct {
+	attrs map[string]Value
+}
+
+// New builds a notification from the given attributes. The map is copied,
+// so the caller may reuse it. Invalid values are dropped.
+func New(attrs map[string]Value) Notification {
+	cp := make(map[string]Value, len(attrs))
+	for k, v := range attrs {
+		if v.IsValid() {
+			cp[k] = v
+		}
+	}
+	return Notification{attrs: cp}
+}
+
+// A Attr is a single name/value pair, used by the NewAttrs constructor.
+type Attr struct {
+	Name  string
+	Value Value
+}
+
+// NewAttrs builds a notification from a list of attributes. Later
+// duplicates win.
+func NewAttrs(attrs ...Attr) Notification {
+	m := make(map[string]Value, len(attrs))
+	for _, a := range attrs {
+		if a.Value.IsValid() {
+			m[a.Name] = a.Value
+		}
+	}
+	return Notification{attrs: m}
+}
+
+// Get returns the value of the named attribute and whether it is present.
+func (n Notification) Get(name string) (Value, bool) {
+	v, ok := n.attrs[name]
+	return v, ok
+}
+
+// Has reports whether the named attribute is present.
+func (n Notification) Has(name string) bool {
+	_, ok := n.attrs[name]
+	return ok
+}
+
+// Len returns the number of attributes.
+func (n Notification) Len() int { return len(n.attrs) }
+
+// Names returns the attribute names in sorted order.
+func (n Notification) Names() []string {
+	names := make([]string, 0, len(n.attrs))
+	for k := range n.attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// With returns a copy of the notification with one attribute added or
+// replaced. The receiver is not modified.
+func (n Notification) With(name string, v Value) Notification {
+	cp := make(map[string]Value, len(n.attrs)+1)
+	for k, val := range n.attrs {
+		cp[k] = val
+	}
+	if v.IsValid() {
+		cp[name] = v
+	}
+	return Notification{attrs: cp}
+}
+
+// Equal reports whether two notifications carry exactly the same
+// attributes.
+func (n Notification) Equal(m Notification) bool {
+	if len(n.attrs) != len(m.attrs) {
+		return false
+	}
+	for k, v := range n.attrs {
+		w, ok := m.attrs[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the notification as "(a = 1), (b = "x")" in sorted
+// attribute order, mirroring the paper's notation.
+func (n Notification) String() string {
+	names := n.Names()
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		b.WriteString(name)
+		b.WriteString(" = ")
+		b.WriteString(n.attrs[name].String())
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+// Package metrics provides lightweight counters for the experiment
+// harness: messages by category (the quantity Figure 9 plots), delivery
+// and latency recorders.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Category classifies a counted message.
+type Category uint8
+
+// Message categories. Notifications are payload; everything else is the
+// administrative traffic the paper's Figure 9 accounts for separately.
+const (
+	CategoryNotification Category = iota + 1
+	CategoryAdmin
+	CategoryControl // relocation control traffic (fetch/replay)
+	CategoryDeliver // border-broker-to-client deliveries
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CategoryNotification:
+		return "notification"
+	case CategoryAdmin:
+		return "admin"
+	case CategoryControl:
+		return "control"
+	case CategoryDeliver:
+		return "deliver"
+	default:
+		return "unknown"
+	}
+}
+
+// Counter is a set of atomic per-category counters. The zero value is
+// ready to use.
+type Counter struct {
+	notifications atomic.Uint64
+	admin         atomic.Uint64
+	control       atomic.Uint64
+	deliver       atomic.Uint64
+}
+
+// Inc increments the category by one.
+func (c *Counter) Inc(cat Category) { c.Add(cat, 1) }
+
+// Add increments the category by n.
+func (c *Counter) Add(cat Category, n uint64) {
+	switch cat {
+	case CategoryNotification:
+		c.notifications.Add(n)
+	case CategoryAdmin:
+		c.admin.Add(n)
+	case CategoryControl:
+		c.control.Add(n)
+	case CategoryDeliver:
+		c.deliver.Add(n)
+	}
+}
+
+// Get returns the current value of the category.
+func (c *Counter) Get(cat Category) uint64 {
+	switch cat {
+	case CategoryNotification:
+		return c.notifications.Load()
+	case CategoryAdmin:
+		return c.admin.Load()
+	case CategoryControl:
+		return c.control.Load()
+	case CategoryDeliver:
+		return c.deliver.Load()
+	default:
+		return 0
+	}
+}
+
+// Total returns the sum over all categories (the paper's "total number of
+// messages (notifications and administrative messages)").
+func (c *Counter) Total() uint64 {
+	return c.notifications.Load() + c.admin.Load() + c.control.Load() + c.deliver.Load()
+}
+
+// Snapshot returns all values at once.
+func (c *Counter) Snapshot() map[Category]uint64 {
+	return map[Category]uint64{
+		CategoryNotification: c.notifications.Load(),
+		CategoryAdmin:        c.admin.Load(),
+		CategoryControl:      c.control.Load(),
+		CategoryDeliver:      c.deliver.Load(),
+	}
+}
+
+// String renders the counter for diagnostics.
+func (c *Counter) String() string {
+	snap := c.Snapshot()
+	cats := make([]Category, 0, len(snap))
+	for cat := range snap {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	parts := make([]string, 0, len(cats))
+	for _, cat := range cats {
+		parts = append(parts, fmt.Sprintf("%s=%d", cat, snap[cat]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// LatencyRecorder accumulates deliveries with timestamps, used by the
+// blackout-period experiment (Figure 3).
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record appends a sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, d)
+}
+
+// Samples returns a copy of all samples.
+func (r *LatencyRecorder) Samples() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Quantile returns the q-quantile (0..1) of the recorded samples, or 0
+// when empty.
+func (r *LatencyRecorder) Quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc(CategoryNotification)
+	c.Add(CategoryAdmin, 3)
+	c.Inc(CategoryControl)
+	c.Add(CategoryDeliver, 2)
+	if got := c.Get(CategoryNotification); got != 1 {
+		t.Errorf("notifications = %d", got)
+	}
+	if got := c.Get(CategoryAdmin); got != 3 {
+		t.Errorf("admin = %d", got)
+	}
+	if got := c.Total(); got != 7 {
+		t.Errorf("total = %d", got)
+	}
+	snap := c.Snapshot()
+	if snap[CategoryControl] != 1 || snap[CategoryDeliver] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if got := c.Get(Category(99)); got != 0 {
+		t.Errorf("unknown category = %d", got)
+	}
+	c.Add(Category(99), 5) // must not panic or count
+	if c.Total() != 7 {
+		t.Error("unknown category affected total")
+	}
+	s := c.String()
+	for _, want := range []string{"notification=1", "admin=3", "control=1", "deliver=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() %q misses %q", s, want)
+		}
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(CategoryNotification)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(CategoryNotification); got != 8000 {
+		t.Errorf("concurrent count = %d, want 8000", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		CategoryNotification: "notification",
+		CategoryAdmin:        "admin",
+		CategoryControl:      "control",
+		CategoryDeliver:      "deliver",
+		Category(42):         "unknown",
+	}
+	for cat, want := range names {
+		if got := cat.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cat, got, want)
+		}
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var r LatencyRecorder
+	if r.Count() != 0 || r.Quantile(0.5) != 0 {
+		t.Error("empty recorder misbehaves")
+	}
+	for _, d := range []time.Duration{30, 10, 50, 20, 40} {
+		r.Record(d * time.Millisecond)
+	}
+	if r.Count() != 5 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if got := r.Quantile(0); got != 10*time.Millisecond {
+		t.Errorf("min = %v", got)
+	}
+	if got := r.Quantile(1); got != 50*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := r.Quantile(0.5); got != 30*time.Millisecond {
+		t.Errorf("median = %v", got)
+	}
+	if got := r.Quantile(-1); got != 10*time.Millisecond {
+		t.Errorf("clamped low quantile = %v", got)
+	}
+	samples := r.Samples()
+	if len(samples) != 5 {
+		t.Errorf("Samples = %v", samples)
+	}
+	samples[0] = 0 // must not alias internal state
+	if r.Quantile(0) == 0 {
+		t.Error("Samples aliases internal slice")
+	}
+}

@@ -1,0 +1,229 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+func mkFilter(src string) filter.Filter { return filter.MustParse(src) }
+
+func mkNotif(pairs ...string) message.Notification {
+	attrs := make(map[string]message.Value)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		attrs[pairs[i]] = message.String(pairs[i+1])
+	}
+	return message.New(attrs)
+}
+
+func TestTableAddRemove(t *testing.T) {
+	tbl := NewTable()
+	e := Entry{Filter: mkFilter(`a = x`), Hop: wire.BrokerHop("b2")}
+	if !tbl.Add(e) {
+		t.Error("first Add should report true")
+	}
+	if tbl.Add(e) {
+		t.Error("duplicate Add should report false")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if !tbl.Remove(e) {
+		t.Error("Remove should report true")
+	}
+	if tbl.Remove(e) {
+		t.Error("second Remove should report false")
+	}
+}
+
+func TestTableMatchingHopsExcludesOrigin(t *testing.T) {
+	tbl := NewTable()
+	f := mkFilter(`sym = ACME`)
+	tbl.Add(Entry{Filter: f, Hop: wire.BrokerHop("b2")})
+	tbl.Add(Entry{Filter: f, Hop: wire.BrokerHop("b3")})
+	tbl.Add(Entry{Filter: mkFilter(`sym = OTHER`), Hop: wire.BrokerHop("b4")})
+
+	n := mkNotif("sym", "ACME")
+	hops := tbl.MatchingHops(n, wire.BrokerHop("b2"))
+	if len(hops) != 1 || hops[0].Broker != "b3" {
+		t.Errorf("MatchingHops = %v", hops)
+	}
+	// Duplicate filters on the same hop yield the hop once.
+	tbl.Add(Entry{Filter: mkFilter(`sym = ACME && x = y`), Hop: wire.BrokerHop("b3")})
+	hops = tbl.MatchingHops(n, wire.Hop{})
+	if len(hops) != 2 {
+		t.Errorf("MatchingHops dedup failed: %v", hops)
+	}
+}
+
+func TestTableClientEntries(t *testing.T) {
+	tbl := NewTable()
+	f := mkFilter(`a = 1`)
+	tbl.Add(Entry{Filter: f, Hop: wire.BrokerHop("b2"), Client: "C", SubID: "s"})
+	tbl.Add(Entry{Filter: f, Hop: wire.ClientHop("C"), Client: "C", SubID: "other"})
+	tbl.Add(Entry{Filter: f, Hop: wire.BrokerHop("b3")})
+
+	got := tbl.ClientEntries("C", "s")
+	if len(got) != 1 || got[0].Hop.Broker != "b2" {
+		t.Errorf("ClientEntries = %v", got)
+	}
+	removed := tbl.RemoveClient("C", "s")
+	if len(removed) != 1 || tbl.Len() != 2 {
+		t.Errorf("RemoveClient removed %d, table %d", len(removed), tbl.Len())
+	}
+}
+
+func TestTableRemoveHop(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Entry{Filter: mkFilter(`a = 1`), Hop: wire.BrokerHop("gone")})
+	tbl.Add(Entry{Filter: mkFilter(`a = 2`), Hop: wire.BrokerHop("gone")})
+	tbl.Add(Entry{Filter: mkFilter(`a = 3`), Hop: wire.BrokerHop("stays")})
+	removed := tbl.RemoveHop(wire.BrokerHop("gone"))
+	if len(removed) != 2 || tbl.Len() != 1 {
+		t.Errorf("RemoveHop: removed %d, remaining %d", len(removed), tbl.Len())
+	}
+}
+
+func TestTableOverlapQueries(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Entry{Filter: mkFilter(`service = parking`), Hop: wire.BrokerHop("b2")})
+	tbl.Add(Entry{Filter: mkFilter(`service = pizza`), Hop: wire.BrokerHop("b3")})
+
+	probe := mkFilter(`service = parking && cost < 3`)
+	if !tbl.OverlapsHop(probe, wire.BrokerHop("b2")) {
+		t.Error("b2 should overlap")
+	}
+	if tbl.OverlapsHop(probe, wire.BrokerHop("b3")) {
+		t.Error("b3 should not overlap")
+	}
+	hops := tbl.HopsOverlapping(probe, wire.Hop{})
+	if len(hops) != 1 || hops[0].Broker != "b2" {
+		t.Errorf("HopsOverlapping = %v", hops)
+	}
+	hops = tbl.HopsOverlapping(probe, wire.BrokerHop("b2"))
+	if len(hops) != 0 {
+		t.Errorf("HopsOverlapping excluding origin = %v", hops)
+	}
+}
+
+func TestStrategyReduce(t *testing.T) {
+	a := mkFilter(`p in [0, 10]`)
+	aDup := mkFilter(`p in [0, 10]`)
+	sub := mkFilter(`p in [2, 5]`)
+	adjacent := mkFilter(`p in [11, 20]`)
+	other := mkFilter(`q = x`)
+	in := []filter.Filter{a, aDup, sub, adjacent, other}
+
+	if got := Flooding.Reduce(in); got != nil {
+		t.Errorf("flooding should reduce to nothing, got %v", got)
+	}
+	if got := Simple.Reduce(in); len(got) != 4 {
+		t.Errorf("simple should dedupe identical only: %d filters", len(got))
+	}
+	if got := Identity.Reduce(in); len(got) != 4 {
+		t.Errorf("identity: %d filters", len(got))
+	}
+	cov := Covering.Reduce(in)
+	if len(cov) != 3 { // sub removed (covered by a), dup removed
+		t.Errorf("covering: %d filters: %v", len(cov), cov)
+	}
+	mer := Merging.Reduce(in)
+	// [0,10] and [11,20] merge into [0,20]; plus the q filter.
+	if len(mer) != 2 {
+		t.Errorf("merging: %d filters: %v", len(mer), mer)
+	}
+	// Soundness: every original filter's matches are still accepted.
+	for _, s := range []Strategy{Simple, Identity, Covering, Merging} {
+		out := s.Reduce(in)
+		for _, probe := range []message.Notification{
+			mkNotifInt("p", 3), mkNotifInt("p", 15), mkNotif("q", "x"),
+		} {
+			inMatch := false
+			for _, f := range in {
+				if f.Matches(probe) {
+					inMatch = true
+				}
+			}
+			outMatch := false
+			for _, f := range out {
+				if f.Matches(probe) {
+					outMatch = true
+				}
+			}
+			if inMatch && !outMatch {
+				t.Errorf("%s.Reduce lost coverage for %s", s, probe)
+			}
+		}
+	}
+}
+
+func mkNotifInt(name string, v int64) message.Notification {
+	return message.New(map[string]message.Value{name: message.Int(v)})
+}
+
+func TestStrategyParseAndString(t *testing.T) {
+	for _, name := range []string{"flooding", "simple", "identity", "covering", "merging"} {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%s): %v", name, err)
+		}
+		if s.String() != name {
+			t.Errorf("round trip %s -> %s", name, s)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy should fail")
+	}
+	if Strategy(0).String() != "invalid" {
+		t.Error("zero strategy should render invalid")
+	}
+}
+
+func TestForwarderDiffs(t *testing.T) {
+	fwd := NewForwarder(Covering)
+	hop := wire.BrokerHop("up")
+	wide := mkFilter(`p in [0, 10]`)
+	narrow := mkFilter(`p in [2, 4]`)
+
+	u := fwd.Recompute(hop, []filter.Filter{narrow})
+	if len(u.Subscribe) != 1 || len(u.Unsubscribe) != 0 {
+		t.Fatalf("first diff: %+v", u)
+	}
+	// Adding a wider filter retracts the narrow one.
+	u = fwd.Recompute(hop, []filter.Filter{narrow, wide})
+	if len(u.Subscribe) != 1 || !u.Subscribe[0].Equal(wide) {
+		t.Fatalf("second diff subscribe: %+v", u)
+	}
+	if len(u.Unsubscribe) != 1 || !u.Unsubscribe[0].Equal(narrow) {
+		t.Fatalf("second diff unsubscribe: %+v", u)
+	}
+	// No change: empty diff.
+	u = fwd.Recompute(hop, []filter.Filter{narrow, wide})
+	if len(u.Subscribe)+len(u.Unsubscribe) != 0 {
+		t.Fatalf("stable diff should be empty: %+v", u)
+	}
+	// Removing everything retracts the wide filter.
+	u = fwd.Recompute(hop, nil)
+	if len(u.Unsubscribe) != 1 || !u.Unsubscribe[0].Equal(wide) {
+		t.Fatalf("teardown diff: %+v", u)
+	}
+	if got := fwd.Forwarded(hop); len(got) != 0 {
+		t.Errorf("Forwarded after teardown = %v", got)
+	}
+}
+
+func TestForwarderDropHop(t *testing.T) {
+	fwd := NewForwarder(Simple)
+	hop := wire.BrokerHop("up")
+	fwd.Recompute(hop, []filter.Filter{mkFilter(`a = 1`)})
+	fwd.DropHop(hop)
+	u := fwd.Recompute(hop, []filter.Filter{mkFilter(`a = 1`)})
+	if len(u.Subscribe) != 1 {
+		t.Error("after DropHop the filter must be re-forwarded")
+	}
+	if fwd.Strategy() != Simple {
+		t.Error("Strategy accessor broken")
+	}
+}

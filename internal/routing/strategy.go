@@ -1,0 +1,213 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/filter"
+	"repro/internal/wire"
+)
+
+// Strategy selects the subscription-forwarding behavior of a broker
+// (Section 2.2).
+type Strategy uint8
+
+// Routing strategies, in increasing order of routing-table optimization.
+const (
+	// Flooding forwards every notification on every link; no subscription
+	// state is propagated at all.
+	Flooding Strategy = iota + 1
+	// Simple forwards every subscription on every other link; tables grow
+	// with the number of subscriptions.
+	Simple
+	// Identity suppresses forwarding of subscriptions identical to one
+	// already forwarded.
+	Identity
+	// Covering suppresses forwarding of subscriptions covered by one
+	// already forwarded, and retracts forwarded subscriptions that a new
+	// wider subscription covers.
+	Covering
+	// Merging additionally creates perfect merges of forwarded filters,
+	// forwarding only the merged cover.
+	Merging
+)
+
+// ParseStrategy maps a name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "flooding":
+		return Flooding, nil
+	case "simple":
+		return Simple, nil
+	case "identity":
+		return Identity, nil
+	case "covering":
+		return Covering, nil
+	case "merging":
+		return Merging, nil
+	default:
+		return 0, fmt.Errorf("routing: unknown strategy %q", name)
+	}
+}
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Flooding:
+		return "flooding"
+	case Simple:
+		return "simple"
+	case Identity:
+		return "identity"
+	case Covering:
+		return "covering"
+	case Merging:
+		return "merging"
+	default:
+		return "invalid"
+	}
+}
+
+// Reduce computes the set of filters that must be forwarded upstream to
+// represent the given input filters under the strategy. The result always
+// accepts at least the union of the inputs (soundness), and for Covering
+// and Merging it is typically much smaller.
+func (s Strategy) Reduce(fs []filter.Filter) []filter.Filter {
+	switch s {
+	case Flooding:
+		// Flooding needs no subscription propagation at all.
+		return nil
+	case Simple:
+		return dedupIdentical(fs) // identical duplicates carry no information
+	case Identity:
+		return dedupIdentical(fs)
+	case Covering:
+		return removeCovered(dedupIdentical(fs))
+	case Merging:
+		return removeCovered(filter.MergeAll(removeCovered(dedupIdentical(fs))))
+	default:
+		return dedupIdentical(fs)
+	}
+}
+
+func dedupIdentical(fs []filter.Filter) []filter.Filter {
+	seen := make(map[string]bool, len(fs))
+	out := make([]filter.Filter, 0, len(fs))
+	for _, f := range fs {
+		id := f.ID()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// removeCovered drops every filter that is covered by another (distinct)
+// filter in the set. Mutual covers (equivalent filters) keep the first.
+func removeCovered(fs []filter.Filter) []filter.Filter {
+	out := make([]filter.Filter, 0, len(fs))
+	for i, f := range fs {
+		covered := false
+		for j, g := range fs {
+			if i == j {
+				continue
+			}
+			if g.Covers(f) {
+				// Break ties between mutually covering filters by index.
+				if f.Covers(g) && i < j {
+					continue
+				}
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Update is the diff a Forwarder emits for one neighbor: filters to newly
+// subscribe and filters to retract.
+type Update struct {
+	Hop         wire.Hop
+	Subscribe   []filter.Filter
+	Unsubscribe []filter.Filter
+}
+
+// Forwarder tracks, per neighbor, the set of filters this broker has
+// forwarded (its provisioned upstream interest), and computes minimal
+// sub/unsub diffs when the local routing table changes. It implements the
+// strategy-specific administrative traffic that Figure 9 counts.
+type Forwarder struct {
+	strategy Strategy
+
+	mu        sync.Mutex
+	forwarded map[string]map[string]filter.Filter // hop -> filterID -> filter
+}
+
+// NewForwarder returns a Forwarder for the given strategy.
+func NewForwarder(s Strategy) *Forwarder {
+	return &Forwarder{
+		strategy:  s,
+		forwarded: make(map[string]map[string]filter.Filter),
+	}
+}
+
+// Strategy returns the forwarder's strategy.
+func (f *Forwarder) Strategy() Strategy { return f.strategy }
+
+// Recompute diffs the desired forward set for the given neighbor against
+// what was previously forwarded. inputs are the filters of all routing
+// table entries *not* pointing at that neighbor.
+func (f *Forwarder) Recompute(hop wire.Hop, inputs []filter.Filter) Update {
+	desired := f.strategy.Reduce(inputs)
+	want := make(map[string]filter.Filter, len(desired))
+	for _, d := range desired {
+		want[d.ID()] = d
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hk := hop.String()
+	have := f.forwarded[hk]
+	if have == nil {
+		have = make(map[string]filter.Filter)
+		f.forwarded[hk] = have
+	}
+	u := Update{Hop: hop}
+	for id, fl := range want {
+		if _, ok := have[id]; !ok {
+			u.Subscribe = append(u.Subscribe, fl)
+			have[id] = fl
+		}
+	}
+	for id, fl := range have {
+		if _, ok := want[id]; !ok {
+			u.Unsubscribe = append(u.Unsubscribe, fl)
+			delete(have, id)
+		}
+	}
+	return u
+}
+
+// Forwarded returns the filters currently forwarded to the neighbor.
+func (f *Forwarder) Forwarded(hop wire.Hop) []filter.Filter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.forwarded[hop.String()]
+	out := make([]filter.Filter, 0, len(m))
+	for _, fl := range m {
+		out = append(out, fl)
+	}
+	return out
+}
+
+// DropHop forgets all forwarding state for a neighbor (link teardown).
+func (f *Forwarder) DropHop(hop wire.Hop) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.forwarded, hop.String())
+}

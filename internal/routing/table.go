@@ -1,0 +1,245 @@
+// Package routing implements content-based routing tables and the routing
+// strategies of Section 2.2: flooding, simple routing, identity-based
+// routing, covering-based routing, and merging-based routing.
+//
+// A routing table holds (filter, hop) pairs: a notification matching the
+// filter is forwarded along the hop. Mobile subscriptions additionally
+// carry their owning (client, subscription) identity so that the
+// relocation protocol of Section 4 can find and redirect the client's old
+// delivery path at every broker.
+package routing
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// Entry is one routing table row.
+type Entry struct {
+	Filter filter.Filter
+	Hop    wire.Hop
+	// Client/SubID identify the owning client subscription for mobile
+	// (per-client) entries. Aggregate entries produced by the routing
+	// strategies leave them empty.
+	Client wire.ClientID
+	SubID  wire.SubID
+}
+
+// IsClientEntry reports whether the entry is owned by a specific client
+// subscription.
+func (e Entry) IsClientEntry() bool { return e.Client != "" }
+
+// key returns a unique identity for the entry within a table.
+func (e Entry) key() string {
+	var b strings.Builder
+	b.WriteString(e.Filter.ID())
+	b.WriteByte('#')
+	b.WriteString(e.Hop.String())
+	b.WriteByte('#')
+	b.WriteString(string(e.Client))
+	b.WriteByte('/')
+	b.WriteString(string(e.SubID))
+	return b.String()
+}
+
+// Table is a concurrency-safe routing table.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{entries: make(map[string]Entry)}
+}
+
+// Add inserts an entry, reporting whether it was not already present.
+func (t *Table) Add(e Entry) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := e.key()
+	if _, ok := t.entries[k]; ok {
+		return false
+	}
+	t.entries[k] = e
+	return true
+}
+
+// Remove deletes the exact entry, reporting whether it was present.
+func (t *Table) Remove(e Entry) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := e.key()
+	if _, ok := t.entries[k]; !ok {
+		return false
+	}
+	delete(t.entries, k)
+	return true
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// All returns a snapshot of every entry in a deterministic order.
+func (t *Table) All() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, t.entries[k])
+	}
+	return out
+}
+
+// MatchingHops returns the deduplicated hops whose filters match the
+// notification, excluding the hop the notification arrived from (reverse
+// path forwarding on the acyclic overlay).
+func (t *Table) MatchingHops(n message.Notification, from wire.Hop) []wire.Hop {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []wire.Hop
+	for _, e := range t.entries {
+		if e.Hop == from {
+			continue
+		}
+		hk := e.Hop.String()
+		if seen[hk] {
+			continue
+		}
+		if e.Filter.Matches(n) {
+			seen[hk] = true
+			out = append(out, e.Hop)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// MatchingEntries returns every entry whose filter matches the
+// notification, excluding entries pointing back at from.
+func (t *Table) MatchingEntries(n message.Notification, from wire.Hop) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Entry
+	for _, e := range t.entries {
+		if e.Hop == from {
+			continue
+		}
+		if e.Filter.Matches(n) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// ClientEntries returns the entries owned by the given client
+// subscription.
+func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Entry
+	for _, e := range t.entries {
+		if e.Client == c && e.SubID == id {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// RemoveClient deletes all entries owned by the given client subscription
+// and returns them.
+func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Entry
+	for k, e := range t.entries {
+		if e.Client == c && e.SubID == id {
+			out = append(out, e)
+			delete(t.entries, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// RemoveHop deletes all entries pointing along the given hop and returns
+// them (used when a link or client goes away).
+func (t *Table) RemoveHop(h wire.Hop) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Entry
+	for k, e := range t.entries {
+		if e.Hop == h {
+			out = append(out, e)
+			delete(t.entries, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// EntriesNotFrom returns the filters of all entries whose hop differs from
+// the given hop (the inputs to a forwarding decision toward that hop).
+func (t *Table) EntriesNotFrom(h wire.Hop) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Entry
+	for _, e := range t.entries {
+		if e.Hop != h {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// OverlapsHop reports whether any entry from the given hop overlaps the
+// filter (used to decide whether a subscription must travel toward an
+// advertiser).
+func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, e := range t.entries {
+		if e.Hop == h && e.Filter.Overlaps(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// HopsOverlapping returns the hops having at least one entry overlapping
+// f, excluding from.
+func (t *Table) HopsOverlapping(f filter.Filter, from wire.Hop) []wire.Hop {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []wire.Hop
+	for _, e := range t.entries {
+		if e.Hop == from || seen[e.Hop.String()] {
+			continue
+		}
+		if e.Filter.Overlaps(f) {
+			seen[e.Hop.String()] = true
+			out = append(out, e.Hop)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

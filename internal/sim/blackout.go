@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"time"
+)
+
+// This file models Figure 3: the blackout period a consumer experiences
+// after (re-)subscribing, for the two routing regimes the paper contrasts:
+//
+//	(a) simple routing — the subscription must first propagate to the
+//	    producer (t_d), and only then can notifications flow back
+//	    (another t_d): a blackout of 2·t_d.
+//	(b) flooding with client-side filtering — notifications are already
+//	    in flight everywhere, so events published as early as t_d before
+//	    the subscription are delivered: an effective blackout of −t_d.
+
+// RoutingMode selects the Figure 3 variant.
+type RoutingMode uint8
+
+// Routing modes for the blackout experiment.
+const (
+	// ModeSimpleRouting propagates the subscription hop by hop before any
+	// notification can flow (Figure 3a).
+	ModeSimpleRouting RoutingMode = iota + 1
+	// ModeFloodingClientSide floods every notification and filters at the
+	// consumer's local broker (Figure 3b).
+	ModeFloodingClientSide
+)
+
+// String returns the mode name.
+func (m RoutingMode) String() string {
+	switch m {
+	case ModeSimpleRouting:
+		return "simple-routing"
+	case ModeFloodingClientSide:
+		return "flooding-client-side"
+	default:
+		return "invalid"
+	}
+}
+
+// BlackoutConfig parameterizes the Figure 3 chain scenario.
+type BlackoutConfig struct {
+	// Hops is the number of links between the consumer's and the
+	// producer's border broker (k in Figure 6).
+	Hops int
+	// LinkDelay is the per-link one-way delay; t_d = Hops · LinkDelay.
+	LinkDelay time.Duration
+	// PublishInterval is the producer's inter-publication gap; publishing
+	// starts at time zero.
+	PublishInterval time.Duration
+	// SubscribeAt is when the consumer issues its subscription.
+	SubscribeAt time.Duration
+	// Horizon ends the simulation.
+	Horizon time.Duration
+	// Mode selects Figure 3a or 3b.
+	Mode RoutingMode
+}
+
+// Delivery records one delivered notification.
+type Delivery struct {
+	PublishedAt time.Duration
+	DeliveredAt time.Duration
+}
+
+// BlackoutResult is the outcome of one Figure 3 run.
+type BlackoutResult struct {
+	Config    BlackoutConfig
+	Published int
+	Delivered []Delivery
+	// Td is the end-to-end one-way delay Hops · LinkDelay.
+	Td time.Duration
+}
+
+// FirstDeliveryAt returns the virtual time of the first delivery, or -1
+// when nothing was delivered.
+func (r BlackoutResult) FirstDeliveryAt() time.Duration {
+	if len(r.Delivered) == 0 {
+		return -1
+	}
+	return r.Delivered[0].DeliveredAt
+}
+
+// Blackout returns the observed blackout: the delay between the
+// subscription and the first delivery, or -1 when nothing was delivered.
+func (r BlackoutResult) Blackout() time.Duration {
+	first := r.FirstDeliveryAt()
+	if first < 0 {
+		return -1
+	}
+	return first - r.Config.SubscribeAt
+}
+
+// EarliestPublishedDelivered returns the publication time of the earliest
+// published notification that was delivered, or -1 when none. Under
+// flooding this is up to t_d *before* the subscription (the −t_d of
+// Figure 3b).
+func (r BlackoutResult) EarliestPublishedDelivered() time.Duration {
+	if len(r.Delivered) == 0 {
+		return -1
+	}
+	earliest := r.Delivered[0].PublishedAt
+	for _, d := range r.Delivered[1:] {
+		if d.PublishedAt < earliest {
+			earliest = d.PublishedAt
+		}
+	}
+	return earliest
+}
+
+// RunBlackout simulates the Figure 3 chain scenario.
+func RunBlackout(cfg BlackoutConfig) BlackoutResult {
+	s := New()
+	res := BlackoutResult{Config: cfg, Td: time.Duration(cfg.Hops) * cfg.LinkDelay}
+
+	// subscribedAtProducer is when the producer's border broker learns of
+	// the subscription (simple routing only).
+	subscribedAtProducer := cfg.SubscribeAt + res.Td
+	// subscribedAtConsumer is when client-side filtering switches on.
+	subscribedAtConsumer := cfg.SubscribeAt
+
+	deliver := func(pub time.Duration) {
+		res.Delivered = append(res.Delivered, Delivery{PublishedAt: pub, DeliveredAt: s.Now()})
+	}
+
+	// Producer publishes at 0, interval, 2·interval, …
+	for t := time.Duration(0); t <= cfg.Horizon; t += cfg.PublishInterval {
+		pub := t
+		s.At(pub, func() {
+			switch cfg.Mode {
+			case ModeSimpleRouting:
+				// Forwarded toward the consumer only if the subscription
+				// already reached the producer's border broker.
+				if s.Now() >= subscribedAtProducer {
+					s.After(res.Td, func() { deliver(pub) })
+				}
+			case ModeFloodingClientSide:
+				// Always floods; delivered if the consumer is subscribed
+				// when it arrives at the local broker.
+				s.After(res.Td, func() {
+					if s.Now() >= subscribedAtConsumer {
+						deliver(pub)
+					}
+				})
+			}
+		})
+		res.Published++
+	}
+	s.Run(cfg.Horizon + 2*res.Td)
+	return res
+}

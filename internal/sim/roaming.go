@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"time"
+)
+
+// This file models Figure 2: the notifications a naively roaming client
+// misses or receives twice when it relies on plain unsubscribe/subscribe
+// while moving between border brokers under flooding.
+//
+// The scenario: a producer publishes through broker B1; the client is
+// attached at B2 until it moves, then reattaches at B3 after a handoff
+// gap. Under flooding every notification reaches both B2 and B3; the
+// naive client receives a notification at B2 if it is still there when
+// the notification arrives, and at B3 if it has already (re-)subscribed
+// there. Depending on the two path delays a notification can thus arrive
+// zero times (the "event is not delivered" arrow of Figure 2) or twice
+// ("event is delivered twice").
+
+// RoamingConfig parameterizes the Figure 2 scenario.
+type RoamingConfig struct {
+	// DelayToOld is the delivery delay from the producer's broker to the
+	// old border broker (B1 → B2).
+	DelayToOld time.Duration
+	// DelayToNew is the delivery delay from the producer's broker to the
+	// new border broker (B1 → B3).
+	DelayToNew time.Duration
+	// DelayJitter models queueing variance on the new path: notification
+	// i experiences DelayToNew + (i mod 3) · DelayJitter. It is what makes
+	// both Figure 2 failure modes (miss and duplicate) appear in a single
+	// run, exactly as in a real flooded network where the two paths race
+	// differently per event.
+	DelayJitter time.Duration
+	// MoveAt is when the client leaves the old broker.
+	MoveAt time.Duration
+	// HandoffGap is how long after MoveAt the client has re-subscribed at
+	// the new broker (naive: unsub+sub round trips; protocol: immediate
+	// buffering).
+	HandoffGap time.Duration
+	// PublishInterval and Horizon control the publication schedule
+	// (publishing starts at time zero).
+	PublishInterval time.Duration
+	Horizon         time.Duration
+	// Protocol enables the paper's relocation protocol instead of the
+	// naive unsub/sub: the old broker buffers from MoveAt and the replay
+	// delivers exactly the missing notifications once.
+	Protocol bool
+}
+
+// RoamingResult counts per-notification delivery multiplicities.
+type RoamingResult struct {
+	Config     RoamingConfig
+	Published  int
+	OnceLive   int // delivered exactly once via a live path
+	OnceReplay int // delivered exactly once via the relocation replay
+	Duplicates int // delivered twice (naive overlap)
+	Missed     int // never delivered (naive gap)
+}
+
+// DeliveredOnce returns the number of notifications delivered exactly
+// once.
+func (r RoamingResult) DeliveredOnce() int { return r.OnceLive + r.OnceReplay }
+
+// RunRoaming simulates the Figure 2 scenario.
+func RunRoaming(cfg RoamingConfig) RoamingResult {
+	s := New()
+	res := RoamingResult{Config: cfg}
+	resubAt := cfg.MoveAt + cfg.HandoffGap
+
+	i := 0
+	for t := time.Duration(0); t <= cfg.Horizon; t += cfg.PublishInterval {
+		pub := t
+		jitter := time.Duration(i%3) * cfg.DelayJitter
+		i++
+		s.At(pub, func() {
+			arrivesOld := pub + cfg.DelayToOld
+			arrivesNew := pub + cfg.DelayToNew + jitter
+
+			atOld := arrivesOld < cfg.MoveAt // client still attached at B2
+			var atNew bool
+			if cfg.Protocol {
+				// With the relocation protocol the new border broker
+				// buffers from the moment the relocation subscription is
+				// issued, and the junction diverts; effectively every
+				// notification not seen at the old broker is delivered
+				// via the new path or the replay.
+				atNew = !atOld
+				if arrivesOld >= cfg.MoveAt && arrivesOld <= resubAt+cfg.DelayToOld {
+					// It was sitting in the old broker's virtual
+					// counterpart and came back via the replay.
+					res.OnceReplay++
+					res.Published++
+					return
+				}
+			} else {
+				atNew = arrivesNew >= resubAt // naive: only after re-subscribe
+			}
+
+			res.Published++
+			switch {
+			case atOld && atNew:
+				res.Duplicates++
+			case atOld || atNew:
+				res.OnceLive++
+			default:
+				res.Missed++
+			}
+		})
+	}
+	s.RunAll()
+	return res
+}

@@ -1,0 +1,100 @@
+// Package sim is a deterministic discrete-event simulator used by the
+// experiment harness. The live overlay (package core) runs real goroutines
+// over real (or latency-injected) links and is used for the correctness
+// experiments; this simulator provides exactly reproducible timing and
+// message counts for the quantitative figures (Figures 2, 3, and 9), which
+// the paper itself produced analytically/by simulation on a network
+// setting from its companion technical report.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock is a virtual time instant measured from simulation start.
+type Clock = time.Duration
+
+// event is a scheduled action.
+type event struct {
+	at  Clock
+	seq uint64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+// eventHeap orders events by time, then insertion order (which yields FIFO
+// links when all hops share one queue).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event scheduler.
+type Sim struct {
+	now  Clock
+	next uint64
+	pq   eventHeap
+}
+
+// New returns a simulator at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Clock { return s.now }
+
+// At schedules fn at the given absolute virtual time. Scheduling in the
+// past runs at the current time (still after all earlier events).
+func (s *Sim) At(t Clock, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.pq, event{at: t, seq: s.next, fn: fn})
+	s.next++
+}
+
+// After schedules fn after a delay from now.
+func (s *Sim) After(d time.Duration, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed until; events scheduled exactly at until still run.
+func (s *Sim) Run(until Clock) {
+	for s.pq.Len() > 0 {
+		e := s.pq[0]
+		if e.at > until {
+			return
+		}
+		heap.Pop(&s.pq)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// RunAll processes every event regardless of time.
+func (s *Sim) RunAll() {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// Pending returns the number of scheduled events (diagnostics).
+func (s *Sim) Pending() int { return s.pq.Len() }

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var hits []time.Duration
+	s.At(time.Millisecond, func() {
+		s.After(2*time.Millisecond, func() { hits = append(hits, s.Now()) })
+	})
+	s.RunAll()
+	if len(hits) != 1 || hits[0] != 3*time.Millisecond {
+		t.Fatalf("nested scheduling: %v", hits)
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { ran = true }) // in the past
+	})
+	s.RunAll()
+	if !ran {
+		t.Error("past event never ran")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("past event advanced the clock to %v", s.Now())
+	}
+}
+
+func TestRunUntilStops(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(time.Millisecond, func() { ran++ })
+	s.At(time.Hour, func() { ran++ })
+	s.Run(time.Second)
+	if ran != 1 {
+		t.Errorf("Run(1s) executed %d events", ran)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.RunAll()
+	if ran != 2 {
+		t.Error("RunAll did not finish the queue")
+	}
+}
+
+func TestBlackoutSimpleRoutingTwoTd(t *testing.T) {
+	cfg := BlackoutConfig{
+		Hops:            4,
+		LinkDelay:       25 * time.Millisecond, // t_d = 100ms
+		PublishInterval: 10 * time.Millisecond,
+		SubscribeAt:     300 * time.Millisecond,
+		Horizon:         time.Second,
+		Mode:            ModeSimpleRouting,
+	}
+	res := RunBlackout(cfg)
+	if res.Td != 100*time.Millisecond {
+		t.Fatalf("Td = %v", res.Td)
+	}
+	b := res.Blackout()
+	if b < 2*res.Td || b > 2*res.Td+cfg.PublishInterval {
+		t.Errorf("blackout = %v, want in [2td, 2td+interval]", b)
+	}
+	// Nothing published before the subscription reached the producer is
+	// delivered.
+	if res.EarliestPublishedDelivered() < cfg.SubscribeAt+res.Td {
+		t.Error("simple routing delivered a pre-subscription event")
+	}
+	// Deliveries are complete afterwards: everything published in
+	// [subscribeAt+td, horizon] is delivered.
+	wantCount := 0
+	for tt := time.Duration(0); tt <= cfg.Horizon; tt += cfg.PublishInterval {
+		if tt >= cfg.SubscribeAt+res.Td {
+			wantCount++
+		}
+	}
+	if len(res.Delivered) != wantCount {
+		t.Errorf("delivered %d, want %d", len(res.Delivered), wantCount)
+	}
+}
+
+func TestBlackoutFloodingNegativeTd(t *testing.T) {
+	cfg := BlackoutConfig{
+		Hops:            4,
+		LinkDelay:       25 * time.Millisecond,
+		PublishInterval: 10 * time.Millisecond,
+		SubscribeAt:     300 * time.Millisecond,
+		Horizon:         time.Second,
+		Mode:            ModeFloodingClientSide,
+	}
+	res := RunBlackout(cfg)
+	// First delivery essentially at the subscription time.
+	if b := res.Blackout(); b < 0 || b > cfg.PublishInterval {
+		t.Errorf("flooding blackout = %v", b)
+	}
+	// Events published up to t_d before the subscription are seen
+	// (Figure 3b's −t_d).
+	earliest := res.EarliestPublishedDelivered()
+	if earliest > cfg.SubscribeAt-res.Td+cfg.PublishInterval {
+		t.Errorf("earliest published delivered = %v, want ≈ %v",
+			earliest, cfg.SubscribeAt-res.Td)
+	}
+}
+
+func TestBlackoutScalesWithHops(t *testing.T) {
+	base := BlackoutConfig{
+		LinkDelay:       10 * time.Millisecond,
+		PublishInterval: time.Millisecond,
+		SubscribeAt:     200 * time.Millisecond,
+		Horizon:         time.Second,
+		Mode:            ModeSimpleRouting,
+	}
+	var prev time.Duration
+	for _, hops := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Hops = hops
+		b := RunBlackout(cfg).Blackout()
+		if b <= prev {
+			t.Errorf("blackout should grow with hops: %d hops -> %v (prev %v)", hops, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestRoamingNaiveFailureModes(t *testing.T) {
+	cfg := RoamingConfig{
+		DelayToOld:      10 * time.Millisecond,
+		DelayToNew:      40 * time.Millisecond,
+		DelayJitter:     80 * time.Millisecond,
+		MoveAt:          500 * time.Millisecond,
+		HandoffGap:      100 * time.Millisecond,
+		PublishInterval: 5 * time.Millisecond,
+		Horizon:         time.Second,
+	}
+	res := RunRoaming(cfg)
+	if res.Missed == 0 {
+		t.Error("naive roaming should miss notifications")
+	}
+	if res.Duplicates == 0 {
+		t.Error("naive roaming should duplicate notifications")
+	}
+	if res.Published != res.DeliveredOnce()+res.Missed+res.Duplicates {
+		t.Errorf("accounting broken: %+v", res)
+	}
+}
+
+func TestRoamingProtocolExactlyOnceSweep(t *testing.T) {
+	// Property: for every parameter combination, the relocation protocol
+	// delivers everything exactly once.
+	for _, dOld := range []time.Duration{0, 10 * time.Millisecond, 80 * time.Millisecond} {
+		for _, dNew := range []time.Duration{5 * time.Millisecond, 60 * time.Millisecond} {
+			for _, gap := range []time.Duration{0, 50 * time.Millisecond, 300 * time.Millisecond} {
+				cfg := RoamingConfig{
+					DelayToOld:      dOld,
+					DelayToNew:      dNew,
+					DelayJitter:     30 * time.Millisecond,
+					MoveAt:          400 * time.Millisecond,
+					HandoffGap:      gap,
+					PublishInterval: 7 * time.Millisecond,
+					Horizon:         time.Second,
+					Protocol:        true,
+				}
+				res := RunRoaming(cfg)
+				if res.Missed != 0 || res.Duplicates != 0 {
+					t.Fatalf("protocol broke exactly-once for %+v: %+v", cfg, res)
+				}
+				if res.DeliveredOnce() != res.Published {
+					t.Fatalf("protocol lost messages for %+v: %+v", cfg, res)
+				}
+			}
+		}
+	}
+}
+
+func TestFig9ConfigValidation(t *testing.T) {
+	good := Fig9Config{
+		TreeDepth: 3, Locations: 25, Rate: 100,
+		Delta: time.Second, HopDelay: 50 * time.Millisecond,
+		Horizon: 10 * time.Second, Algorithm: AlgLocDep,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Fig9Config{
+		{TreeDepth: 0, Locations: 25, Rate: 100, Delta: time.Second, Horizon: time.Second, Algorithm: AlgLocDep},
+		{TreeDepth: 3, Locations: 2, Rate: 100, Delta: time.Second, Horizon: time.Second, Algorithm: AlgLocDep},
+		{TreeDepth: 3, Locations: 25, Rate: 0, Delta: time.Second, Horizon: time.Second, Algorithm: AlgLocDep},
+		{TreeDepth: 3, Locations: 25, Rate: 100, Delta: 0, Horizon: time.Second, Algorithm: AlgLocDep},
+		{TreeDepth: 3, Locations: 25, Rate: 100, Delta: time.Second, Horizon: 0, Algorithm: AlgLocDep},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if got := good.Brokers(); got != 15 {
+		t.Errorf("depth-3 tree has %d brokers, want 15", got)
+	}
+	if got := good.Links(); got != 14 {
+		t.Errorf("depth-3 tree has %d links, want 14", got)
+	}
+}
+
+func TestFig9FloodingIsLinear(t *testing.T) {
+	cfg := Fig9Config{
+		TreeDepth: 3, Locations: 25, Rate: 100,
+		Delta: time.Second, HopDelay: 50 * time.Millisecond,
+		Horizon: 10 * time.Second, Algorithm: AlgFlooding,
+	}
+	s, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flooding: exactly rate × links per second.
+	perSec := cfg.Rate * float64(cfg.Links())
+	for i := 1; i < len(s.Points); i++ {
+		got := s.Points[i].Total - s.Points[i-1].Total
+		if got != perSec {
+			t.Fatalf("flooding increment at %d = %g, want %g", i, got, perSec)
+		}
+	}
+}
+
+func TestFig9LocDepBeatsFloodingEverywhere(t *testing.T) {
+	for _, depth := range []int{2, 4, 5} {
+		for _, delta := range []time.Duration{time.Second, 10 * time.Second} {
+			base := Fig9Config{
+				TreeDepth: depth, Locations: 100, Rate: 500,
+				HopDelay: 200 * time.Millisecond, Horizon: 50 * time.Second,
+			}
+			flood := base
+			flood.Algorithm = AlgFlooding
+			flood.Delta = delta
+			loc := base
+			loc.Algorithm = AlgLocDep
+			loc.Delta = delta
+			fs, err := RunFig9(flood)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ls, err := RunFig9(loc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls.Final() >= fs.Final() {
+				t.Errorf("depth=%d Δ=%v: locdep %g >= flooding %g",
+					depth, delta, ls.Final(), fs.Final())
+			}
+		}
+	}
+}
+
+func TestFig9FasterConsumerCostsMore(t *testing.T) {
+	base := Fig9Config{
+		TreeDepth: 5, Locations: 100, Rate: 1000,
+		HopDelay: 400 * time.Millisecond, Horizon: 100 * time.Second,
+		Algorithm: AlgLocDep,
+	}
+	fast := base
+	fast.Delta = time.Second
+	slow := base
+	slow.Delta = 10 * time.Second
+	fs, err := RunFig9(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := RunFig9(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Final() <= ss.Final() {
+		t.Errorf("Δ=1s (%g) should cost more than Δ=10s (%g)", fs.Final(), ss.Final())
+	}
+}
+
+func TestPathLengths(t *testing.T) {
+	// Depth 2: 4 leaves; distances from leaf 0 to leaves 1, 2, 3 are
+	// 2, 4, 4.
+	got := pathLengths(2)
+	want := []int{2, 4, 4}
+	if len(got) != len(want) {
+		t.Fatalf("pathLengths(2) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pathLengths(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlocSizeGrid(t *testing.T) {
+	tests := []struct{ q, l, want int }{
+		{0, 100, 1},
+		{1, 100, 5},
+		{2, 100, 13},
+		{3, 100, 25},
+		{9, 100, 100}, // capped
+		{0, 3, 1},
+		{5, 3, 3},
+	}
+	for _, tt := range tests {
+		if got := plocSize(tt.q, tt.l); got != tt.want {
+			t.Errorf("plocSize(%d, %d) = %d, want %d", tt.q, tt.l, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// TCPLink is a link endpoint over a TCP connection. Frames are
+// length-prefixed (4-byte big-endian) wire-codec messages. A handshake
+// exchanges broker identities so each side knows which Hop its inbound
+// messages belong to.
+type TCPLink struct {
+	conn    net.Conn
+	peerHop wire.Hop
+
+	writeMu sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+	done    chan struct{}
+}
+
+var _ Link = (*TCPLink)(nil)
+
+const maxFrameSize = 16 << 20 // 16 MiB; far above any legitimate message
+
+// clientHandshakePrefix marks a handshake identity as a client rather
+// than a broker, so the accepting side attaches the peer as a client.
+const clientHandshakePrefix = "client/"
+
+// DialTCP connects to a peer broker, performs the identity handshake, and
+// starts a reader goroutine delivering inbound messages to recv tagged
+// with the peer's identity.
+func DialTCP(addr string, self wire.BrokerID, recv Receiver) (*TCPLink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPLink(conn, string(self), recv)
+}
+
+// DialTCPClient connects a *client* to a broker over TCP: the handshake
+// identifies the peer as a client so the broker attaches it instead of
+// linking it into the overlay.
+func DialTCPClient(addr string, self wire.ClientID, recv Receiver) (*TCPLink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPLink(conn, clientHandshakePrefix+string(self), recv)
+}
+
+// AcceptTCP wraps an accepted connection, performs the handshake, and
+// starts the reader goroutine. Use Peer().IsClient() to tell whether the
+// remote end is a client or a broker.
+func AcceptTCP(conn net.Conn, self wire.BrokerID, recv Receiver) (*TCPLink, error) {
+	return newTCPLink(conn, string(self), recv)
+}
+
+func newTCPLink(conn net.Conn, self string, recv Receiver) (*TCPLink, error) {
+	if err := writeFrame(conn, []byte(self)); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: handshake send: %w", err)
+	}
+	peerID, err := readFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: handshake recv: %w", err)
+	}
+	hop := wire.BrokerHop(wire.BrokerID(peerID))
+	if rest, ok := strings.CutPrefix(string(peerID), clientHandshakePrefix); ok {
+		hop = wire.ClientHop(wire.ClientID(rest))
+	}
+	l := &TCPLink{
+		conn:    conn,
+		peerHop: hop,
+		done:    make(chan struct{}),
+	}
+	go l.readLoop(recv)
+	return l, nil
+}
+
+// Peer returns the remote broker's identity as learned in the handshake.
+func (l *TCPLink) Peer() wire.Hop { return l.peerHop }
+
+// Send implements Link. Frames are written under a mutex, preserving FIFO
+// order across concurrent senders.
+func (l *TCPLink) Send(m wire.Message) error {
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.closeMu.Lock()
+	closed := l.closed
+	l.closeMu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	if err := writeFrame(l.conn, frame); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// Close implements Link and waits for the reader goroutine to exit.
+func (l *TCPLink) Close() error {
+	l.closeMu.Lock()
+	if l.closed {
+		l.closeMu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.closeMu.Unlock()
+	err := l.conn.Close()
+	<-l.done
+	return err
+}
+
+// Done returns a channel closed when the reader goroutine exits (peer
+// closed or Close was called).
+func (l *TCPLink) Done() <-chan struct{} { return l.done }
+
+func (l *TCPLink) readLoop(recv Receiver) {
+	defer close(l.done)
+	for {
+		frame, err := readFrame(l.conn)
+		if err != nil {
+			return // connection closed or broken; receiver stops hearing from us
+		}
+		m, err := wire.Decode(frame)
+		if err != nil {
+			continue // skip malformed frame; FIFO of valid frames preserved
+		}
+		recv.Receive(Inbound{From: l.peerHop, Msg: m})
+	}
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,228 @@
+// Package transport provides the point-to-point, FIFO-ordered,
+// error-free communication links the paper's system model assumes
+// (Section 2.1): in-process channel links with configurable latency for
+// tests and experiments, and TCP links for distributed deployment.
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Inbound is a message as it arrives at a broker, tagged with the hop it
+// came from.
+type Inbound struct {
+	From wire.Hop
+	Msg  wire.Message
+}
+
+// Receiver consumes inbound messages. Implementations must be safe for
+// concurrent use; per-link FIFO order is preserved by the links.
+type Receiver interface {
+	Receive(in Inbound)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(Inbound)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(in Inbound) { f(in) }
+
+var _ Receiver = ReceiverFunc(nil)
+
+// Link is one endpoint of a bidirectional broker-to-broker or
+// client-to-broker connection.
+type Link interface {
+	// Send transmits a message to the peer, preserving FIFO order with
+	// respect to prior Sends on this link.
+	Send(m wire.Message) error
+	// Close tears the link down; subsequent Sends fail.
+	Close() error
+}
+
+// ErrLinkClosed is returned by Send after Close.
+var ErrLinkClosed = errors.New("transport: link closed")
+
+// ChanLink is an in-process link endpoint. Messages are handed to the
+// remote receiver either synchronously (zero latency) or through a delay
+// line that models link latency while preserving FIFO order.
+type ChanLink struct {
+	localHop  wire.Hop // how the remote side sees us
+	remote    Receiver
+	latency   time.Duration
+	counter   *metrics.Counter
+	delayLine *delayLine
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Link = (*ChanLink)(nil)
+
+// PipeOption configures a Pipe.
+type PipeOption func(*pipeConfig)
+
+type pipeConfig struct {
+	latencyAB time.Duration
+	latencyBA time.Duration
+	counter   *metrics.Counter
+}
+
+// WithLatency sets a symmetric one-way latency for both directions.
+func WithLatency(d time.Duration) PipeOption {
+	return func(c *pipeConfig) {
+		c.latencyAB = d
+		c.latencyBA = d
+	}
+}
+
+// WithAsymmetricLatency sets distinct latencies for the two directions.
+func WithAsymmetricLatency(ab, ba time.Duration) PipeOption {
+	return func(c *pipeConfig) {
+		c.latencyAB = ab
+		c.latencyBA = ba
+	}
+}
+
+// WithCounter counts every message crossing the pipe (in either direction)
+// into the given counter, categorized by message type.
+func WithCounter(cnt *metrics.Counter) PipeOption {
+	return func(c *pipeConfig) { c.counter = cnt }
+}
+
+// Pipe connects two receivers with a pair of link endpoints. aHop is the
+// identity under which A's messages arrive at B, and vice versa.
+func Pipe(aHop, bHop wire.Hop, a, b Receiver, opts ...PipeOption) (fromA, fromB *ChanLink) {
+	var cfg pipeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	la := &ChanLink{localHop: aHop, remote: b, latency: cfg.latencyAB, counter: cfg.counter}
+	lb := &ChanLink{localHop: bHop, remote: a, latency: cfg.latencyBA, counter: cfg.counter}
+	if cfg.latencyAB > 0 {
+		la.delayLine = newDelayLine()
+	}
+	if cfg.latencyBA > 0 {
+		lb.delayLine = newDelayLine()
+	}
+	return la, lb
+}
+
+// Send implements Link.
+func (l *ChanLink) Send(m wire.Message) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLinkClosed
+	}
+	l.mu.Unlock()
+
+	if l.counter != nil {
+		l.counter.Inc(categorize(m))
+	}
+	in := Inbound{From: l.localHop, Msg: m}
+	if l.delayLine == nil {
+		l.remote.Receive(in)
+		return nil
+	}
+	l.delayLine.enqueue(time.Now().Add(l.latency), func() { l.remote.Receive(in) })
+	return nil
+}
+
+// Close implements Link.
+func (l *ChanLink) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.delayLine != nil {
+		l.delayLine.stop()
+	}
+	return nil
+}
+
+func categorize(m wire.Message) metrics.Category {
+	switch {
+	case m.Type == wire.TypePublish:
+		return metrics.CategoryNotification
+	case m.Type == wire.TypeDeliver:
+		return metrics.CategoryDeliver
+	case m.Type == wire.TypeFetch || m.Type == wire.TypeReplay:
+		return metrics.CategoryControl
+	default:
+		return metrics.CategoryAdmin
+	}
+}
+
+// delayLine delivers enqueued actions in order after their due time,
+// modeling a FIFO link with latency. A single goroutine drains the queue;
+// stop terminates it after the queue empties or immediately when idle.
+type delayLine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []delayed
+	stopped bool
+	done    chan struct{}
+}
+
+type delayed struct {
+	due time.Time
+	fn  func()
+}
+
+func newDelayLine() *delayLine {
+	d := &delayLine{done: make(chan struct{})}
+	d.cond = sync.NewCond(&d.mu)
+	go d.run()
+	return d
+}
+
+func (d *delayLine) enqueue(due time.Time, fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	d.queue = append(d.queue, delayed{due: due, fn: fn})
+	d.cond.Signal()
+}
+
+func (d *delayLine) run() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.stopped {
+			d.cond.Wait()
+		}
+		if d.stopped && len(d.queue) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		item := d.queue[0]
+		d.queue = d.queue[1:]
+		d.mu.Unlock()
+
+		if wait := time.Until(item.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		item.fn()
+	}
+}
+
+// stop drains remaining items (delivering them without further delay would
+// break FIFO timing guarantees mid-test, so it lets the queue finish) and
+// terminates the goroutine.
+func (d *delayLine) stop() {
+	d.mu.Lock()
+	d.stopped = true
+	d.cond.Signal()
+	d.mu.Unlock()
+	<-d.done
+}

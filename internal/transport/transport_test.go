@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// sink records inbound messages.
+type sink struct {
+	mu  sync.Mutex
+	got []Inbound
+}
+
+func (s *sink) Receive(in Inbound) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got = append(s.got, in)
+}
+
+func (s *sink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func (s *sink) at(i int) Inbound {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.got[i]
+}
+
+func pubMsg(i int64) wire.Message {
+	return wire.NewPublish(message.New(map[string]message.Value{
+		"i": message.Int(i),
+	}))
+}
+
+func msgIndex(in Inbound) int64 {
+	v, _ := in.Msg.Notif.Get("i")
+	return v.IntVal()
+}
+
+func TestPipeDeliversWithHopIdentity(t *testing.T) {
+	var a, b sink
+	la, lb := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &a, &b)
+	if err := la.Send(pubMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Send(pubMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if b.len() != 1 || b.at(0).From.Broker != "A" {
+		t.Errorf("B got %d messages, from %v", b.len(), b.at(0).From)
+	}
+	if a.len() != 1 || a.at(0).From.Broker != "B" {
+		t.Errorf("A got %d messages", a.len())
+	}
+}
+
+func TestPipeFIFOWithLatency(t *testing.T) {
+	var b sink
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, &b,
+		WithLatency(5*time.Millisecond))
+	const n = 50
+	start := time.Now()
+	for i := int64(0); i < n; i++ {
+		if err := la.Send(pubMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for b.len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b.len() != n {
+		t.Fatalf("received %d of %d", b.len(), n)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+	for i := 0; i < n; i++ {
+		if got := msgIndex(b.at(i)); got != int64(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, got)
+		}
+	}
+	if err := la.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Send(pubMsg(99)); err != ErrLinkClosed {
+		t.Errorf("send after close = %v, want ErrLinkClosed", err)
+	}
+	if err := la.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestPipeAsymmetricLatency(t *testing.T) {
+	var a, b sink
+	la, lb := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &a, &b,
+		WithAsymmetricLatency(0, 10*time.Millisecond))
+	// A→B instant.
+	if err := la.Send(pubMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if b.len() != 1 {
+		t.Error("A->B should be synchronous at zero latency")
+	}
+	// B→A delayed.
+	start := time.Now()
+	if err := lb.Send(pubMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	for a.len() < 1 && time.Since(start) < time.Second {
+		time.Sleep(time.Millisecond)
+	}
+	if a.len() != 1 || time.Since(start) < 10*time.Millisecond {
+		t.Errorf("B->A latency not applied (%v)", time.Since(start))
+	}
+	_ = la.Close()
+	_ = lb.Close()
+}
+
+func TestPipeCounterCategorization(t *testing.T) {
+	var cnt metrics.Counter
+	var b sink
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, &b, WithCounter(&cnt))
+	msgs := []wire.Message{
+		pubMsg(1),
+		wire.NewSubscribe(wire.Subscription{}),
+		wire.NewUnsubscribe(wire.Subscription{}),
+		wire.NewAdvertise(wire.Subscription{}),
+		wire.NewFetch(wire.Fetch{}),
+		wire.NewReplay(wire.Replay{}),
+		wire.NewLocUpdate(wire.LocUpdate{}),
+		wire.NewDeliver(wire.Deliver{}),
+	}
+	for _, m := range msgs {
+		if err := la.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cnt.Get(metrics.CategoryNotification); got != 1 {
+		t.Errorf("notifications = %d", got)
+	}
+	if got := cnt.Get(metrics.CategoryAdmin); got != 4 {
+		t.Errorf("admin = %d", got)
+	}
+	if got := cnt.Get(metrics.CategoryControl); got != 2 {
+		t.Errorf("control = %d", got)
+	}
+	if got := cnt.Get(metrics.CategoryDeliver); got != 1 {
+		t.Errorf("deliver = %d", got)
+	}
+	if cnt.Total() != 8 {
+		t.Errorf("total = %d", cnt.Total())
+	}
+}
+
+func TestReceiverFunc(t *testing.T) {
+	called := false
+	ReceiverFunc(func(Inbound) { called = true }).Receive(Inbound{})
+	if !called {
+		t.Error("ReceiverFunc did not dispatch")
+	}
+}
+
+func TestTCPLinkRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var serverSink sink
+	accepted := make(chan *TCPLink, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		l, err := AcceptTCP(conn, "server", &serverSink)
+		if err != nil {
+			return
+		}
+		accepted <- l
+	}()
+
+	var clientSink sink
+	cl, err := DialTCP(ln.Addr().String(), "client", &clientSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := <-accepted
+	defer sv.Close()
+	defer cl.Close()
+
+	if cl.Peer().Broker != "server" || sv.Peer().Broker != "client" {
+		t.Errorf("handshake identities: %v, %v", cl.Peer(), sv.Peer())
+	}
+
+	const n = 20
+	for i := int64(0); i < n; i++ {
+		if err := cl.Send(pubMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for serverSink.len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if serverSink.len() != n {
+		t.Fatalf("server got %d of %d", serverSink.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		in := serverSink.at(i)
+		if in.From.Broker != "client" {
+			t.Fatalf("wrong hop identity: %v", in.From)
+		}
+		if got := msgIndex(in); got != int64(i) {
+			t.Fatalf("TCP FIFO violated at %d: got %d", i, got)
+		}
+	}
+
+	// Reply direction.
+	if err := sv.Send(pubMsg(100)); err != nil {
+		t.Fatal(err)
+	}
+	for clientSink.len() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if clientSink.len() != 1 || msgIndex(clientSink.at(0)) != 100 {
+		t.Error("reply not received")
+	}
+}
+
+func TestTCPLinkCloseUnblocksReader(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = AcceptTCP(conn, "server", &sink{})
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-cl.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader did not exit after Close")
+	}
+	if err := cl.Send(pubMsg(1)); err != ErrLinkClosed {
+		t.Errorf("send after close = %v", err)
+	}
+}

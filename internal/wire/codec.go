@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+)
+
+// Binary codec for wire messages, used by the TCP transport. The in-process
+// channel transport passes Message values directly and never touches this
+// codec. Layout is length/tag-prefixed and versioned with a leading magic
+// byte so that incompatible peers fail fast.
+
+const codecVersion = 1
+
+// ErrBadFrame is returned for malformed or incompatible frames.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)          { e.buf = append(e.buf, v) }
+func (e *encoder) uv(v uint64)         { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) iv(v int64)          { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) str(s string)        { e.uv(uint64(len(s))); e.buf = append(e.buf, s...) }
+func (e *encoder) val(v message.Value) { e.buf = message.AppendValue(e.buf, v) }
+func (e *encoder) boolean(b bool) {
+	if b {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrBadFrame, msg)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("truncated u8")
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) iv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.pos) < n {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *decoder) val() message.Value {
+	if d.err != nil {
+		return message.Value{}
+	}
+	v, n, err := message.DecodeValue(d.buf[d.pos:])
+	if err != nil {
+		d.fail("bad value: " + err.Error())
+		return message.Value{}
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+func encodeFilter(e *encoder, f filter.Filter) {
+	cs := f.Constraints()
+	e.uv(uint64(len(cs)))
+	for _, c := range cs {
+		e.str(c.Attr)
+		e.u8(uint8(c.Op))
+		switch c.Op {
+		case filter.OpIn:
+			e.uv(uint64(len(c.Values)))
+			for _, v := range c.Values {
+				e.val(v)
+			}
+		case filter.OpRange:
+			e.val(c.Lo)
+			e.val(c.Hi)
+		case filter.OpExists:
+		default:
+			e.val(c.Value)
+		}
+	}
+}
+
+func decodeFilter(d *decoder) filter.Filter {
+	n := d.uv()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail("bad constraint count")
+		return filter.Filter{}
+	}
+	cs := make([]filter.Constraint, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		c := filter.Constraint{Attr: d.str(), Op: filter.Op(d.u8())}
+		switch c.Op {
+		case filter.OpIn:
+			m := d.uv()
+			if m > uint64(len(d.buf)) {
+				d.fail("bad set size")
+				return filter.Filter{}
+			}
+			for j := uint64(0); j < m && d.err == nil; j++ {
+				c.Values = append(c.Values, d.val())
+			}
+		case filter.OpRange:
+			c.Lo = d.val()
+			c.Hi = d.val()
+		case filter.OpExists:
+		default:
+			c.Value = d.val()
+		}
+		cs = append(cs, c)
+	}
+	if d.err != nil {
+		return filter.Filter{}
+	}
+	f, err := filter.New(cs...)
+	if err != nil {
+		d.fail("invalid filter: " + err.Error())
+		return filter.Filter{}
+	}
+	return f
+}
+
+func encodeSub(e *encoder, s *Subscription) {
+	encodeFilter(e, s.Filter)
+	e.str(string(s.Client))
+	e.str(string(s.ID))
+	e.boolean(s.IsMobile)
+	e.boolean(s.Presubscribe)
+	e.boolean(s.Relocate)
+	e.uv(s.LastSeq)
+	e.uv(s.RelocEpoch)
+	e.boolean(s.LocDependent)
+	if s.LocDependent {
+		e.str(s.LocAttr)
+		e.str(s.GraphName)
+		e.str(string(s.Loc))
+		e.iv(int64(s.Delta))
+		e.iv(int64(s.CumDelay))
+		e.uv(uint64(s.Steps))
+		e.uv(uint64(s.NextMultiple))
+	}
+}
+
+func decodeSub(d *decoder) *Subscription {
+	s := &Subscription{
+		Filter:       decodeFilter(d),
+		Client:       ClientID(d.str()),
+		ID:           SubID(d.str()),
+		IsMobile:     d.boolean(),
+		Presubscribe: d.boolean(),
+		Relocate:     d.boolean(),
+		LastSeq:      d.uv(),
+	}
+	s.RelocEpoch = d.uv()
+	s.LocDependent = d.boolean()
+	if s.LocDependent {
+		s.LocAttr = d.str()
+		s.GraphName = d.str()
+		s.Loc = location.Location(d.str())
+		s.Delta = time.Duration(d.iv())
+		s.CumDelay = time.Duration(d.iv())
+		s.Steps = int(d.uv())
+		s.NextMultiple = int(d.uv())
+	}
+	return s
+}
+
+// Encode serializes a message into a self-contained frame (excluding any
+// outer length prefix, which the transport adds).
+func Encode(m Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 128)}
+	e.u8(codecVersion)
+	e.u8(uint8(m.Type))
+	switch m.Type {
+	case TypePublish:
+		if m.Notif == nil {
+			return nil, fmt.Errorf("%w: publish without notification", ErrBadFrame)
+		}
+		e.buf = message.AppendNotification(e.buf, *m.Notif)
+	case TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise:
+		if m.Sub == nil {
+			return nil, fmt.Errorf("%w: %s without subscription", ErrBadFrame, m.Type)
+		}
+		encodeSub(e, m.Sub)
+	case TypeFetch:
+		if m.Fetch == nil {
+			return nil, fmt.Errorf("%w: fetch without body", ErrBadFrame)
+		}
+		e.str(string(m.Fetch.Client))
+		e.str(string(m.Fetch.ID))
+		encodeFilter(e, m.Fetch.Filter)
+		e.uv(m.Fetch.LastSeq)
+		e.str(string(m.Fetch.Junction))
+		e.uv(m.Fetch.Epoch)
+	case TypeReplay:
+		if m.Replay == nil {
+			return nil, fmt.Errorf("%w: replay without body", ErrBadFrame)
+		}
+		e.str(string(m.Replay.Client))
+		e.str(string(m.Replay.ID))
+		e.str(string(m.Replay.From))
+		e.uv(m.Replay.NextSeq)
+		e.uv(uint64(len(m.Replay.Items)))
+		for _, it := range m.Replay.Items {
+			e.uv(it.Seq)
+			e.buf = message.AppendNotification(e.buf, it.Notif)
+		}
+	case TypeLocUpdate:
+		if m.Loc == nil {
+			return nil, fmt.Errorf("%w: locupdate without body", ErrBadFrame)
+		}
+		e.str(string(m.Loc.Client))
+		e.str(string(m.Loc.ID))
+		e.str(string(m.Loc.OldLoc))
+		e.str(string(m.Loc.NewLoc))
+	case TypeDeliver:
+		if m.Deliver == nil {
+			return nil, fmt.Errorf("%w: deliver without body", ErrBadFrame)
+		}
+		e.str(string(m.Deliver.Client))
+		e.str(string(m.Deliver.ID))
+		e.uv(m.Deliver.Item.Seq)
+		e.boolean(m.Deliver.Replayed)
+		e.buf = message.AppendNotification(e.buf, m.Deliver.Item.Notif)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %s", ErrBadFrame, m.Type)
+	}
+	return e.buf, nil
+}
+
+// Decode parses a frame produced by Encode.
+func Decode(frame []byte) (Message, error) {
+	d := &decoder{buf: frame}
+	if v := d.u8(); v != codecVersion {
+		return Message{}, fmt.Errorf("%w: version %d (want %d)", ErrBadFrame, v, codecVersion)
+	}
+	m := Message{Type: Type(d.u8())}
+	switch m.Type {
+	case TypePublish:
+		n, used, err := message.DecodeNotification(d.buf[d.pos:])
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		d.pos += used
+		m.Notif = &n
+	case TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise:
+		m.Sub = decodeSub(d)
+	case TypeFetch:
+		f := &Fetch{
+			Client: ClientID(d.str()),
+			ID:     SubID(d.str()),
+			Filter: decodeFilter(d),
+		}
+		f.LastSeq = d.uv()
+		f.Junction = BrokerID(d.str())
+		f.Epoch = d.uv()
+		m.Fetch = f
+	case TypeReplay:
+		r := &Replay{
+			Client:  ClientID(d.str()),
+			ID:      SubID(d.str()),
+			From:    BrokerID(d.str()),
+			NextSeq: d.uv(),
+		}
+		count := d.uv()
+		if count > uint64(len(d.buf)) {
+			return Message{}, fmt.Errorf("%w: bad replay count", ErrBadFrame)
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			seq := d.uv()
+			n, used, err := message.DecodeNotification(d.buf[d.pos:])
+			if err != nil {
+				return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			}
+			d.pos += used
+			r.Items = append(r.Items, SeqNotification{Seq: seq, Notif: n})
+		}
+		m.Replay = r
+	case TypeLocUpdate:
+		m.Loc = &LocUpdate{
+			Client: ClientID(d.str()),
+			ID:     SubID(d.str()),
+			OldLoc: location.Location(d.str()),
+			NewLoc: location.Location(d.str()),
+		}
+	case TypeDeliver:
+		dv := &Deliver{
+			Client: ClientID(d.str()),
+			ID:     SubID(d.str()),
+		}
+		dv.Item.Seq = d.uv()
+		dv.Replayed = d.boolean()
+		n, used, err := message.DecodeNotification(d.buf[d.pos:])
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		d.pos += used
+		dv.Item.Notif = n
+		m.Deliver = dv
+	default:
+		return Message{}, fmt.Errorf("%w: unknown type %d", ErrBadFrame, m.Type)
+	}
+	if d.err != nil {
+		return Message{}, d.err
+	}
+	return m, nil
+}

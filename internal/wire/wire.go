@@ -1,0 +1,339 @@
+// Package wire defines the protocol messages exchanged between brokers and
+// clients of the pub/sub overlay, together with the identifiers used to
+// name brokers, clients, and links. It sits below routing, transport, and
+// broker so all three share one vocabulary.
+//
+// All communication related to the mobility protocols is expressed as wire
+// messages flowing over the ordinary broker links ("pub/sub adherence",
+// Section 4.1 — no out-of-band channels).
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/location"
+	"repro/internal/message"
+)
+
+// BrokerID names a broker in the overlay.
+type BrokerID string
+
+// ClientID names a client (producer and/or consumer).
+type ClientID string
+
+// SubID names one subscription of one client; it stays stable while the
+// client roams.
+type SubID string
+
+// Hop identifies, from the local broker's perspective, the neighbor a
+// message came from or should be forwarded to: either another broker or a
+// locally attached client.
+type Hop struct {
+	Broker BrokerID // set when the hop is a neighbor broker
+	Client ClientID // set when the hop is a locally attached client
+}
+
+// BrokerHop builds a Hop naming a neighbor broker.
+func BrokerHop(b BrokerID) Hop { return Hop{Broker: b} }
+
+// ClientHop builds a Hop naming a locally attached client.
+func ClientHop(c ClientID) Hop { return Hop{Client: c} }
+
+// IsClient reports whether the hop is a locally attached client.
+func (h Hop) IsClient() bool { return h.Client != "" }
+
+// IsZero reports whether the hop is unset.
+func (h Hop) IsZero() bool { return h.Broker == "" && h.Client == "" }
+
+// String renders the hop for diagnostics.
+func (h Hop) String() string {
+	if h.IsClient() {
+		return "client:" + string(h.Client)
+	}
+	if h.Broker != "" {
+		return "broker:" + string(h.Broker)
+	}
+	return "<none>"
+}
+
+// Type enumerates wire message types.
+type Type uint8
+
+// Wire message types.
+const (
+	TypeInvalid Type = iota
+	// TypeSubscribe registers interest in notifications matching a filter.
+	// A relocation re-subscription (Section 4) sets Sub.Relocate and
+	// Sub.LastSeq.
+	TypeSubscribe
+	// TypeUnsubscribe withdraws a previously issued subscription.
+	TypeUnsubscribe
+	// TypePublish conveys a notification from a producer.
+	TypePublish
+	// TypeAdvertise announces the notifications a producer will publish.
+	TypeAdvertise
+	// TypeUnadvertise withdraws an advertisement.
+	TypeUnadvertise
+	// TypeFetch is the relocation fetch request (C, F, seq, junction) sent
+	// by a junction broker along the old delivery path (Section 4.1).
+	TypeFetch
+	// TypeReplay carries buffered notifications from the old border broker
+	// (the "virtual counterpart") toward the client's new location.
+	TypeReplay
+	// TypeLocUpdate announces a logically mobile client's location change
+	// for one location-dependent subscription (Section 5.1). It replaces
+	// the administrative sub/unsub pair for the changed locations.
+	TypeLocUpdate
+	// TypeDeliver is sent from a border broker to an attached client,
+	// carrying a sequence-numbered notification.
+	TypeDeliver
+)
+
+var typeNames = map[Type]string{
+	TypeSubscribe:   "subscribe",
+	TypeUnsubscribe: "unsubscribe",
+	TypePublish:     "publish",
+	TypeAdvertise:   "advertise",
+	TypeUnadvertise: "unadvertise",
+	TypeFetch:       "fetch",
+	TypeReplay:      "replay",
+	TypeLocUpdate:   "locupdate",
+	TypeDeliver:     "deliver",
+}
+
+// String returns a human-readable name of the type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// IsAdmin reports whether the message type is administrative (routing
+// maintenance) as opposed to payload (notifications). The distinction is
+// what Figure 9 counts.
+func (t Type) IsAdmin() bool {
+	switch t {
+	case TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise,
+		TypeFetch, TypeLocUpdate:
+		return true
+	default:
+		return false
+	}
+}
+
+// Subscription describes a (possibly mobile, possibly location-dependent)
+// subscription as it propagates through the broker network.
+type Subscription struct {
+	// Filter is the content filter. For location-dependent subscriptions
+	// it is the filter as widened for the *receiving* hop, i.e. already
+	// instantiated with ploc(x, q).
+	Filter filter.Filter
+
+	// Client and ID identify the owning client subscription for mobile
+	// subscriptions; aggregate (merged/covered) subscriptions leave them
+	// empty.
+	Client ClientID
+	ID     SubID
+
+	// IsMobile marks a relocatable subscription: it propagates per-client
+	// through the broker network so every broker on its delivery path can
+	// participate in the relocation protocol of Section 4.
+	IsMobile bool
+
+	// Presubscribe implements the outlook sketched in the paper's
+	// conclusion: "pre-subscribe to information at brokers at possible
+	// next locations". The subscription propagates to *every* broker (not
+	// only toward advertisers), so whichever border broker the client
+	// reattaches at is already a junction — the handoff needs no
+	// subscription propagation phase at all.
+	Presubscribe bool
+
+	// Relocate marks a physical-mobility re-subscription issued after the
+	// client attached to a new border broker; LastSeq is the last sequence
+	// number the client received for this subscription at its old
+	// location. RelocEpoch counts the client's relocations of this
+	// subscription: brokers honor at most one fetch per epoch, which keeps
+	// multi-junction races harmless while still allowing the client to
+	// relocate again later.
+	Relocate   bool
+	LastSeq    uint64
+	RelocEpoch uint64
+
+	// Location-dependent subscription state (Section 5). LocAttr names the
+	// notification attribute holding the event location; GraphName selects
+	// the shared movement graph; Loc is the client's current location;
+	// Delta is the client's expected dwell time at one location; CumDelay
+	// and Steps carry the adaptivity recursion state (Section 5.3) as the
+	// subscription travels hop by hop; NextMultiple is the next multiple
+	// of Delta that CumDelay has not yet exceeded.
+	LocDependent bool
+	LocAttr      string
+	GraphName    string
+	Loc          location.Location
+	Delta        time.Duration
+	CumDelay     time.Duration
+	Steps        int
+	NextMultiple int
+}
+
+// Clone returns a deep-enough copy (Filter values are immutable).
+func (s Subscription) Clone() Subscription { return s }
+
+// Mobile reports whether the subscription participates in the physical
+// mobility protocol (either declared mobile or currently relocating).
+func (s Subscription) Mobile() bool { return s.IsMobile || s.Relocate }
+
+// Key identifies the client subscription across brokers.
+func (s Subscription) Key() string {
+	return string(s.Client) + "/" + string(s.ID)
+}
+
+// Fetch is the relocation fetch request of Section 4.1: (C, F, seq, B)
+// traveling along the old delivery path toward the old border broker,
+// flipping per-client routing entries to point back toward the junction as
+// it goes.
+type Fetch struct {
+	Client   ClientID
+	ID       SubID
+	Filter   filter.Filter
+	LastSeq  uint64
+	Junction BrokerID
+	// Epoch is the relocation epoch the fetch belongs to (see
+	// Subscription.RelocEpoch).
+	Epoch uint64
+}
+
+// SeqNotification is a notification annotated with the per-(client,
+// subscription) sequence number its border broker assigned on delivery or
+// buffering.
+type SeqNotification struct {
+	Seq   uint64
+	Notif message.Notification
+}
+
+// Replay carries the buffered notifications of the virtual counterpart
+// from the old border broker toward the client's new location. NextSeq is
+// the sequence number the new border broker should continue numbering
+// from.
+type Replay struct {
+	Client  ClientID
+	ID      SubID
+	From    BrokerID
+	Items   []SeqNotification
+	NextSeq uint64
+}
+
+// LocUpdate announces a location change x → y of a logically mobile
+// client for one subscription. Each broker on the path applies the ploc
+// delta for its own widening step and forwards the update upstream.
+type LocUpdate struct {
+	Client ClientID
+	ID     SubID
+	OldLoc location.Location
+	NewLoc location.Location
+}
+
+// Deliver carries a sequence-numbered notification from a border broker to
+// an attached client.
+type Deliver struct {
+	Client ClientID
+	ID     SubID
+	Item   SeqNotification
+	// Replayed marks notifications that arrived via the relocation replay
+	// rather than the live delivery path (useful for tests and metrics).
+	Replayed bool
+}
+
+// Message is the envelope traveling over links. Exactly one payload field
+// is set, selected by Type.
+type Message struct {
+	Type    Type
+	Sub     *Subscription
+	Notif   *message.Notification
+	Fetch   *Fetch
+	Replay  *Replay
+	Loc     *LocUpdate
+	Deliver *Deliver
+}
+
+// NewPublish wraps a notification.
+func NewPublish(n message.Notification) Message {
+	return Message{Type: TypePublish, Notif: &n}
+}
+
+// NewSubscribe wraps a subscription.
+func NewSubscribe(s Subscription) Message {
+	return Message{Type: TypeSubscribe, Sub: &s}
+}
+
+// NewUnsubscribe wraps a subscription withdrawal.
+func NewUnsubscribe(s Subscription) Message {
+	return Message{Type: TypeUnsubscribe, Sub: &s}
+}
+
+// NewAdvertise wraps an advertisement (reusing the Subscription carrier
+// for its filter).
+func NewAdvertise(s Subscription) Message {
+	return Message{Type: TypeAdvertise, Sub: &s}
+}
+
+// NewUnadvertise wraps an advertisement withdrawal.
+func NewUnadvertise(s Subscription) Message {
+	return Message{Type: TypeUnadvertise, Sub: &s}
+}
+
+// NewFetch wraps a fetch request.
+func NewFetch(f Fetch) Message { return Message{Type: TypeFetch, Fetch: &f} }
+
+// NewReplay wraps a replay batch.
+func NewReplay(r Replay) Message { return Message{Type: TypeReplay, Replay: &r} }
+
+// NewLocUpdate wraps a location update.
+func NewLocUpdate(l LocUpdate) Message { return Message{Type: TypeLocUpdate, Loc: &l} }
+
+// NewDeliver wraps a client delivery.
+func NewDeliver(d Deliver) Message { return Message{Type: TypeDeliver, Deliver: &d} }
+
+// String renders a compact diagnostic form.
+func (m Message) String() string {
+	var b strings.Builder
+	b.WriteString(m.Type.String())
+	switch m.Type {
+	case TypePublish:
+		if m.Notif != nil {
+			fmt.Fprintf(&b, " %s", m.Notif.String())
+		}
+	case TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise:
+		if m.Sub != nil {
+			fmt.Fprintf(&b, " %s", m.Sub.Filter.String())
+			if m.Sub.Client != "" {
+				fmt.Fprintf(&b, " client=%s/%s", m.Sub.Client, m.Sub.ID)
+			}
+			if m.Sub.Relocate {
+				fmt.Fprintf(&b, " relocate lastSeq=%d", m.Sub.LastSeq)
+			}
+		}
+	case TypeFetch:
+		if m.Fetch != nil {
+			fmt.Fprintf(&b, " client=%s/%s seq=%d junction=%s",
+				m.Fetch.Client, m.Fetch.ID, m.Fetch.LastSeq, m.Fetch.Junction)
+		}
+	case TypeReplay:
+		if m.Replay != nil {
+			fmt.Fprintf(&b, " client=%s/%s items=%d", m.Replay.Client, m.Replay.ID, len(m.Replay.Items))
+		}
+	case TypeLocUpdate:
+		if m.Loc != nil {
+			fmt.Fprintf(&b, " client=%s/%s %s->%s", m.Loc.Client, m.Loc.ID, m.Loc.OldLoc, m.Loc.NewLoc)
+		}
+	case TypeDeliver:
+		if m.Deliver != nil {
+			fmt.Fprintf(&b, " client=%s seq=%d", m.Deliver.Client, m.Deliver.Item.Seq)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+)
+
+func sampleFilter() filter.Filter {
+	return filter.MustNew(
+		filter.EQ("service", message.String("parking")),
+		filter.In("location", message.String("a"), message.String("b")),
+		filter.LT("cost", message.Float(3)),
+		filter.Range("spots", message.Int(1), message.Int(10)),
+		filter.Prefix("street", "Rebeca"),
+		filter.Exists("active"),
+		filter.NE("kind", message.Bool(false)),
+	)
+}
+
+func sampleNotif() message.Notification {
+	return message.New(map[string]message.Value{
+		"service":  message.String("parking"),
+		"location": message.String("a"),
+		"cost":     message.Float(2.5),
+		"spots":    message.Int(3),
+	})
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode %s: %v", m, err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("decode %s: %v", m, err)
+	}
+	return got
+}
+
+func TestCodecPublish(t *testing.T) {
+	m := NewPublish(sampleNotif())
+	got := roundTrip(t, m)
+	if got.Type != TypePublish || !got.Notif.Equal(*m.Notif) {
+		t.Errorf("publish round trip: %s vs %s", m, got)
+	}
+}
+
+func TestCodecSubscriptionAllFlavors(t *testing.T) {
+	subs := []Subscription{
+		{Filter: sampleFilter()},
+		{Filter: sampleFilter(), Client: "C", ID: "s1", IsMobile: true},
+		{Filter: sampleFilter(), Client: "C", ID: "s1", Relocate: true, LastSeq: 123},
+		{
+			Filter: sampleFilter(), Client: "C", ID: "s2",
+			LocDependent: true, LocAttr: "location", GraphName: "fig7",
+			Loc: "a", Delta: time.Second, CumDelay: 170 * time.Millisecond,
+			Steps: 2, NextMultiple: 3,
+		},
+	}
+	for _, typ := range []Type{TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise} {
+		for _, s := range subs {
+			got := roundTrip(t, Message{Type: typ, Sub: &s})
+			if got.Type != typ {
+				t.Fatalf("type mismatch: %s vs %s", typ, got.Type)
+			}
+			g := got.Sub
+			if !g.Filter.Equal(s.Filter) || g.Client != s.Client || g.ID != s.ID ||
+				g.IsMobile != s.IsMobile || g.Relocate != s.Relocate || g.LastSeq != s.LastSeq ||
+				g.LocDependent != s.LocDependent || g.LocAttr != s.LocAttr ||
+				g.GraphName != s.GraphName || g.Loc != s.Loc || g.Delta != s.Delta ||
+				g.CumDelay != s.CumDelay || g.Steps != s.Steps || g.NextMultiple != s.NextMultiple {
+				t.Errorf("%s subscription round trip mismatch:\n%+v\n%+v", typ, s, *g)
+			}
+		}
+	}
+}
+
+func TestCodecFetch(t *testing.T) {
+	m := NewFetch(Fetch{
+		Client: "C", ID: "s", Filter: sampleFilter(), LastSeq: 42, Junction: "b4",
+	})
+	got := roundTrip(t, m)
+	if got.Fetch.Client != "C" || got.Fetch.LastSeq != 42 || got.Fetch.Junction != "b4" ||
+		!got.Fetch.Filter.Equal(m.Fetch.Filter) {
+		t.Errorf("fetch mismatch: %+v", got.Fetch)
+	}
+}
+
+func TestCodecReplay(t *testing.T) {
+	m := NewReplay(Replay{
+		Client: "C", ID: "s", From: "b6", NextSeq: 200,
+		Items: []SeqNotification{
+			{Seq: 124, Notif: sampleNotif()},
+			{Seq: 125, Notif: sampleNotif()},
+		},
+	})
+	got := roundTrip(t, m)
+	r := got.Replay
+	if r.From != "b6" || r.NextSeq != 200 || len(r.Items) != 2 ||
+		r.Items[0].Seq != 124 || !r.Items[1].Notif.Equal(sampleNotif()) {
+		t.Errorf("replay mismatch: %+v", r)
+	}
+}
+
+func TestCodecLocUpdate(t *testing.T) {
+	m := NewLocUpdate(LocUpdate{Client: "C", ID: "s", OldLoc: "a", NewLoc: "b"})
+	got := roundTrip(t, m)
+	if *got.Loc != *m.Loc {
+		t.Errorf("locupdate mismatch: %+v", got.Loc)
+	}
+}
+
+func TestCodecDeliver(t *testing.T) {
+	m := NewDeliver(Deliver{
+		Client: "C", ID: "s",
+		Item:     SeqNotification{Seq: 7, Notif: sampleNotif()},
+		Replayed: true,
+	})
+	got := roundTrip(t, m)
+	d := got.Deliver
+	if d.Client != "C" || d.Item.Seq != 7 || !d.Replayed || !d.Item.Notif.Equal(sampleNotif()) {
+		t.Errorf("deliver mismatch: %+v", d)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := Encode(Message{Type: TypePublish}); err == nil {
+		t.Error("publish without body should fail")
+	}
+	if _, err := Encode(Message{Type: TypeSubscribe}); err == nil {
+		t.Error("subscribe without body should fail")
+	}
+	if _, err := Encode(Message{Type: Type(99)}); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty frame should fail")
+	}
+	if _, err := Decode([]byte{99, 1}); err == nil {
+		t.Error("wrong version should fail")
+	}
+	frame, err := Encode(NewPublish(sampleNotif()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := Decode(frame[:cut]); err == nil {
+			t.Errorf("truncated frame at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestCodecQuickPublish(t *testing.T) {
+	f := func(k1, v1 string, i int64, b bool) bool {
+		n := message.New(map[string]message.Value{
+			"k" + k1: message.String(v1),
+			"i":      message.Int(i),
+			"b":      message.Bool(b),
+		})
+		frame, err := Encode(NewPublish(n))
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		return err == nil && got.Notif.Equal(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHops(t *testing.T) {
+	b := BrokerHop("b1")
+	c := ClientHop("alice")
+	if b.IsClient() || !c.IsClient() {
+		t.Error("IsClient misbehaves")
+	}
+	if b.IsZero() || c.IsZero() || !(Hop{}).IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+	if b.String() != "broker:b1" || c.String() != "client:alice" || (Hop{}).String() != "<none>" {
+		t.Errorf("hop strings: %q %q", b, c)
+	}
+}
+
+func TestTypeClassification(t *testing.T) {
+	admin := []Type{TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise, TypeFetch, TypeLocUpdate}
+	payload := []Type{TypePublish, TypeReplay, TypeDeliver}
+	for _, typ := range admin {
+		if !typ.IsAdmin() {
+			t.Errorf("%s should be admin", typ)
+		}
+	}
+	for _, typ := range payload {
+		if typ.IsAdmin() {
+			t.Errorf("%s should not be admin", typ)
+		}
+	}
+}
+
+func TestSubscriptionHelpers(t *testing.T) {
+	s := Subscription{Client: "C", ID: "s"}
+	if s.Key() != "C/s" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if s.Mobile() {
+		t.Error("plain sub should not be mobile")
+	}
+	if !(Subscription{IsMobile: true}).Mobile() || !(Subscription{Relocate: true}).Mobile() {
+		t.Error("mobile flags not honored")
+	}
+}
+
+func TestMessageStrings(t *testing.T) {
+	msgs := []Message{
+		NewPublish(sampleNotif()),
+		NewSubscribe(Subscription{Filter: sampleFilter(), Client: "C", ID: "s", Relocate: true, LastSeq: 3}),
+		NewFetch(Fetch{Client: "C", ID: "s", Junction: "b4"}),
+		NewReplay(Replay{Client: "C", ID: "s"}),
+		NewLocUpdate(LocUpdate{Client: "C", ID: "s", OldLoc: "a", NewLoc: "b"}),
+		NewDeliver(Deliver{Client: "C", Item: SeqNotification{Seq: 1}}),
+	}
+	for _, m := range msgs {
+		if m.String() == "" {
+			t.Errorf("empty rendering for type %s", m.Type)
+		}
+	}
+}
