@@ -383,6 +383,90 @@ func BenchmarkRoutingTableMatch(b *testing.B) {
 	}
 }
 
+// matchBenchTable builds a routing table of n entries with a realistic mix
+// of predicate shapes: equality on a topic attribute, numeric ranges on a
+// price attribute, string prefixes on a path attribute, and a sprinkling of
+// set-membership and exists constraints, spread over 16 hops.
+func matchBenchTable(n int) (*routing.Table, message.Notification) {
+	tbl := routing.NewTable()
+	for i := 0; i < n; i++ {
+		hop := wire.BrokerHop(wire.BrokerID(fmt.Sprintf("n%d", i%16)))
+		var f filter.Filter
+		switch i % 4 {
+		case 0: // topic equality
+			f = filter.MustNew(filter.EQ("topic", message.String(fmt.Sprintf("t%d", i))))
+		case 1: // disjoint price range
+			lo := int64(i * 10)
+			f = filter.MustNew(filter.Range("price", message.Int(lo), message.Int(lo+9)))
+		case 2: // path prefix
+			f = filter.MustNew(filter.Prefix("path", fmt.Sprintf("/svc%d/", i)))
+		default: // membership + presence
+			f = filter.MustNew(
+				filter.In("region", message.String(fmt.Sprintf("r%d", i)), message.String(fmt.Sprintf("r%d", i+1))),
+				filter.Exists("price"),
+			)
+		}
+		tbl.Add(routing.Entry{Filter: f, Hop: hop})
+	}
+	// The probe matches exactly two entries regardless of table size: the
+	// topic-equality entry n4 (eq bucket) and the price-range entry n4+1
+	// (interval list), so both posting types complete a match.
+	n4 := (n / 2) &^ 3 // multiple of 4: the topic-equality shape
+	notif := message.New(map[string]message.Value{
+		"topic": message.String(fmt.Sprintf("t%d", n4)),
+		"price": message.Int(int64((n4+1)*10 + 5)),
+		"path":  message.String("/other/x"),
+	})
+	return tbl, notif
+}
+
+// BenchmarkMatchIndex compares the predicate-counting match index against
+// the linear-scan reference at growing table sizes. The acceptance bar for
+// the index is ≥2× ns/op and fewer allocs/op at the 1k-entry table.
+func BenchmarkMatchIndex(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		tbl, notif := matchBenchTable(n)
+		b.Run(fmt.Sprintf("entries=%d/index", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if hops := tbl.MatchingHops(notif, wire.Hop{}); len(hops) == 0 {
+					b.Fatal("no match")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("entries=%d/linear", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if hops := tbl.MatchingHopsLinear(notif, wire.Hop{}); len(hops) == 0 {
+					b.Fatal("no match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchIndexEntries measures the MatchingEntries path (the broker's
+// publish handler) on the 1k-entry mixed table.
+func BenchmarkMatchIndexEntries(b *testing.B) {
+	tbl, notif := matchBenchTable(1000)
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if es := tbl.MatchingEntries(notif, wire.Hop{}); len(es) == 0 {
+				b.Fatal("no match")
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if es := tbl.MatchingEntriesLinear(notif, wire.Hop{}); len(es) == 0 {
+				b.Fatal("no match")
+			}
+		}
+	})
+}
+
 func BenchmarkWireCodecRoundTrip(b *testing.B) {
 	m := wire.NewPublish(message.New(map[string]message.Value{
 		"service":  message.String("parking"),

@@ -4,8 +4,9 @@
 //
 // The implementation lives under internal/: the data model (message),
 // content-based filters with covering and merging (filter), the location
-// substrate with movement graphs and ploc (location), routing tables and
-// strategies (routing), FIFO transports (transport), the broker engine
+// substrate with movement graphs and ploc (location), routing tables with
+// a predicate-counting match index and the routing strategies (routing),
+// FIFO transports (transport), the broker engine
 // with the physical-mobility relocation protocol and logical-mobility
 // location-dependent filters (broker), the public client API (core), the
 // Section 3 baselines (baseline), a deterministic simulator (sim), and the

@@ -99,6 +99,9 @@ type Stats struct {
 	Processed map[wire.Type]uint64
 	// SubEntries and AdvEntries are the current routing-table sizes.
 	SubEntries, AdvEntries int
+	// SubIndex and AdvIndex describe the predicate match index backing
+	// each routing table (posting-list shape, match-all rows).
+	SubIndex, AdvIndex routing.IndexStats
 	// MailboxDepth is the number of queued, not yet processed tasks.
 	MailboxDepth int
 }
@@ -284,6 +287,8 @@ func (b *Broker) Stats() Stats {
 		}
 		s.SubEntries = b.subs.Len()
 		s.AdvEntries = b.advs.Len()
+		s.SubIndex = b.subs.IndexStats()
+		s.AdvIndex = b.advs.IndexStats()
 		s.MailboxDepth = b.box.len()
 	})
 	return s

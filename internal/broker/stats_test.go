@@ -37,6 +37,9 @@ func TestBrokerStats(t *testing.T) {
 	if s2.SubEntries != 1 {
 		t.Errorf("b2 SubEntries = %d, want 1", s2.SubEntries)
 	}
+	if s2.SubIndex.Entries != 1 || s2.SubIndex.Attrs != 1 || s2.SubIndex.Postings != 1 {
+		t.Errorf("b2 SubIndex = %+v, want 1 entry/attr/posting", s2.SubIndex)
+	}
 	if s2.Processed[wire.TypeSubscribe] != 1 {
 		t.Errorf("b2 processed %d subscribes, want 1", s2.Processed[wire.TypeSubscribe])
 	}

@@ -310,6 +310,12 @@ func (c Constraint) String() string {
 	return b.String()
 }
 
+// MatchesValue reports whether the constraint accepts the given value of
+// its attribute — the value-test half of Matches, split out so callers that
+// already resolved the attribute (the routing match index looks each
+// attribute up once per notification) need not pay a second lookup.
+func (c Constraint) MatchesValue(v message.Value) bool { return c.matchesValue(v) }
+
 // key returns a canonical identity string for the constraint.
 func (c Constraint) key() string {
 	var b strings.Builder

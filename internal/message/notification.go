@@ -58,6 +58,17 @@ func (n Notification) Has(name string) bool {
 // Len returns the number of attributes.
 func (n Notification) Len() int { return len(n.attrs) }
 
+// Each calls fn for every attribute until fn returns false. Iteration order
+// is unspecified. It is the allocation-free alternative to Names+Get for
+// callers (the routing match index) that visit attributes on a hot path.
+func (n Notification) Each(fn func(name string, v Value) bool) {
+	for k, v := range n.attrs {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
 // Names returns the attribute names in sorted order.
 func (n Notification) Names() []string {
 	names := make([]string, 0, len(n.attrs))

@@ -1,0 +1,522 @@
+package routing
+
+import (
+	"sync"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// matchIndex is a predicate-counting index over the table's entries: the
+// constraints of every filter are grouped by (attribute, operator class)
+// into typed posting lists, and matching a notification counts, per entry,
+// how many of its constraints are satisfied. An entry matches exactly when
+// its count reaches its constraint total — the classic counting algorithm —
+// so the per-notification cost is driven by the number of satisfied
+// predicates, not by the number of table entries.
+//
+// Posting lists by operator class:
+//
+//   - equality (=, in):      hash buckets keyed by the operand value
+//   - ordered (<, <=, >, >=, range): sorted interval lists, one per value kind
+//   - string prefix:         buckets keyed by the prefix's first byte
+//   - exists:                a flat list, satisfied by attribute presence
+//   - everything else (!=, suffix, contains): a per-attribute scan list
+//     evaluated directly against the attribute value
+//
+// The index is maintained incrementally by insert/remove and is not
+// concurrency-safe on its own; Table's lock covers it. Match scratch state
+// (the counting arrays) is pooled so concurrent readers do not contend.
+type matchIndex struct {
+	slots    []*idxEntry // slot id -> entry; nil when free
+	totals   []int32     // slot id -> constraint total (parallel to slots)
+	free     []int32     // free slot ids
+	matchAll []*idxEntry // entries with empty filters: match everything
+	attrs    map[string]*attrIndex
+	postings int // live posting-list entries, for IndexStats
+
+	pool sync.Pool // *scratch
+}
+
+// idxEntry is a table row plus everything precomputed at insert time: its
+// identity key, its hop's rendered key (so no method on the hot path calls
+// Hop.String()), its slot in the counting arrays, and its constraint list.
+type idxEntry struct {
+	e      Entry
+	key    string // Entry.key(), computed once at insert
+	hopKey string // Entry.Hop.String(), computed once at insert
+	slot   int32
+	cs     []filter.Constraint
+}
+
+type attrIndex struct {
+	eq        map[message.Value][]int32
+	exists    []int32
+	intervals map[message.Kind]*intervalList
+	prefixes  map[byte][]prefixPosting
+	anyString []int32 // empty-prefix constraints: every string value matches
+	scan      []scanPosting
+}
+
+type prefixPosting struct {
+	slot   int32
+	prefix string
+}
+
+type scanPosting struct {
+	slot int32
+	c    filter.Constraint
+}
+
+// interval is one ordered constraint as a (possibly half-open) value
+// interval. An invalid bound means unbounded on that side.
+type interval struct {
+	slot         int32
+	lo, hi       message.Value
+	loInc, hiInc bool
+}
+
+// intervalList keeps intervals of a single value kind sorted by lower
+// bound (unbounded-below first), so a probe can stop at the first interval
+// whose lower bound exceeds the value.
+type intervalList struct {
+	ivs []interval
+}
+
+func newMatchIndex() *matchIndex {
+	return &matchIndex{attrs: make(map[string]*attrIndex)}
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: insert / remove.
+// ---------------------------------------------------------------------------
+
+func (x *matchIndex) insert(ie *idxEntry) {
+	var slot int32
+	if n := len(x.free); n > 0 {
+		slot = x.free[n-1]
+		x.free = x.free[:n-1]
+		x.slots[slot] = ie
+		x.totals[slot] = int32(len(ie.cs))
+	} else {
+		slot = int32(len(x.slots))
+		x.slots = append(x.slots, ie)
+		x.totals = append(x.totals, int32(len(ie.cs)))
+	}
+	ie.slot = slot
+	if len(ie.cs) == 0 {
+		x.matchAll = append(x.matchAll, ie)
+		return
+	}
+	for _, c := range ie.cs {
+		ai := x.attrs[c.Attr]
+		if ai == nil {
+			ai = &attrIndex{}
+			x.attrs[c.Attr] = ai
+		}
+		ai.insert(slot, c)
+		x.postings++
+	}
+}
+
+func (x *matchIndex) remove(ie *idxEntry) {
+	if len(ie.cs) == 0 {
+		for i, e := range x.matchAll {
+			if e == ie {
+				x.matchAll = append(x.matchAll[:i], x.matchAll[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, c := range ie.cs {
+		if ai := x.attrs[c.Attr]; ai != nil {
+			ai.remove(ie.slot, c)
+			x.postings--
+			if ai.empty() {
+				delete(x.attrs, c.Attr)
+			}
+		}
+	}
+	x.slots[ie.slot] = nil
+	x.totals[ie.slot] = 0
+	x.free = append(x.free, ie.slot)
+}
+
+// isNaNValue reports whether v is a float NaN. NaN operands need special
+// routing: NaN is never Equal to anything (so an eq posting would be dead
+// weight — and worse, NaN != NaN makes it an unremovable map key), and
+// Value.Compare treats NaN as equal to everything, which breaks the sorted
+// interval list's order.
+func isNaNValue(v message.Value) bool {
+	return v.Kind() == message.KindFloat && v.FloatVal() != v.FloatVal()
+}
+
+// orderedBoundNaN reports whether an ordered constraint carries a NaN
+// bound; such constraints are evaluated on the scan list instead of the
+// interval list so they keep Constraint.Matches' exact semantics.
+func orderedBoundNaN(c filter.Constraint) bool {
+	if c.Op == filter.OpRange {
+		return isNaNValue(c.Lo) || isNaNValue(c.Hi)
+	}
+	return isNaNValue(c.Value)
+}
+
+// eachIndexableInMember visits the members of an in-constraint that get eq
+// postings: NaN members (which can never match) and duplicates (which would
+// double-count a single constraint) are skipped. Insert and remove share
+// this walk so their posting sets cannot diverge.
+func eachIndexableInMember(c filter.Constraint, fn func(v message.Value)) {
+	for i, v := range c.Values {
+		if isNaNValue(v) {
+			continue
+		}
+		dup := false
+		for j := 0; j < i; j++ {
+			if c.Values[j] == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fn(v)
+		}
+	}
+}
+
+func (ai *attrIndex) insert(slot int32, c filter.Constraint) {
+	switch c.Op {
+	case filter.OpEQ:
+		if isNaNValue(c.Value) {
+			return // never matches; no posting keeps the entry incompletable
+		}
+		if ai.eq == nil {
+			ai.eq = make(map[message.Value][]int32)
+		}
+		ai.eq[c.Value] = append(ai.eq[c.Value], slot)
+	case filter.OpIn:
+		// One posting per distinct set member; a notification value equals
+		// at most one member, so the constraint still counts at most once.
+		eachIndexableInMember(c, func(v message.Value) {
+			if ai.eq == nil {
+				ai.eq = make(map[message.Value][]int32)
+			}
+			ai.eq[v] = append(ai.eq[v], slot)
+		})
+	case filter.OpExists:
+		ai.exists = append(ai.exists, slot)
+	case filter.OpLT, filter.OpLE, filter.OpGT, filter.OpGE, filter.OpRange:
+		if orderedBoundNaN(c) {
+			ai.scan = append(ai.scan, scanPosting{slot: slot, c: c})
+			return
+		}
+		iv, kind := constraintInterval(slot, c)
+		if ai.intervals == nil {
+			ai.intervals = make(map[message.Kind]*intervalList)
+		}
+		il := ai.intervals[kind]
+		if il == nil {
+			il = &intervalList{}
+			ai.intervals[kind] = il
+		}
+		il.insert(iv)
+	case filter.OpPrefix:
+		p := c.Value.Str()
+		if p == "" {
+			ai.anyString = append(ai.anyString, slot)
+		} else {
+			if ai.prefixes == nil {
+				ai.prefixes = make(map[byte][]prefixPosting)
+			}
+			ai.prefixes[p[0]] = append(ai.prefixes[p[0]], prefixPosting{slot: slot, prefix: p})
+		}
+	default:
+		// !=, suffix, contains, and malformed operators: evaluated directly.
+		ai.scan = append(ai.scan, scanPosting{slot: slot, c: c})
+	}
+}
+
+func (ai *attrIndex) remove(slot int32, c filter.Constraint) {
+	switch c.Op {
+	case filter.OpEQ:
+		if isNaNValue(c.Value) {
+			return // mirrored skip: insert registered nothing
+		}
+		ai.eq[c.Value] = removeSlot(ai.eq[c.Value], slot)
+		if len(ai.eq[c.Value]) == 0 {
+			delete(ai.eq, c.Value)
+		}
+	case filter.OpIn:
+		eachIndexableInMember(c, func(v message.Value) {
+			ai.eq[v] = removeSlot(ai.eq[v], slot)
+			if len(ai.eq[v]) == 0 {
+				delete(ai.eq, v)
+			}
+		})
+	case filter.OpExists:
+		ai.exists = removeSlot(ai.exists, slot)
+	case filter.OpLT, filter.OpLE, filter.OpGT, filter.OpGE, filter.OpRange:
+		if orderedBoundNaN(c) {
+			ai.removeScan(slot)
+			return
+		}
+		_, kind := constraintInterval(slot, c)
+		if il := ai.intervals[kind]; il != nil {
+			il.remove(slot)
+			if len(il.ivs) == 0 {
+				delete(ai.intervals, kind)
+			}
+		}
+	case filter.OpPrefix:
+		p := c.Value.Str()
+		if p == "" {
+			ai.anyString = removeSlot(ai.anyString, slot)
+		} else {
+			b := p[0]
+			for i, pp := range ai.prefixes[b] {
+				if pp.slot == slot && pp.prefix == p {
+					ai.prefixes[b] = append(ai.prefixes[b][:i], ai.prefixes[b][i+1:]...)
+					break
+				}
+			}
+			if len(ai.prefixes[b]) == 0 {
+				delete(ai.prefixes, b)
+			}
+		}
+	default:
+		ai.removeScan(slot)
+	}
+}
+
+// removeScan deletes one scan posting of the slot. Matching by slot alone
+// is sufficient — and necessary, because Constraint.Equal is false for NaN
+// operands: constraints are only removed as part of removing their whole
+// entry, so every posting of the slot is taken out across that loop and it
+// does not matter which constraint each call deletes.
+func (ai *attrIndex) removeScan(slot int32) {
+	for i, sp := range ai.scan {
+		if sp.slot == slot {
+			ai.scan = append(ai.scan[:i], ai.scan[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ai *attrIndex) empty() bool {
+	return len(ai.eq) == 0 && len(ai.exists) == 0 && len(ai.intervals) == 0 &&
+		len(ai.prefixes) == 0 && len(ai.anyString) == 0 && len(ai.scan) == 0
+}
+
+func removeSlot(ps []int32, slot int32) []int32 {
+	for i, s := range ps {
+		if s == slot {
+			return append(ps[:i], ps[i+1:]...)
+		}
+	}
+	return ps
+}
+
+// constraintInterval translates an ordered constraint into an interval and
+// the value kind whose list it belongs to. Probing only the list of the
+// notification value's kind reproduces Constraint.Matches' kind-mismatch
+// rejection for free.
+func constraintInterval(slot int32, c filter.Constraint) (interval, message.Kind) {
+	iv := interval{slot: slot}
+	switch c.Op {
+	case filter.OpLT:
+		iv.hi = c.Value
+	case filter.OpLE:
+		iv.hi, iv.hiInc = c.Value, true
+	case filter.OpGT:
+		iv.lo = c.Value
+	case filter.OpGE:
+		iv.lo, iv.loInc = c.Value, true
+	case filter.OpRange:
+		iv.lo, iv.loInc = c.Lo, true
+		iv.hi, iv.hiInc = c.Hi, true
+		return iv, c.Lo.Kind()
+	}
+	return iv, c.Value.Kind()
+}
+
+func (il *intervalList) insert(iv interval) {
+	lo, hi := 0, len(il.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpLowerBound(il.ivs[mid], iv) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	il.ivs = append(il.ivs, interval{})
+	copy(il.ivs[lo+1:], il.ivs[lo:])
+	il.ivs[lo] = iv
+}
+
+func (il *intervalList) remove(slot int32) {
+	for i, iv := range il.ivs {
+		if iv.slot == slot {
+			il.ivs = append(il.ivs[:i], il.ivs[i+1:]...)
+			return
+		}
+	}
+}
+
+// cmpLowerBound orders intervals by lower bound, unbounded-below first.
+// Bounds within one list share a kind, so Compare cannot fail.
+func cmpLowerBound(a, b interval) int {
+	switch {
+	case !a.lo.IsValid() && !b.lo.IsValid():
+		return 0
+	case !a.lo.IsValid():
+		return -1
+	case !b.lo.IsValid():
+		return 1
+	}
+	c, _ := a.lo.Compare(b.lo)
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Matching.
+// ---------------------------------------------------------------------------
+
+// scratch holds the per-match counting state. stamp/epoch versioning makes
+// reuse O(1): a slot's count is only trusted when its stamp equals the
+// current epoch, so the arrays never need clearing between matches.
+type scratch struct {
+	counts  []int32
+	stamp   []uint32
+	epoch   uint32
+	matched []*idxEntry
+	hopSeen map[wire.Hop]struct{}
+	hopOut  []hopRef
+}
+
+type hopRef struct {
+	key string
+	hop wire.Hop
+}
+
+func (x *matchIndex) getScratch() *scratch {
+	s, _ := x.pool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{hopSeen: make(map[wire.Hop]struct{})}
+	}
+	if n := len(x.slots); len(s.counts) < n {
+		s.counts = make([]int32, n)
+		s.stamp = make([]uint32, n)
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, reset them
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	s.matched = s.matched[:0]
+	return s
+}
+
+func (x *matchIndex) putScratch(s *scratch) { x.pool.Put(s) }
+
+func (s *scratch) bump(slot int32, x *matchIndex) {
+	if s.stamp[slot] != s.epoch {
+		s.stamp[slot] = s.epoch
+		s.counts[slot] = 1
+	} else {
+		s.counts[slot]++
+	}
+	if s.counts[slot] == x.totals[slot] {
+		s.matched = append(s.matched, x.slots[slot])
+	}
+}
+
+// match appends every entry whose filter accepts n to s.matched and returns
+// it. The result aliases scratch state and is only valid until the scratch
+// is released.
+func (x *matchIndex) match(n message.Notification, s *scratch) []*idxEntry {
+	s.matched = append(s.matched, x.matchAll...)
+	// Probe the intersection of indexed and present attributes from the
+	// smaller side.
+	if len(x.attrs) <= n.Len() {
+		for attr, ai := range x.attrs {
+			if v, ok := n.Get(attr); ok {
+				ai.probe(v, s, x)
+			}
+		}
+	} else {
+		n.Each(func(name string, v message.Value) bool {
+			if ai := x.attrs[name]; ai != nil {
+				ai.probe(v, s, x)
+			}
+			return true
+		})
+	}
+	return s.matched
+}
+
+func (ai *attrIndex) probe(v message.Value, s *scratch, x *matchIndex) {
+	for _, slot := range ai.exists {
+		s.bump(slot, x)
+	}
+	if ai.eq != nil {
+		for _, slot := range ai.eq[v] {
+			s.bump(slot, x)
+		}
+	}
+	if ai.intervals != nil {
+		if il := ai.intervals[v.Kind()]; il != nil {
+			il.probe(v, s, x)
+		}
+	}
+	if v.Kind() == message.KindString {
+		for _, slot := range ai.anyString {
+			s.bump(slot, x)
+		}
+		if str := v.Str(); str != "" && ai.prefixes != nil {
+			for _, pp := range ai.prefixes[str[0]] {
+				if len(str) >= len(pp.prefix) && str[:len(pp.prefix)] == pp.prefix {
+					s.bump(pp.slot, x)
+				}
+			}
+		}
+	}
+	for _, sp := range ai.scan {
+		if sp.c.MatchesValue(v) {
+			s.bump(sp.slot, x)
+		}
+	}
+}
+
+func (il *intervalList) probe(v message.Value, s *scratch, x *matchIndex) {
+	for i := range il.ivs {
+		iv := &il.ivs[i]
+		if iv.lo.IsValid() {
+			c, err := v.Compare(iv.lo)
+			if err != nil {
+				return
+			}
+			if c < 0 {
+				return // sorted by lower bound: no later interval admits v
+			}
+			if c == 0 && !iv.loInc {
+				continue
+			}
+		}
+		if iv.hi.IsValid() {
+			c, err := v.Compare(iv.hi)
+			if err != nil || c > 0 || (c == 0 && !iv.hiInc) {
+				continue
+			}
+		}
+		s.bump(iv.slot, x)
+	}
+}
+
+// IndexStats describes the predicate index backing a Table.
+type IndexStats struct {
+	Entries  int // table rows
+	Attrs    int // distinct indexed attributes
+	Postings int // posting-list entries across all buckets
+	MatchAll int // rows whose filter matches every notification
+}

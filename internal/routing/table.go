@@ -7,6 +7,11 @@
 // carry their owning (client, subscription) identity so that the
 // relocation protocol of Section 4 can find and redirect the client's old
 // delivery path at every broker.
+//
+// The forwarding decision — MatchingHops / MatchingEntries — is served by a
+// predicate-counting match index (see index.go) rather than a linear scan
+// over the entries, so its cost scales with the number of satisfied
+// predicates instead of the table size.
 package routing
 
 import (
@@ -34,7 +39,8 @@ type Entry struct {
 // subscription.
 func (e Entry) IsClientEntry() bool { return e.Client != "" }
 
-// key returns a unique identity for the entry within a table.
+// key returns a unique identity for the entry within a table. Tables cache
+// it per row at insert time; it is only recomputed for lookup arguments.
 func (e Entry) key() string {
 	var b strings.Builder
 	b.WriteString(e.Filter.ID())
@@ -47,15 +53,20 @@ func (e Entry) key() string {
 	return b.String()
 }
 
-// Table is a concurrency-safe routing table.
+// Table is a concurrency-safe routing table backed by a predicate-counting
+// match index.
 type Table struct {
 	mu      sync.RWMutex
-	entries map[string]Entry
+	entries map[string]*idxEntry
+	idx     *matchIndex
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{entries: make(map[string]Entry)}
+	return &Table{
+		entries: make(map[string]*idxEntry),
+		idx:     newMatchIndex(),
+	}
 }
 
 // Add inserts an entry, reporting whether it was not already present.
@@ -66,7 +77,14 @@ func (t *Table) Add(e Entry) bool {
 	if _, ok := t.entries[k]; ok {
 		return false
 	}
-	t.entries[k] = e
+	ie := &idxEntry{
+		e:      e,
+		key:    k,
+		hopKey: e.Hop.String(),
+		cs:     e.Filter.Constraints(),
+	}
+	t.entries[k] = ie
+	t.idx.insert(ie)
 	return true
 }
 
@@ -75,10 +93,12 @@ func (t *Table) Remove(e Entry) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	k := e.key()
-	if _, ok := t.entries[k]; !ok {
+	ie, ok := t.entries[k]
+	if !ok {
 		return false
 	}
 	delete(t.entries, k)
+	t.idx.remove(ie)
 	return true
 }
 
@@ -100,7 +120,7 @@ func (t *Table) All() []Entry {
 	sort.Strings(keys)
 	out := make([]Entry, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, t.entries[k])
+		out = append(out, t.entries[k].e)
 	}
 	return out
 }
@@ -111,37 +131,106 @@ func (t *Table) All() []Entry {
 func (t *Table) MatchingHops(n message.Notification, from wire.Hop) []wire.Hop {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	seen := make(map[string]bool)
-	var out []wire.Hop
-	for _, e := range t.entries {
-		if e.Hop == from {
+	s := t.idx.getScratch()
+	defer t.idx.putScratch(s)
+	s.hopOut = s.hopOut[:0]
+	for _, ie := range t.idx.match(n, s) {
+		if ie.e.Hop == from {
 			continue
 		}
-		hk := e.Hop.String()
-		if seen[hk] {
+		if _, dup := s.hopSeen[ie.e.Hop]; dup {
 			continue
 		}
-		if e.Filter.Matches(n) {
-			seen[hk] = true
-			out = append(out, e.Hop)
-		}
+		s.hopSeen[ie.e.Hop] = struct{}{}
+		s.hopOut = append(s.hopOut, hopRef{key: ie.hopKey, hop: ie.e.Hop})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	clear(s.hopSeen)
+	if len(s.hopOut) == 0 {
+		return nil
+	}
+	sort.Sort(byHopKey(s.hopOut))
+	out := make([]wire.Hop, len(s.hopOut))
+	for i, r := range s.hopOut {
+		out[i] = r.hop
+	}
 	return out
 }
+
+type byHopKey []hopRef
+
+func (h byHopKey) Len() int           { return len(h) }
+func (h byHopKey) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h byHopKey) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 
 // MatchingEntries returns every entry whose filter matches the
 // notification, excluding entries pointing back at from.
 func (t *Table) MatchingEntries(n message.Notification, from wire.Hop) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []Entry
-	for _, e := range t.entries {
-		if e.Hop == from {
+	s := t.idx.getScratch()
+	defer t.idx.putScratch(s)
+	matched := t.idx.match(n, s)
+	kept := matched[:0]
+	for _, ie := range matched {
+		if ie.e.Hop != from {
+			kept = append(kept, ie)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	sort.Sort(byEntryKey(kept))
+	out := make([]Entry, len(kept))
+	for i, ie := range kept {
+		out[i] = ie.e
+	}
+	return out
+}
+
+type byEntryKey []*idxEntry
+
+func (e byEntryKey) Len() int           { return len(e) }
+func (e byEntryKey) Less(i, j int) bool { return e[i].key < e[j].key }
+func (e byEntryKey) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+
+// MatchingHopsLinear is the pre-index reference implementation of
+// MatchingHops: a full scan evaluating every filter. It is retained for the
+// parity property test and as the baseline of the BenchmarkMatchIndex*
+// micro-benchmarks, and must stay behaviorally identical to MatchingHops.
+func (t *Table) MatchingHopsLinear(n message.Notification, from wire.Hop) []wire.Hop {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []wire.Hop
+	for _, ie := range t.entries {
+		if ie.e.Hop == from {
 			continue
 		}
-		if e.Filter.Matches(n) {
-			out = append(out, e)
+		hk := ie.e.Hop.String()
+		if seen[hk] {
+			continue
+		}
+		if ie.e.Filter.Matches(n) {
+			seen[hk] = true
+			out = append(out, ie.e.Hop)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// MatchingEntriesLinear is the pre-index reference implementation of
+// MatchingEntries, retained for parity testing and benchmarking.
+func (t *Table) MatchingEntriesLinear(n message.Notification, from wire.Hop) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Entry
+	for _, ie := range t.entries {
+		if ie.e.Hop == from {
+			continue
+		}
+		if ie.e.Filter.Matches(n) {
+			out = append(out, ie.e)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
@@ -153,14 +242,13 @@ func (t *Table) MatchingEntries(n message.Notification, from wire.Hop) []Entry {
 func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []Entry
-	for _, e := range t.entries {
-		if e.Client == c && e.SubID == id {
-			out = append(out, e)
+	var sel []*idxEntry
+	for _, ie := range t.entries {
+		if ie.e.Client == c && ie.e.SubID == id {
+			sel = append(sel, ie)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
-	return out
+	return sortedEntries(sel)
 }
 
 // RemoveClient deletes all entries owned by the given client subscription
@@ -168,15 +256,15 @@ func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
 func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []Entry
-	for k, e := range t.entries {
-		if e.Client == c && e.SubID == id {
-			out = append(out, e)
+	var sel []*idxEntry
+	for k, ie := range t.entries {
+		if ie.e.Client == c && ie.e.SubID == id {
+			sel = append(sel, ie)
 			delete(t.entries, k)
+			t.idx.remove(ie)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
-	return out
+	return sortedEntries(sel)
 }
 
 // RemoveHop deletes all entries pointing along the given hop and returns
@@ -184,15 +272,15 @@ func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 func (t *Table) RemoveHop(h wire.Hop) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []Entry
-	for k, e := range t.entries {
-		if e.Hop == h {
-			out = append(out, e)
+	var sel []*idxEntry
+	for k, ie := range t.entries {
+		if ie.e.Hop == h {
+			sel = append(sel, ie)
 			delete(t.entries, k)
+			t.idx.remove(ie)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
-	return out
+	return sortedEntries(sel)
 }
 
 // EntriesNotFrom returns the filters of all entries whose hop differs from
@@ -200,13 +288,25 @@ func (t *Table) RemoveHop(h wire.Hop) []Entry {
 func (t *Table) EntriesNotFrom(h wire.Hop) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []Entry
-	for _, e := range t.entries {
-		if e.Hop != h {
-			out = append(out, e)
+	var sel []*idxEntry
+	for _, ie := range t.entries {
+		if ie.e.Hop != h {
+			sel = append(sel, ie)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return sortedEntries(sel)
+}
+
+// sortedEntries orders rows by their cached keys and extracts the entries.
+func sortedEntries(sel []*idxEntry) []Entry {
+	if len(sel) == 0 {
+		return nil
+	}
+	sort.Sort(byEntryKey(sel))
+	out := make([]Entry, len(sel))
+	for i, ie := range sel {
+		out[i] = ie.e
+	}
 	return out
 }
 
@@ -216,8 +316,8 @@ func (t *Table) EntriesNotFrom(h wire.Hop) []Entry {
 func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, e := range t.entries {
-		if e.Hop == h && e.Filter.Overlaps(f) {
+	for _, ie := range t.entries {
+		if ie.e.Hop == h && ie.e.Filter.Overlaps(f) {
 			return true
 		}
 	}
@@ -229,17 +329,39 @@ func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
 func (t *Table) HopsOverlapping(f filter.Filter, from wire.Hop) []wire.Hop {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	seen := make(map[string]bool)
-	var out []wire.Hop
-	for _, e := range t.entries {
-		if e.Hop == from || seen[e.Hop.String()] {
+	seen := make(map[wire.Hop]struct{})
+	var refs []hopRef
+	for _, ie := range t.entries {
+		if ie.e.Hop == from {
 			continue
 		}
-		if e.Filter.Overlaps(f) {
-			seen[e.Hop.String()] = true
-			out = append(out, e.Hop)
+		if _, dup := seen[ie.e.Hop]; dup {
+			continue
+		}
+		if ie.e.Filter.Overlaps(f) {
+			seen[ie.e.Hop] = struct{}{}
+			refs = append(refs, hopRef{key: ie.hopKey, hop: ie.e.Hop})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	if len(refs) == 0 {
+		return nil
+	}
+	sort.Sort(byHopKey(refs))
+	out := make([]wire.Hop, len(refs))
+	for i, r := range refs {
+		out[i] = r.hop
+	}
 	return out
+}
+
+// IndexStats returns a snapshot of the match index's shape.
+func (t *Table) IndexStats() IndexStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return IndexStats{
+		Entries:  len(t.entries),
+		Attrs:    len(t.idx.attrs),
+		Postings: t.idx.postings,
+		MatchAll: len(t.idx.matchAll),
+	}
 }
