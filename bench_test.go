@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/filter"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/routing"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -510,6 +512,87 @@ func BenchmarkScheduleCompute(b *testing.B) {
 		if len(s.Steps) != 17 {
 			b.Fatal("bad schedule")
 		}
+	}
+}
+
+// BenchmarkBrokerPublishFanout measures end-to-end publish throughput
+// through a hub-and-leaves overlay under heavy fan-out: a producer floods
+// the hub, which forwards every notification to 8 leaf brokers, each
+// delivering to a local subscriber. The batched mode is the drain-batch
+// pipeline (encode-once fan-out, per-hop outboxes, link bursts); the
+// unbatched mode (MaxBatch=1) reproduces the seed's one-message-per-lock
+// handoff and is the baseline for the ≥2x acceptance bar.
+func BenchmarkBrokerPublishFanout(b *testing.B) {
+	const leaves = 8
+	for _, mode := range []struct {
+		name     string
+		maxBatch int
+	}{
+		{"batched", 0},
+		{"unbatched", 1},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			opts := broker.Options{MaxBatch: mode.maxBatch}
+			hub := broker.New("hub", opts)
+			hub.Start()
+			defer hub.Close()
+			var delivered atomic.Int64
+			leafBrokers := make([]*broker.Broker, leaves)
+			for i := 0; i < leaves; i++ {
+				id := wire.BrokerID(fmt.Sprintf("leaf%d", i))
+				leaf := broker.New(id, opts)
+				leaf.Start()
+				defer leaf.Close()
+				leafBrokers[i] = leaf
+				lh, ll := transport.Pipe(wire.BrokerHop("hub"), wire.BrokerHop(id), hub, leaf)
+				if err := hub.AddLink(id, lh); err != nil {
+					b.Fatal(err)
+				}
+				if err := leaf.AddLink("hub", ll); err != nil {
+					b.Fatal(err)
+				}
+				client := wire.ClientID(fmt.Sprintf("c%d", i))
+				if err := leaf.AttachClient(client, func(wire.Deliver) { delivered.Add(1) }); err != nil {
+					b.Fatal(err)
+				}
+				err := leaf.Subscribe(wire.Subscription{
+					Filter: filter.MustParse(`sym = "ACME"`), Client: client, ID: "s",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			settle := func() {
+				for r := 0; r < leaves+2; r++ {
+					hub.Barrier()
+					for _, leaf := range leafBrokers {
+						leaf.Barrier()
+					}
+				}
+			}
+			settle()
+
+			n := message.New(map[string]message.Value{"sym": message.String("ACME")})
+			pub := wire.NewPublish(n)
+			from := wire.ClientHop("prod")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Receive(transport.Inbound{From: from, Msg: pub})
+				if i%8192 == 8191 {
+					hub.Barrier() // bound mailbox growth
+				}
+			}
+			settle()
+			b.StopTimer()
+			if got, want := delivered.Load(), int64(b.N)*leaves; got != want {
+				b.Fatalf("delivered %d of %d", got, want)
+			}
+			stats := hub.Stats()
+			b.ReportMetric(stats.MeanBatchSize, "mean-batch")
+			b.ReportMetric(float64(stats.MaxBatchSize), "max-batch")
+		})
 	}
 }
 

@@ -1,0 +1,185 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestBatchedDeliveryParity is the randomized parity test for the batched
+// pipeline: the same multi-broker publish workload runs once through the
+// batched path (MaxBatch 0) and once through the unbatched
+// one-message-per-lock path (MaxBatch 1), and every subscription's
+// delivery sequence — payloads and sequence numbers — must be
+// byte-identical.
+//
+// Each subscription is pinned to a single producer (an equality constraint
+// on the producer attribute), so its delivery sequence is determined by
+// that producer's FIFO publish order alone: the overlay is a tree, links
+// are FIFO, and brokers process in arrival order, which makes the
+// per-subscription sequence independent of how publishes from different
+// producers interleave into batches.
+func TestBatchedDeliveryParity(t *testing.T) {
+	const trials = 4
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			cfg := genParityWorkload(rand.New(rand.NewSource(0xba7c4 + int64(trial))))
+			batched := runParityWorkload(t, cfg, 0)
+			unbatched := runParityWorkload(t, cfg, 1)
+			if len(batched) != len(unbatched) {
+				t.Fatalf("subscription sets differ: %d vs %d", len(batched), len(unbatched))
+			}
+			for key, want := range unbatched {
+				got := batched[key]
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d deliveries batched, %d unbatched", key, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: delivery %d differs\nbatched:   %s\nunbatched: %s",
+							key, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+type parityWorkload struct {
+	edges   [][2]int    // tree edges (child, parent)
+	subs    []paritySub // consumer subscriptions
+	pubHome []int       // producer index -> home broker
+	pubVals [][]int64   // producer index -> published values, in order
+}
+
+type paritySub struct {
+	home     int // broker index
+	producer int // the single producer this subscription listens to
+	lo, hi   int64
+}
+
+func genParityWorkload(rng *rand.Rand) parityWorkload {
+	var w parityWorkload
+	brokers := 3 + rng.Intn(5)
+	for i := 1; i < brokers; i++ {
+		w.edges = append(w.edges, [2]int{i, rng.Intn(i)})
+	}
+	producers := 2 + rng.Intn(3)
+	for p := 0; p < producers; p++ {
+		w.pubHome = append(w.pubHome, rng.Intn(brokers))
+		vals := make([]int64, 150+rng.Intn(100))
+		for i := range vals {
+			vals[i] = int64(rng.Intn(100))
+		}
+		w.pubVals = append(w.pubVals, vals)
+	}
+	subsN := 4 + rng.Intn(6)
+	for s := 0; s < subsN; s++ {
+		lo := int64(rng.Intn(80))
+		w.subs = append(w.subs, paritySub{
+			home:     rng.Intn(brokers),
+			producer: rng.Intn(producers),
+			lo:       lo,
+			hi:       lo + 10 + int64(rng.Intn(40)),
+		})
+	}
+	return w
+}
+
+// runParityWorkload builds the overlay, runs the workload, and returns the
+// rendered delivery sequence per subscription key.
+func runParityWorkload(t *testing.T, w parityWorkload, maxBatch int) map[string][]string {
+	t.Helper()
+	opts := Options{MaxBatch: maxBatch}
+	brokers := make([]*Broker, 0)
+	ensure := func(i int) *Broker {
+		for len(brokers) <= i {
+			b := New(wire.BrokerID(fmt.Sprintf("b%d", len(brokers))), opts)
+			b.Start()
+			t.Cleanup(b.Close)
+			brokers = append(brokers, b)
+		}
+		return brokers[i]
+	}
+	ensure(0)
+	for _, e := range w.edges {
+		a, b := ensure(e[0]), ensure(e[1])
+		la, lb := transport.Pipe(wire.BrokerHop(a.ID()), wire.BrokerHop(b.ID()), a, b)
+		if err := a.AddLink(b.ID(), la); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddLink(a.ID(), lb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle := func() {
+		for i := 0; i < len(brokers)+2; i++ {
+			for _, b := range brokers {
+				b.Barrier()
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	got := make(map[string][]string)
+	record := func(d wire.Deliver) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := string(d.Client) + "/" + string(d.ID)
+		got[key] = append(got[key], fmt.Sprintf("seq=%d notif=%s", d.Item.Seq, d.Item.Notif.String()))
+	}
+
+	for s, sub := range w.subs {
+		client := wire.ClientID(fmt.Sprintf("c%d", s))
+		if err := brokers[sub.home].AttachClient(client, record); err != nil {
+			t.Fatal(err)
+		}
+		f := filter.MustNew(
+			filter.EQ("prod", message.String(fmt.Sprintf("p%d", sub.producer))),
+			filter.Range("val", message.Int(sub.lo), message.Int(sub.hi)),
+		)
+		err := brokers[sub.home].Subscribe(wire.Subscription{
+			Filter: f, Client: client, ID: "s",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ensure every subscription key exists even with zero deliveries.
+		got[string(client)+"/s"] = nil
+	}
+	settle()
+
+	// Producers publish concurrently so the batched run actually builds
+	// multi-message batches.
+	var wg sync.WaitGroup
+	for p, vals := range w.pubVals {
+		p, vals := p, vals
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			home := brokers[w.pubHome[p]]
+			from := wire.ClientHop(wire.ClientID(fmt.Sprintf("p%d", p)))
+			for i, v := range vals {
+				n := message.New(map[string]message.Value{
+					"prod": message.String(fmt.Sprintf("p%d", p)),
+					"val":  message.Int(v),
+					"i":    message.Int(int64(i)),
+				})
+				home.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n)})
+			}
+		}()
+	}
+	wg.Wait()
+	settle()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return got
+}

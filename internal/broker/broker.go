@@ -58,6 +58,12 @@ type Options struct {
 	// space limitations of buffering approaches", Section 4.1). Zero means
 	// DefaultMaxBufferPerSub.
 	MaxBufferPerSub int
+	// MaxBatch caps how many queued tasks the message loop drains per
+	// mailbox lock acquisition. Zero (the default) drains everything
+	// pending; 1 reproduces the unbatched one-message-per-lock pipeline
+	// and exists for the delivery-order parity tests and as the benchmark
+	// baseline.
+	MaxBatch int
 }
 
 // DefaultMaxBufferPerSub is the default per-subscription buffer cap.
@@ -87,9 +93,73 @@ type Broker struct {
 	fetched      map[string]uint64             // key -> last relocation epoch fetched
 	pending      map[string]*relocationPending // key -> buffer at the NEW border broker
 
-	processed map[wire.Type]uint64 // messages handled, by type (observability)
+	// processed counts messages handled, by type (observability). An array
+	// instead of a map keeps the per-task bump off the allocator and the
+	// hash path; wire types fit comfortably.
+	processed [processedTypes]uint64
+
+	// Batched-pipeline state (owned by the run goroutine).
+	out            outbox               // per-hop deferred link writes, flushed at batch boundaries
+	pubSeen        pubScratch           // epoch-stamped fan-out dedup, reused across publishes
+	pub            pubCtx               // per-publish routing context for the match visitor
+	encLinks       int                  // links that serialize frames (transport.FrameEncoder)
+	batchDepth     metrics.Distribution // tasks per mailbox drain
+	batchRemaining int                  // unprocessed tail of the current batch, set at closure boundaries
+	relocDrops     uint64               // notifications dropped from relocation-pending buffers
 
 	closeOnce sync.Once
+}
+
+// processedTypes sizes the processed counter array; tied to the wire
+// constant set so new message types are counted automatically.
+const processedTypes = int(wire.TypeCount)
+
+// pubScratchShedSize bounds the epoch-stamped dedup maps: once churn has
+// grown one past this, its entries are cleared wholesale (stale entries
+// are otherwise only invalidated, never deleted).
+const pubScratchShedSize = 4096
+
+// outbox collects the messages a batch produces per neighbor, in first-use
+// order, so each link receives one FIFO burst per flush instead of a write
+// per message. All link traffic is deferred through it — deferring only
+// notifications would reorder them against control messages and break the
+// relocation protocol's FIFO argument.
+type outbox struct {
+	order   []wire.BrokerID
+	pending map[wire.BrokerID][]wire.Message
+}
+
+// pubScratch replaces the per-publish seen-hop/seen-subscription map
+// allocations with epoch-stamped entries (the same trick as the routing
+// index's counting arrays): bumping the epoch invalidates every entry in
+// O(1), so the maps are reused across all publishes of a batch — and
+// across batches — without clearing.
+type pubScratch struct {
+	epoch uint64
+	hops  map[wire.BrokerID]uint64
+	subs  map[subRef]uint64
+}
+
+// subRef identifies a client subscription without building a key string.
+type subRef struct {
+	client wire.ClientID
+	id     wire.SubID
+}
+
+// pubCtx carries one publish through the table's match visitor without a
+// per-publish closure allocation: visit is bound once at construction and
+// reads the notification, arrival hop, and lazily built fan-out message
+// from here. Owned by the run goroutine.
+type pubCtx struct {
+	visit func(*routing.Entry)
+	n     message.Notification
+	from  wire.Hop
+	msg   wire.Message // the shared fan-out envelope; zero until first broker hop
+	// deliveries collects the local subscriptions a publish matched; they
+	// are delivered after the match visit returns, so client callbacks
+	// (arbitrary user code, including blocking remote-client writes)
+	// never run under the routing table's lock. Reused across publishes.
+	deliveries []subRef
 }
 
 // Stats is a snapshot of a broker's processed-message counters.
@@ -104,6 +174,16 @@ type Stats struct {
 	SubIndex, AdvIndex routing.IndexStats
 	// MailboxDepth is the number of queued, not yet processed tasks.
 	MailboxDepth int
+	// BatchesProcessed counts mailbox drains executed by the message loop;
+	// MaxBatchSize is the largest single drain and MeanBatchSize the
+	// average (batch-depth observability for the batched pipeline).
+	BatchesProcessed uint64
+	MaxBatchSize     int
+	MeanBatchSize    float64
+	// RelocationPendingDrops counts notifications dropped from
+	// relocation-pending buffers because they exceeded MaxBufferPerSub
+	// (the relocation-side counterpart of clientSub overflow).
+	RelocationPendingDrops uint64
 }
 
 // clientState tracks an attached (or roaming-away) client.
@@ -151,10 +231,10 @@ func New(id wire.BrokerID, opts Options) *Broker {
 	if opts.MaxBufferPerSub == 0 {
 		opts.MaxBufferPerSub = DefaultMaxBufferPerSub
 	}
-	return &Broker{
+	b := &Broker{
 		id:           id,
 		opts:         opts,
-		box:          newMailbox(),
+		box:          newMailbox(opts.MaxBatch),
 		done:         make(chan struct{}),
 		links:        make(map[wire.BrokerID]transport.Link),
 		clients:      make(map[wire.ClientID]*clientState),
@@ -167,8 +247,14 @@ func New(id wire.BrokerID, opts Options) *Broker {
 		locSubs:      make(map[string]*locSubState),
 		fetched:      make(map[string]uint64),
 		pending:      make(map[string]*relocationPending),
-		processed:    make(map[wire.Type]uint64),
+		out:          outbox{pending: make(map[wire.BrokerID][]wire.Message)},
+		pubSeen: pubScratch{
+			hops: make(map[wire.BrokerID]uint64),
+			subs: make(map[subRef]uint64),
+		},
 	}
+	b.pub.visit = b.visitPublishEntry
+	return b
 }
 
 // ID returns the broker's identity.
@@ -190,10 +276,17 @@ func (b *Broker) Close() {
 
 // Receive implements transport.Receiver: links push inbound messages here.
 func (b *Broker) Receive(in inbound) {
-	b.box.push(task{in: &in})
+	b.box.push(task{in: in})
+}
+
+// ReceiveBurst implements transport.BatchReceiver: a link-level burst
+// enters the mailbox under a single lock acquisition.
+func (b *Broker) ReceiveBurst(from wire.Hop, ms []wire.Message) {
+	b.box.pushBurst(from, ms)
 }
 
 var _ transport.Receiver = (*Broker)(nil)
+var _ transport.BatchReceiver = (*Broker)(nil)
 
 // exec runs fn on the broker goroutine and waits for completion.
 func (b *Broker) exec(fn func()) error {
@@ -213,38 +306,115 @@ func (b *Broker) exec(fn func()) error {
 func (b *Broker) run() {
 	defer close(b.done)
 	for {
-		t, ok := b.box.pop()
+		batch, ok := b.box.popBatch()
 		if !ok {
 			for _, l := range b.links {
 				_ = l.Close()
 			}
 			return
 		}
+		b.processBatch(batch)
+		b.box.recycle(batch)
+	}
+}
+
+// processBatch handles one mailbox drain as a unit: inbound messages run
+// their handlers with link writes deferred into the outbox, and the
+// outbox flushes at the end of the batch. A control closure forces a
+// flush first, preserving the exec/Barrier contract that every earlier
+// task's output is on the wire before the closure observes the broker.
+func (b *Broker) processBatch(batch []task) {
+	b.batchDepth.Observe(uint64(len(batch)))
+	for i := range batch {
+		t := &batch[i]
 		if t.fn != nil {
+			b.flushOutbox()
+			// Closures (Stats among them) observe the drained-but-
+			// unprocessed tail of this batch as queue depth.
+			b.batchRemaining = len(batch) - i - 1
 			t.fn()
 			continue
 		}
-		b.processed[t.in.Msg.Type]++
+		if int(t.in.Msg.Type) < processedTypes {
+			b.processed[t.in.Msg.Type]++
+		}
 		if t.in.From.IsClient() {
 			b.clientInbound(t.in.From, t.in.Msg)
 			continue
 		}
-		b.dispatch(*t.in)
+		b.dispatch(t.in)
 	}
+	b.flushOutbox()
 }
+
+// flushOutbox writes every deferred message to its link, one FIFO burst
+// per neighbor, and flushes buffering transports. Runs on the broker
+// goroutine.
+func (b *Broker) flushOutbox() {
+	if len(b.out.order) == 0 {
+		return
+	}
+	for _, id := range b.out.order {
+		msgs := b.out.pending[id]
+		if l, ok := b.links[id]; ok && len(msgs) > 0 {
+			if bs, ok := l.(transport.BatchSender); ok {
+				_ = bs.SendBatch(msgs)
+			} else {
+				for _, m := range msgs {
+					_ = l.Send(m)
+				}
+				if fl, ok := l.(transport.Flusher); ok {
+					_ = fl.Flush()
+				}
+			}
+		}
+		if cap(msgs) > maxOutboxRetainCap {
+			// Let spike-sized buffers go to the GC whole instead of
+			// pinning high-water memory per neighbor (mirrors the
+			// mailbox's recycle cap).
+			b.out.pending[id] = nil
+			continue
+		}
+		for i := range msgs {
+			msgs[i] = wire.Message{}
+		}
+		b.out.pending[id] = msgs[:0]
+	}
+	b.out.order = b.out.order[:0]
+}
+
+// maxOutboxRetainCap caps the per-neighbor outbox backing array kept
+// across flushes.
+const maxOutboxRetainCap = 1 << 14
 
 // AddLink registers a link to a neighbor broker. The overlay must remain
 // acyclic and connected (the system model of Section 2.1); Network in
 // package core enforces this.
 func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
-	return b.exec(func() { b.links[peer] = l })
+	return b.exec(func() {
+		if old, ok := b.links[peer]; ok {
+			if _, enc := old.(transport.FrameEncoder); enc {
+				b.encLinks--
+			}
+		}
+		b.links[peer] = l
+		if _, enc := l.(transport.FrameEncoder); enc {
+			b.encLinks++
+		}
+	})
 }
 
 // RemoveLink drops a neighbor link and its routing state.
 func (b *Broker) RemoveLink(peer wire.BrokerID) error {
 	return b.exec(func() {
 		hop := wire.BrokerHop(peer)
+		if old, ok := b.links[peer]; ok {
+			if _, enc := old.(transport.FrameEncoder); enc {
+				b.encLinks--
+			}
+		}
 		delete(b.links, peer)
+		delete(b.out.pending, peer)
 		b.subs.RemoveHop(hop)
 		b.advs.RemoveHop(hop)
 		b.fwd.DropHop(hop)
@@ -283,38 +453,58 @@ func (b *Broker) Stats() Stats {
 	s := Stats{Processed: make(map[wire.Type]uint64)}
 	_ = b.exec(func() {
 		for typ, n := range b.processed {
-			s.Processed[typ] = n
+			if n != 0 {
+				s.Processed[wire.Type(typ)] = n
+			}
 		}
 		s.SubEntries = b.subs.Len()
 		s.AdvEntries = b.advs.Len()
 		s.SubIndex = b.subs.IndexStats()
 		s.AdvIndex = b.advs.IndexStats()
-		s.MailboxDepth = b.box.len()
+		s.MailboxDepth = b.box.len() + b.batchRemaining
+		s.BatchesProcessed = b.batchDepth.Count()
+		s.MaxBatchSize = int(b.batchDepth.Max())
+		s.MeanBatchSize = b.batchDepth.Mean()
+		s.RelocationPendingDrops = b.relocDrops
 	})
 	return s
 }
 
-// send transmits a message along a hop (broker link or local client) and
-// is only called from the run goroutine.
+// send queues a message for a hop (broker link or local client). Link
+// writes are deferred into the per-hop outbox and flushed at the next
+// batch boundary, so a batch fans out as one burst per link while the
+// per-link order of all message types matches handler order exactly. Only
+// called from the run goroutine.
 func (b *Broker) send(hop wire.Hop, m wire.Message) {
 	if hop.IsClient() {
 		// Client hops are only used for deliveries, handled by deliverTo.
 		return
 	}
-	l, ok := b.links[hop.Broker]
-	if !ok {
+	id := hop.Broker
+	if _, ok := b.links[id]; !ok {
 		return
 	}
-	_ = l.Send(m)
+	q := b.out.pending[id]
+	if len(q) == 0 {
+		b.out.order = append(b.out.order, id)
+	}
+	b.out.pending[id] = append(q, m)
 }
 
-// broadcast sends m along every neighbor link except the excluded hop.
+// broadcast queues m for every neighbor link except the excluded hop,
+// encoding once at the first frame-encoding destination (a fan-out that
+// only crosses in-process links serializes nothing).
 func (b *Broker) broadcast(m wire.Message, except wire.Hop) {
 	for id, l := range b.links {
 		if !except.IsClient() && id == except.Broker {
 			continue
 		}
-		_ = l.Send(m)
+		if b.encLinks > 0 && m.Frame == nil {
+			if _, enc := l.(transport.FrameEncoder); enc {
+				_ = wire.Preencode(&m)
+			}
+		}
+		b.send(wire.BrokerHop(id), m)
 	}
 }
 

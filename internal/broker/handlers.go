@@ -7,6 +7,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/routing"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -361,10 +362,13 @@ func (b *Broker) retractClientSub(sub wire.Subscription) {
 }
 
 // recomputeAggregates refreshes the aggregate subscriptions forwarded to
-// every neighbor after a change caused by the given hop. Only plain
+// the neighbors a change arriving from the given hop can affect: every
+// neighbor except the changed hop itself, since the aggregate forwarded
+// toward a neighbor excludes entries pointing at that neighbor (its
+// recompute would always be an empty diff). Only plain
 // (non-per-client-propagated) entries feed the aggregation.
 func (b *Broker) recomputeAggregates(changed wire.Hop) {
-	for _, n := range b.neighborHops(wire.Hop{}) {
+	for _, n := range b.neighborHops(changed) {
 		inputs := b.aggregateInputs(n)
 		u := b.fwd.Recompute(n, inputs)
 		for _, f := range u.Subscribe {
@@ -374,7 +378,6 @@ func (b *Broker) recomputeAggregates(changed wire.Hop) {
 			b.send(n, wire.NewUnsubscribe(wire.Subscription{Filter: f}))
 		}
 	}
-	_ = changed
 }
 
 // aggregateInputs collects the filters of plain entries not pointing at
@@ -499,25 +502,71 @@ func (b *Broker) handlePublish(from wire.Hop, n message.Notification) {
 		b.deliverFlooded(n)
 		return
 	}
-	seenHops := make(map[string]bool)
-	seenSubs := make(map[string]bool)
-	for _, e := range b.subs.MatchingEntries(n, from) {
-		if e.Hop.IsClient() {
-			sk := subKey(e.Client, e.SubID)
-			if seenSubs[sk] {
-				continue
-			}
-			seenSubs[sk] = true
-			b.deliverTo(e.Client, e.SubID, n, false)
-			continue
-		}
-		hk := e.Hop.String()
-		if seenHops[hk] {
-			continue
-		}
-		seenHops[hk] = true
-		b.send(e.Hop, wire.NewPublish(n))
+	// Deduplicate hops and subscriptions with the broker's epoch-stamped
+	// scratch maps instead of two fresh allocations per publish, and build
+	// the forwarded wire message once: every neighbor link shares the same
+	// envelope (and, when any link serializes frames, the same encoding).
+	// The pre-bound visitor keeps the hot path free of closure and result
+	// slice allocations.
+	// Epochs invalidate scratch entries but never delete them; shed the
+	// maps when client/neighbor churn has grown them far beyond any live
+	// fan-out, so a long-running broker's dedup state stays bounded.
+	if len(b.pubSeen.subs) > pubScratchShedSize {
+		clear(b.pubSeen.subs)
 	}
+	if len(b.pubSeen.hops) > pubScratchShedSize {
+		clear(b.pubSeen.hops)
+	}
+	b.pubSeen.epoch++
+	b.pub.n = n
+	b.pub.from = from
+	b.pub.msg = wire.Message{}
+	b.pub.deliveries = b.pub.deliveries[:0]
+	b.subs.EachMatchingEntry(n, from, b.pub.visit)
+	for _, ref := range b.pub.deliveries {
+		b.deliverTo(ref.client, ref.id, n, false)
+	}
+	if cap(b.pub.deliveries) > maxOutboxRetainCap {
+		b.pub.deliveries = nil // shed spike-sized buffers like the outbox does
+	} else {
+		b.pub.deliveries = b.pub.deliveries[:0]
+	}
+	b.pub.msg = wire.Message{}
+	b.pub.n = message.Notification{}
+}
+
+// visitPublishEntry routes one matching table row of the publish carried
+// in b.pub: local subscriptions are queued for delivery after the visit
+// (client callbacks must not run under the table lock), broker hops
+// receive the shared fan-out envelope through the outbox. Bound once as
+// b.pub.visit.
+func (b *Broker) visitPublishEntry(e *routing.Entry) {
+	s := &b.pubSeen
+	if e.Hop.IsClient() {
+		ref := subRef{client: e.Client, id: e.SubID}
+		if s.subs[ref] == s.epoch {
+			return
+		}
+		s.subs[ref] = s.epoch
+		b.pub.deliveries = append(b.pub.deliveries, ref)
+		return
+	}
+	if s.hops[e.Hop.Broker] == s.epoch {
+		return
+	}
+	s.hops[e.Hop.Broker] = s.epoch
+	if b.pub.msg.Type == wire.TypeInvalid {
+		b.pub.msg = wire.NewPublish(b.pub.n)
+	}
+	// Encode lazily at the first frame-encoding destination, so a fan-out
+	// that never touches a TCP link serializes nothing; copies enqueued
+	// for later hops inherit the cached frame.
+	if b.encLinks > 0 && b.pub.msg.Frame == nil {
+		if _, enc := b.links[e.Hop.Broker].(transport.FrameEncoder); enc {
+			_ = wire.Preencode(&b.pub.msg)
+		}
+	}
+	b.send(e.Hop, b.pub.msg)
 }
 
 // deliverFlooded performs client-side filtering under the flooding
@@ -551,12 +600,17 @@ func (b *Broker) deliverTo(client wire.ClientID, id wire.SubID, n message.Notifi
 	if !st.exact.Matches(n) {
 		return
 	}
-	if p, relocating := b.pending[subKey(client, id)]; relocating && !replayed {
-		p.notifs = append(p.notifs, n)
-		if len(p.notifs) > b.opts.MaxBufferPerSub {
-			p.notifs = p.notifs[1:]
+	// len check first: no relocation in progress (the common case) must
+	// not pay the subKey concatenation per delivery.
+	if len(b.pending) != 0 && !replayed {
+		if p, relocating := b.pending[subKey(client, id)]; relocating {
+			p.notifs = append(p.notifs, n)
+			if len(p.notifs) > b.opts.MaxBufferPerSub {
+				p.notifs = p.notifs[1:]
+				b.relocDrops++
+			}
+			return
 		}
-		return
 	}
 	item := wire.SeqNotification{Seq: st.nextSeq, Notif: n}
 	st.nextSeq++

@@ -1,6 +1,10 @@
 package broker
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
 
 // mailbox is an unbounded FIFO queue of broker tasks. Brokers consume
 // their mailbox from a single goroutine, which makes every routing
@@ -9,25 +13,37 @@ import "sync"
 // blocking — avoiding send/receive deadlock cycles between neighboring
 // brokers.
 //
+// The queue is a two-list drain-batch design: producers append to the
+// pending list under the lock, and the consumer swaps the whole list out
+// with one popBatch acquisition, iterating it lock-free. recycle returns a
+// drained batch's backing array, so in steady state the two slices
+// ping-pong between producer and consumer with no allocation.
+//
 // Unboundedness is deliberate: the system model assumes error-free FIFO
 // links, so backpressure would have to be modeled as latency, not loss.
 // The experiment harness bounds total load instead.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []task
+	queue  []task // pending tasks; swapped out wholesale by popBatch
+	spare  []task // recycled backing array for the next queue
+	max    int    // cap on tasks per drain; 0 = unlimited
 	closed bool
 }
 
 // task is either an inbound wire message or a control closure to execute
-// on the broker goroutine.
+// on the broker goroutine. Exactly one of fn and in is meaningful: a task
+// with fn == nil carries an inbound message.
 type task struct {
-	in *inbound
+	in inbound
 	fn func()
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+// newMailbox creates a mailbox. maxBatch caps how many tasks one popBatch
+// drains; 0 means unlimited, 1 reproduces the seed's one-message-per-lock
+// behavior (used by the parity tests and the fan-out benchmark baseline).
+func newMailbox(maxBatch int) *mailbox {
+	m := &mailbox{max: maxBatch}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -40,27 +56,90 @@ func (m *mailbox) push(t task) {
 	if m.closed {
 		return
 	}
+	if m.queue == nil {
+		m.queue, m.spare = m.spare, nil
+	}
 	m.queue = append(m.queue, t)
 	m.cond.Signal()
 }
 
-// pop blocks until a task is available or the mailbox is closed and
-// drained; ok is false in the latter case.
-func (m *mailbox) pop() (task, bool) {
+// pushBurst enqueues a burst of messages from one hop under one lock
+// acquisition (the receiving half of a link-level batch send).
+func (m *mailbox) pushBurst(from wire.Hop, ms []wire.Message) {
+	if len(ms) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if m.queue == nil {
+		m.queue, m.spare = m.spare, nil
+	}
+	for _, msg := range ms {
+		m.queue = append(m.queue, task{in: inbound{From: from, Msg: msg}})
+	}
+	m.cond.Signal()
+}
+
+// popBatch blocks until tasks are available or the mailbox is closed and
+// drained; ok is false in the latter case. On success it returns the
+// entire pending queue (up to max tasks) in FIFO order; the caller owns
+// the slice and should hand it back via recycle when done.
+func (m *mailbox) popBatch() ([]task, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if len(m.queue) == 0 {
-		return task{}, false
+		return nil, false
 	}
-	t := m.queue[0]
-	m.queue = m.queue[1:]
-	return t, true
+	if m.max > 0 && len(m.queue) > m.max {
+		// Split drain: the batch and the live remainder share one array,
+		// but the 3-index slice caps the batch at max, so a recycled
+		// batch can never append into the remainder's cells.
+		batch := m.queue[:m.max:m.max]
+		m.queue = m.queue[m.max:]
+		return batch, true
+	}
+	batch := m.queue
+	m.queue = nil
+	return batch, true
 }
 
-// close stops accepting tasks; pop drains the remainder then reports done.
+// maxRecycledBatchCap caps the backing array recycle retains: a transient
+// load spike must not pin its high-water batch allocation for the
+// broker's lifetime.
+const maxRecycledBatchCap = 1 << 16
+
+// recycle keeps a drained batch's backing array for future pushes, so the
+// run loop's steady state allocates nothing. Kept arrays are cleared
+// first, dropping task references (closures, notification payloads) for
+// the GC; discarded arrays go to the GC whole and skip the clearing.
+func (m *mailbox) recycle(batch []task) {
+	if cap(batch) == 0 || cap(batch) > maxRecycledBatchCap {
+		return
+	}
+	m.mu.Lock()
+	keep := m.spare == nil || cap(batch) > cap(m.spare)
+	m.mu.Unlock()
+	if !keep {
+		return
+	}
+	for i := range batch {
+		batch[i] = task{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.spare == nil || cap(batch) > cap(m.spare) {
+		m.spare = batch[:0]
+	}
+}
+
+// close stops accepting tasks; popBatch drains the remainder then reports
+// done.
 func (m *mailbox) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -55,4 +55,56 @@ func TestBrokerStats(t *testing.T) {
 	if b1.Stats().Processed[wire.TypePublish] == 999 {
 		t.Error("Stats aliases internal state")
 	}
+
+	// Batch-depth observability: the loop has drained batches, and every
+	// batch holds at least one task.
+	if s1.BatchesProcessed == 0 {
+		t.Error("BatchesProcessed = 0 after traffic")
+	}
+	if s1.MaxBatchSize < 1 {
+		t.Errorf("MaxBatchSize = %d, want >= 1", s1.MaxBatchSize)
+	}
+	if s1.MeanBatchSize <= 0 {
+		t.Errorf("MeanBatchSize = %v, want > 0", s1.MeanBatchSize)
+	}
+}
+
+// TestStatsRelocationPendingDrops checks that notifications dropped from a
+// relocation-pending buffer (MaxBufferPerSub exceeded while the replay is
+// outstanding) are surfaced in Stats, mirroring clientSub overflow.
+func TestStatsRelocationPendingDrops(t *testing.T) {
+	h := newHarness(t, Options{MaxBufferPerSub: 4}, [][2]wire.BrokerID{{"b1", "b2"}})
+	b1 := h.brokers["b1"]
+	var rec recorder
+	if err := b1.AttachClient("c", rec.deliver); err != nil {
+		t.Fatal(err)
+	}
+	// A relocation re-subscription with no old path parks deliveries in
+	// the pending buffer until a replay arrives (which never does here).
+	if err := b1.Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`k = "v"`), Client: "c", ID: "s",
+		Relocate: true, RelocEpoch: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	const published = 10
+	for i := 0; i < published; i++ {
+		if err := b1.Publish("p", message.New(map[string]message.Value{
+			"k": message.String("v"),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.settle()
+	s := b1.Stats()
+	want := uint64(published - 4)
+	if s.RelocationPendingDrops != want {
+		t.Errorf("RelocationPendingDrops = %d, want %d", s.RelocationPendingDrops, want)
+	}
+	if got := rec.len(); got != 0 {
+		t.Errorf("deliveries while relocation pending = %d, want 0", got)
+	}
 }

@@ -113,6 +113,45 @@ func (c *Counter) String() string {
 	return strings.Join(parts, " ")
 }
 
+// Distribution tracks a stream of integer observations with atomic
+// counters: count, sum, and max. Brokers use it for batch-depth
+// observability (how many tasks each mailbox drain carried).
+type Distribution struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	max   atomic.Uint64
+}
+
+// Observe records one observation.
+func (d *Distribution) Observe(v uint64) {
+	d.count.Add(1)
+	d.sum.Add(v)
+	for {
+		cur := d.max.Load()
+		if v <= cur || d.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (d *Distribution) Count() uint64 { return d.count.Load() }
+
+// Sum returns the sum of all observations.
+func (d *Distribution) Sum() uint64 { return d.sum.Load() }
+
+// Max returns the largest observation, or 0 when empty.
+func (d *Distribution) Max() uint64 { return d.max.Load() }
+
+// Mean returns the average observation, or 0 when empty.
+func (d *Distribution) Mean() float64 {
+	n := d.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.sum.Load()) / float64(n)
+}
+
 // LatencyRecorder accumulates deliveries with timestamps, used by the
 // blackout-period experiment (Figure 3).
 type LatencyRecorder struct {

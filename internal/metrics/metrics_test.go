@@ -106,3 +106,46 @@ func TestLatencyRecorder(t *testing.T) {
 		t.Error("Samples aliases internal slice")
 	}
 }
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	if d.Count() != 0 || d.Sum() != 0 || d.Max() != 0 || d.Mean() != 0 {
+		t.Error("zero value not empty")
+	}
+	for _, v := range []uint64{3, 7, 1, 7, 2} {
+		d.Observe(v)
+	}
+	if d.Count() != 5 {
+		t.Errorf("count = %d", d.Count())
+	}
+	if d.Sum() != 20 {
+		t.Errorf("sum = %d", d.Sum())
+	}
+	if d.Max() != 7 {
+		t.Errorf("max = %d", d.Max())
+	}
+	if d.Mean() != 4 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+}
+
+func TestDistributionConcurrent(t *testing.T) {
+	var d Distribution
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= 100; i++ {
+				d.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != 800 {
+		t.Errorf("count = %d", d.Count())
+	}
+	if d.Max() != 100 {
+		t.Errorf("max = %d", d.Max())
+	}
+}

@@ -15,6 +15,7 @@
 package routing
 
 import (
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -163,8 +164,21 @@ func (h byHopKey) Less(i, j int) bool { return h[i].key < h[j].key }
 func (h byHopKey) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 
 // MatchingEntries returns every entry whose filter matches the
-// notification, excluding entries pointing back at from.
+// notification, excluding entries pointing back at from. It is
+// EachMatchingEntry materialized into a slice.
 func (t *Table) MatchingEntries(n message.Notification, from wire.Hop) []Entry {
+	var out []Entry
+	t.EachMatchingEntry(n, from, func(e *Entry) { out = append(out, *e) })
+	return out
+}
+
+// EachMatchingEntry calls visit for every entry whose filter matches the
+// notification, excluding entries pointing back at from — the same rows in
+// the same deterministic order as MatchingEntries, but with no result
+// allocation (the broker's publish hot path). The entry pointer is only
+// valid during the call; visit must not retain it, modify it, or call
+// table methods.
+func (t *Table) EachMatchingEntry(n message.Notification, from wire.Hop, visit func(*Entry)) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	s := t.idx.getScratch()
@@ -177,21 +191,18 @@ func (t *Table) MatchingEntries(n message.Notification, from wire.Hop) []Entry {
 		}
 	}
 	if len(kept) == 0 {
-		return nil
+		return
 	}
-	sort.Sort(byEntryKey(kept))
-	out := make([]Entry, len(kept))
-	for i, ie := range kept {
-		out[i] = ie.e
+	// slices.SortFunc instead of sort.Sort: the interface conversion in
+	// sort.Sort heap-allocates per call, which would be the only
+	// allocation on this path.
+	slices.SortFunc(kept, cmpEntryKey)
+	for _, ie := range kept {
+		visit(&ie.e)
 	}
-	return out
 }
 
-type byEntryKey []*idxEntry
-
-func (e byEntryKey) Len() int           { return len(e) }
-func (e byEntryKey) Less(i, j int) bool { return e[i].key < e[j].key }
-func (e byEntryKey) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+func cmpEntryKey(a, b *idxEntry) int { return strings.Compare(a.key, b.key) }
 
 // MatchingHopsLinear is the pre-index reference implementation of
 // MatchingHops: a full scan evaluating every filter. It is retained for the
@@ -302,7 +313,7 @@ func sortedEntries(sel []*idxEntry) []Entry {
 	if len(sel) == 0 {
 		return nil
 	}
-	sort.Sort(byEntryKey(sel))
+	slices.SortFunc(sel, cmpEntryKey)
 	out := make([]Entry, len(sel))
 	for i, ie := range sel {
 		out[i] = ie.e

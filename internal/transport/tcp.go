@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -15,17 +16,25 @@ import (
 // length-prefixed (4-byte big-endian) wire-codec messages. A handshake
 // exchanges broker identities so each side knows which Hop its inbound
 // messages belong to.
+//
+// Writes go through a buffered writer flushed at message or batch
+// boundaries: a single Send costs one syscall instead of two (header +
+// payload), and SendBatch writes a whole burst with one flush.
 type TCPLink struct {
 	conn    net.Conn
 	peerHop wire.Hop
 
 	writeMu sync.Mutex
+	w       *bufio.Writer // guarded by writeMu
 	closeMu sync.Mutex
 	closed  bool
 	done    chan struct{}
 }
 
 var _ Link = (*TCPLink)(nil)
+var _ BatchSender = (*TCPLink)(nil)
+var _ Flusher = (*TCPLink)(nil)
+var _ FrameEncoder = (*TCPLink)(nil)
 
 const maxFrameSize = 16 << 20 // 16 MiB; far above any legitimate message
 
@@ -79,6 +88,7 @@ func newTCPLink(conn net.Conn, self string, recv Receiver) (*TCPLink, error) {
 	l := &TCPLink{
 		conn:    conn,
 		peerHop: hop,
+		w:       bufio.NewWriter(conn),
 		done:    make(chan struct{}),
 	}
 	go l.readLoop(recv)
@@ -89,12 +99,31 @@ func newTCPLink(conn net.Conn, self string, recv Receiver) (*TCPLink, error) {
 func (l *TCPLink) Peer() wire.Hop { return l.peerHop }
 
 // Send implements Link. Frames are written under a mutex, preserving FIFO
-// order across concurrent senders.
+// order across concurrent senders, and flushed immediately.
 func (l *TCPLink) Send(m wire.Message) error {
-	frame, err := wire.Encode(m)
-	if err != nil {
-		return fmt.Errorf("transport: encode: %w", err)
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	if err := l.writeMsgLocked(m); err != nil {
+		return err
 	}
+	return l.flushLocked()
+}
+
+// SendBatch implements BatchSender: the burst is buffered in full and
+// flushed once, replacing a syscall per message with one per batch.
+func (l *TCPLink) SendBatch(ms []wire.Message) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	for _, m := range ms {
+		if err := l.writeMsgLocked(m); err != nil {
+			return err
+		}
+	}
+	return l.flushLocked()
+}
+
+// Flush implements Flusher.
+func (l *TCPLink) Flush() error {
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
 	l.closeMu.Lock()
@@ -103,8 +132,38 @@ func (l *TCPLink) Send(m wire.Message) error {
 	if closed {
 		return ErrLinkClosed
 	}
-	if err := writeFrame(l.conn, frame); err != nil {
+	return l.flushLocked()
+}
+
+// EncodesFrames implements FrameEncoder: senders that pre-encode fan-out
+// messages (wire.Preencode) save this link a per-hop serialization.
+func (l *TCPLink) EncodesFrames() {}
+
+// writeMsgLocked buffers one message. Callers hold writeMu.
+func (l *TCPLink) writeMsgLocked(m wire.Message) error {
+	l.closeMu.Lock()
+	closed := l.closed
+	l.closeMu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	frame := m.Frame
+	if frame == nil {
+		var err error
+		frame, err = wire.Encode(m)
+		if err != nil {
+			return fmt.Errorf("transport: encode: %w", err)
+		}
+	}
+	if err := writeFrame(l.w, frame); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+func (l *TCPLink) flushLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
 	}
 	return nil
 }

@@ -44,12 +44,50 @@ type Link interface {
 	Close() error
 }
 
+// BatchSender is an optional Link capability: transmit a slice of messages
+// as one FIFO burst, amortizing per-message handoff costs (lock
+// acquisitions, syscalls). The burst is ordered with respect to Send calls
+// on the same link. Implementations must not retain ms past the call.
+type BatchSender interface {
+	SendBatch(ms []wire.Message) error
+}
+
+// Flusher is an optional Link capability for transports that buffer writes
+// (TCP): Flush pushes everything buffered onto the wire. Send and
+// SendBatch flush implicitly, so Flush is a safety net for callers that
+// bypass them.
+type Flusher interface {
+	Flush() error
+}
+
+// FrameEncoder marks links that serialize messages to bytes (TCP).
+// Brokers pre-encode a fan-out message once (wire.Preencode) when at
+// least one attached link has this capability.
+type FrameEncoder interface {
+	EncodesFrames()
+}
+
+// BatchReceiver is an optional Receiver capability: accept a FIFO burst of
+// messages from a single hop with one handoff (e.g. one mailbox lock
+// acquisition). Implementations must not retain the slice past the call.
+type BatchReceiver interface {
+	Receiver
+	ReceiveBurst(from wire.Hop, ms []wire.Message)
+}
+
 // ErrLinkClosed is returned by Send after Close.
 var ErrLinkClosed = errors.New("transport: link closed")
 
 // ChanLink is an in-process link endpoint. Messages are handed to the
 // remote receiver either synchronously (zero latency) or through a delay
 // line that models link latency while preserving FIFO order.
+//
+// Close semantics: once Close returns, no further synchronous delivery
+// begins — Close waits for in-flight Sends to finish handing off, so a
+// racing Send either completes before Close returns or fails with
+// ErrLinkClosed. Messages already inside the delay line still drain (the
+// link models error-free FIFO delivery; bytes on the wire arrive). Close
+// must not be called from the delivery path of its own link.
 type ChanLink struct {
 	localHop  wire.Hop // how the remote side sees us
 	remote    Receiver
@@ -57,11 +95,14 @@ type ChanLink struct {
 	counter   *metrics.Counter
 	delayLine *delayLine
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signals inflight reaching zero after close
+	closed   bool
+	inflight int
 }
 
 var _ Link = (*ChanLink)(nil)
+var _ BatchSender = (*ChanLink)(nil)
 
 // PipeOption configures a Pipe.
 type PipeOption func(*pipeConfig)
@@ -103,6 +144,8 @@ func Pipe(aHop, bHop wire.Hop, a, b Receiver, opts ...PipeOption) (fromA, fromB 
 	}
 	la := &ChanLink{localHop: aHop, remote: b, latency: cfg.latencyAB, counter: cfg.counter}
 	lb := &ChanLink{localHop: bHop, remote: a, latency: cfg.latencyBA, counter: cfg.counter}
+	la.cond = sync.NewCond(&la.mu)
+	lb.cond = sync.NewCond(&lb.mu)
 	if cfg.latencyAB > 0 {
 		la.delayLine = newDelayLine()
 	}
@@ -112,15 +155,35 @@ func Pipe(aHop, bHop wire.Hop, a, b Receiver, opts ...PipeOption) (fromA, fromB 
 	return la, lb
 }
 
-// Send implements Link.
-func (l *ChanLink) Send(m wire.Message) error {
+// beginSend registers an in-flight delivery; it fails once the link is
+// closed. Holding delivery inside the begin/end window is what closes the
+// seed's race where a Send that passed the closed check could still
+// deliver after Close returned.
+func (l *ChanLink) beginSend() error {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
-		l.mu.Unlock()
 		return ErrLinkClosed
 	}
-	l.mu.Unlock()
+	l.inflight++
+	return nil
+}
 
+func (l *ChanLink) endSend() {
+	l.mu.Lock()
+	l.inflight--
+	if l.inflight == 0 && l.closed {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// Send implements Link.
+func (l *ChanLink) Send(m wire.Message) error {
+	if err := l.beginSend(); err != nil {
+		return err
+	}
+	defer l.endSend()
 	if l.counter != nil {
 		l.counter.Inc(categorize(m))
 	}
@@ -133,14 +196,56 @@ func (l *ChanLink) Send(m wire.Message) error {
 	return nil
 }
 
-// Close implements Link.
-func (l *ChanLink) Close() error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+// SendBatch implements BatchSender: the messages cross the link as one
+// FIFO burst — a single receiver handoff at zero latency, a single delay
+// line entry otherwise.
+func (l *ChanLink) SendBatch(ms []wire.Message) error {
+	if len(ms) == 0 {
 		return nil
 	}
+	if err := l.beginSend(); err != nil {
+		return err
+	}
+	defer l.endSend()
+	if l.counter != nil {
+		for _, m := range ms {
+			l.counter.Inc(categorize(m))
+		}
+	}
+	if l.delayLine == nil {
+		deliverBurst(l.remote, l.localHop, ms)
+		return nil
+	}
+	// The caller may reuse ms once SendBatch returns; the delayed delivery
+	// needs its own copy.
+	cp := make([]wire.Message, len(ms))
+	copy(cp, ms)
+	l.delayLine.enqueue(time.Now().Add(l.latency), func() { deliverBurst(l.remote, l.localHop, cp) })
+	return nil
+}
+
+// deliverBurst hands a burst to the receiver, collapsing it into one
+// handoff when the receiver is batch-aware.
+func deliverBurst(r Receiver, from wire.Hop, ms []wire.Message) {
+	if br, ok := r.(BatchReceiver); ok {
+		br.ReceiveBurst(from, ms)
+		return
+	}
+	for _, m := range ms {
+		r.Receive(Inbound{From: from, Msg: m})
+	}
+}
+
+// Close implements Link. It waits for in-flight Sends to complete their
+// handoff, so no synchronous delivery begins after Close returns — every
+// Close call waits, so concurrent closers all get the guarantee
+// (delayLine.stop is likewise idempotent).
+func (l *ChanLink) Close() error {
+	l.mu.Lock()
 	l.closed = true
+	for l.inflight > 0 {
+		l.cond.Wait()
+	}
 	l.mu.Unlock()
 	if l.delayLine != nil {
 		l.delayLine.stop()

@@ -162,6 +162,117 @@ func TestPipeCounterCategorization(t *testing.T) {
 	}
 }
 
+// batchSink records inbound messages and how they were handed over.
+type batchSink struct {
+	sink
+	bursts []int // size of each ReceiveBurst call
+}
+
+func (s *batchSink) ReceiveBurst(from wire.Hop, ms []wire.Message) {
+	s.mu.Lock()
+	s.bursts = append(s.bursts, len(ms))
+	s.mu.Unlock()
+	for _, m := range ms {
+		s.Receive(Inbound{From: from, Msg: m})
+	}
+}
+
+func TestChanLinkSendBatchFIFO(t *testing.T) {
+	for _, latency := range []time.Duration{0, 2 * time.Millisecond} {
+		var b batchSink
+		la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, &b,
+			WithLatency(latency))
+		// Interleave singles and bursts; order must hold across both.
+		if err := la.Send(pubMsg(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := la.SendBatch([]wire.Message{pubMsg(1), pubMsg(2), pubMsg(3)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := la.Send(pubMsg(4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := la.SendBatch(nil); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		for b.len() < 5 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if b.len() != 5 {
+			t.Fatalf("latency=%v: received %d of 5", latency, b.len())
+		}
+		for i := 0; i < 5; i++ {
+			if got := msgIndex(b.at(i)); got != int64(i) {
+				t.Fatalf("latency=%v: FIFO violated at %d: got %d", latency, i, got)
+			}
+		}
+		b.mu.Lock()
+		bursts := append([]int(nil), b.bursts...)
+		b.mu.Unlock()
+		found := false
+		for _, n := range bursts {
+			if n == 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("latency=%v: batch-aware receiver saw bursts %v, want one of size 3", latency, bursts)
+		}
+		_ = la.Close()
+	}
+}
+
+// TestChanLinkCloseRace exercises the Send/Close race on a zero-latency
+// link: once Close returns, no delivery may begin, and every Send either
+// delivered before Close or reports ErrLinkClosed. Run with -race.
+func TestChanLinkCloseRace(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		var mu sync.Mutex
+		closed := false
+		var lateDelivery bool
+		recv := ReceiverFunc(func(Inbound) {
+			mu.Lock()
+			if closed {
+				lateDelivery = true
+			}
+			mu.Unlock()
+		})
+		la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, recv)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					if err := la.Send(pubMsg(int64(i))); err == ErrLinkClosed {
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		// Two concurrent Closes: both must wait for in-flight deliveries.
+		closeDone := make(chan struct{})
+		go func() { _ = la.Close(); close(closeDone) }()
+		_ = la.Close()
+		<-closeDone
+		// Close has returned: any delivery from now on is the seed's race.
+		mu.Lock()
+		closed = true
+		mu.Unlock()
+		wg.Wait()
+		mu.Lock()
+		late := lateDelivery
+		mu.Unlock()
+		if late {
+			t.Fatal("delivery began after Close returned")
+		}
+	}
+}
+
 func TestReceiverFunc(t *testing.T) {
 	called := false
 	ReceiverFunc(func(Inbound) { called = true }).Receive(Inbound{})
@@ -236,6 +347,58 @@ func TestTCPLinkRoundTrip(t *testing.T) {
 	}
 	if clientSink.len() != 1 || msgIndex(clientSink.at(0)) != 100 {
 		t.Error("reply not received")
+	}
+}
+
+// TestTCPLinkSendBatch round-trips a burst through SendBatch, including a
+// pre-encoded message (the encode-once fan-out path).
+func TestTCPLinkSendBatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var serverSink sink
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = AcceptTCP(conn, "server", &serverSink)
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 16
+	ms := make([]wire.Message, n)
+	for i := range ms {
+		ms[i] = pubMsg(int64(i))
+		if i%2 == 0 {
+			if err := wire.Preencode(&ms[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cl.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for serverSink.len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if serverSink.len() != n {
+		t.Fatalf("server got %d of %d", serverSink.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := msgIndex(serverSink.at(i)); got != int64(i) {
+			t.Fatalf("batch FIFO violated at %d: got %d", i, got)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -285,6 +285,22 @@ func Encode(m Message) ([]byte, error) {
 	return e.buf, nil
 }
 
+// Preencode serializes the message once and caches the frame in m.Frame,
+// so transports that need bytes send the same encoding to every link of a
+// fan-out instead of re-encoding per hop. A message that already carries a
+// frame is left untouched.
+func Preencode(m *Message) error {
+	if m.Frame != nil {
+		return nil
+	}
+	frame, err := Encode(*m)
+	if err != nil {
+		return err
+	}
+	m.Frame = frame
+	return nil
+}
+
 // Decode parses a frame produced by Encode.
 func Decode(frame []byte) (Message, error) {
 	d := &decoder{buf: frame}

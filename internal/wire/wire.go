@@ -90,6 +90,10 @@ const (
 	// TypeDeliver is sent from a border broker to an attached client,
 	// carrying a sequence-numbered notification.
 	TypeDeliver
+
+	// TypeCount is one past the highest assigned type. Not a wire value;
+	// it sizes per-type counter arrays so they track the constant set.
+	TypeCount
 )
 
 var typeNames = map[Type]string{
@@ -258,6 +262,13 @@ type Message struct {
 	Replay  *Replay
 	Loc     *LocUpdate
 	Deliver *Deliver
+
+	// Frame is the cached wire encoding of the message, populated by
+	// Preencode so a fan-out serializes once and every frame-based
+	// transport (TCP) reuses the same bytes. It is advisory: in-process
+	// links ignore it, Decode never sets it, and it must only be written
+	// through Preencode (a stale cache would desynchronize peers).
+	Frame []byte
 }
 
 // NewPublish wraps a notification.

@@ -232,3 +232,40 @@ func TestMessageStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestPreencode checks the encode-once fan-out cache: the cached frame is
+// byte-identical to a fresh encoding, decodes to the same message, and a
+// second Preencode is a no-op.
+func TestPreencode(t *testing.T) {
+	m := NewPublish(sampleNotif())
+	if m.Frame != nil {
+		t.Fatal("fresh message carries a frame")
+	}
+	if err := Preencode(&m); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Encode(Message{Type: m.Type, Notif: m.Notif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Frame) != string(fresh) {
+		t.Error("cached frame differs from fresh encoding")
+	}
+	frame := m.Frame
+	if err := Preencode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if &m.Frame[0] != &frame[0] {
+		t.Error("second Preencode re-encoded")
+	}
+	dec, err := Decode(m.Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Frame != nil {
+		t.Error("Decode populated the frame cache")
+	}
+	if dec.Type != TypePublish || dec.Notif == nil {
+		t.Errorf("decoded %v", dec)
+	}
+}
