@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Parses two `go test -bench` output files (base and head), averages ns/op
+per benchmark across repeated -count runs, and computes the geometric mean
+of the head/base time ratios over the benchmarks common to both files.
+Exits non-zero when that geomean exceeds the given threshold (e.g. 1.15 =
+fail on a >15% regression).
+
+Benchmarks present on only one side (new or deleted benchmarks) are
+reported but excluded from the geomean, so adding a benchmark in a PR
+cannot trip the gate.
+"""
+import math
+import re
+import sys
+
+LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op")
+
+
+def parse(path):
+    sums, counts = {}, {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line)
+            if not m:
+                continue
+            name, ns = m.group(1), float(m.group(2))
+            sums[name] = sums.get(name, 0.0) + ns
+            counts[name] = counts.get(name, 0) + 1
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit("usage: benchgate.py base.txt head.txt threshold")
+    base, head = parse(sys.argv[1]), parse(sys.argv[2])
+    threshold = float(sys.argv[3])
+
+    # An empty side means the bench run produced no results (build break,
+    # panic, or a GATED regex that matches nothing) — that must fail the
+    # gate loudly, not skip it.
+    if not base:
+        sys.exit(f"FAIL: no benchmark results parsed from {sys.argv[1]}")
+    if not head:
+        sys.exit(f"FAIL: no benchmark results parsed from {sys.argv[2]}")
+
+    common = sorted(set(base) & set(head))
+    only_head = sorted(set(head) - set(base))
+    only_base = sorted(set(base) - set(head))
+    if only_head:
+        print("new benchmarks (not gated):", ", ".join(only_head))
+    if only_base:
+        print("removed benchmarks (not gated):", ", ".join(only_base))
+    if not common:
+        sys.exit("FAIL: no benchmarks common to base and head; "
+                 "the gate cannot compare anything")
+
+    log_sum = 0.0
+    for name in common:
+        ratio = head[name] / base[name]
+        log_sum += math.log(ratio)
+        print(f"{name}: {base[name]:.1f} -> {head[name]:.1f} ns/op ({ratio - 1:+.1%})")
+    geomean = math.exp(log_sum / len(common))
+    print(f"geomean ratio over {len(common)} benchmarks: {geomean:.4f} "
+          f"(threshold {threshold:.2f})")
+    if geomean > threshold:
+        sys.exit(f"FAIL: geomean regression {geomean:.2%} of base exceeds "
+                 f"threshold {threshold:.2%}")
+    print("OK: within threshold")
+
+
+if __name__ == "__main__":
+    main()

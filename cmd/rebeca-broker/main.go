@@ -46,6 +46,8 @@ func run(args []string) error {
 	strategyName := fs.String("strategy", "covering",
 		"routing strategy: flooding, simple, identity, covering, merging")
 	statsEvery := fs.Duration("stats", 30*time.Second, "stats print interval")
+	workers := fs.Int("workers", 1,
+		"publish-matching parallelism (1 = serial pipeline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +59,10 @@ func run(args []string) error {
 		return err
 	}
 
-	b := broker.New(wire.BrokerID(*id), broker.Options{Strategy: strategy})
+	b := broker.New(wire.BrokerID(*id), broker.Options{
+		Strategy: strategy,
+		Workers:  *workers,
+	})
 	b.Start()
 	defer b.Close()
 

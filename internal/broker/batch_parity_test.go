@@ -13,11 +13,11 @@ import (
 )
 
 // TestBatchedDeliveryParity is the randomized parity test for the batched
-// pipeline: the same multi-broker publish workload runs once through the
-// batched path (MaxBatch 0) and once through the unbatched
-// one-message-per-lock path (MaxBatch 1), and every subscription's
-// delivery sequence — payloads and sequence numbers — must be
-// byte-identical.
+// and parallel pipelines: the same multi-broker publish workload runs
+// through the unbatched one-message-per-lock path (MaxBatch 1), the
+// batched path (MaxBatch 0), and the parallel path (Workers 4), and every
+// subscription's delivery sequence — payloads and sequence numbers — must
+// be byte-identical across all three.
 //
 // Each subscription is pinned to a single producer (an equality constraint
 // on the producer attribute), so its delivery sequence is determined by
@@ -31,20 +31,26 @@ func TestBatchedDeliveryParity(t *testing.T) {
 		trial := trial
 		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
 			cfg := genParityWorkload(rand.New(rand.NewSource(0xba7c4 + int64(trial))))
-			batched := runParityWorkload(t, cfg, 0)
-			unbatched := runParityWorkload(t, cfg, 1)
-			if len(batched) != len(unbatched) {
-				t.Fatalf("subscription sets differ: %d vs %d", len(batched), len(unbatched))
+			runs := map[string]map[string][]string{
+				"unbatched": runParityWorkload(t, cfg, Options{MaxBatch: 1}),
+				"batched":   runParityWorkload(t, cfg, Options{}),
+				"parallel":  runParityWorkload(t, cfg, Options{Workers: 4}),
 			}
-			for key, want := range unbatched {
-				got := batched[key]
+			want := runs["unbatched"]
+			for mode, got := range runs {
 				if len(got) != len(want) {
-					t.Fatalf("%s: %d deliveries batched, %d unbatched", key, len(got), len(want))
+					t.Fatalf("%s: subscription sets differ: %d vs %d", mode, len(got), len(want))
 				}
-				for i := range want {
-					if got[i] != want[i] {
-						t.Fatalf("%s: delivery %d differs\nbatched:   %s\nunbatched: %s",
-							key, i, got[i], want[i])
+				for key, ws := range want {
+					gs := got[key]
+					if len(gs) != len(ws) {
+						t.Fatalf("%s: %s: %d deliveries, want %d", mode, key, len(gs), len(ws))
+					}
+					for i := range ws {
+						if gs[i] != ws[i] {
+							t.Fatalf("%s: %s: delivery %d differs\ngot:  %s\nwant: %s",
+								mode, key, i, gs[i], ws[i])
+						}
 					}
 				}
 			}
@@ -95,9 +101,8 @@ func genParityWorkload(rng *rand.Rand) parityWorkload {
 
 // runParityWorkload builds the overlay, runs the workload, and returns the
 // rendered delivery sequence per subscription key.
-func runParityWorkload(t *testing.T, w parityWorkload, maxBatch int) map[string][]string {
+func runParityWorkload(t *testing.T, w parityWorkload, opts Options) map[string][]string {
 	t.Helper()
-	opts := Options{MaxBatch: maxBatch}
 	brokers := make([]*Broker, 0)
 	ensure := func(i int) *Broker {
 		for len(brokers) <= i {

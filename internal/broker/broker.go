@@ -64,6 +64,18 @@ type Options struct {
 	// and exists for the delivery-order parity tests and as the benchmark
 	// baseline.
 	MaxBatch int
+	// Workers sets the matching parallelism of the publish pipeline: runs
+	// of consecutive publish messages in a drained batch are matched on
+	// this many sharded worker goroutines against an immutable snapshot
+	// of the routing table, with results applied in batch order by the
+	// run goroutine. 0 or 1 (the default) keeps the fully serial
+	// pipeline; the observable delivery and forwarding sequences are
+	// byte-identical either way (the workers only parallelize the pure
+	// matching step). Control messages — sub/unsub, advertisements,
+	// relocation, closures — always serialize through the run loop and
+	// act as barriers between publish runs. Ignored under the Flooding
+	// strategy, whose "matching" is a broadcast.
+	Workers int
 }
 
 // DefaultMaxBufferPerSub is the default per-subscription buffer cap.
@@ -106,6 +118,10 @@ type Broker struct {
 	batchDepth     metrics.Distribution // tasks per mailbox drain
 	batchRemaining int                  // unprocessed tail of the current batch, set at closure boundaries
 	relocDrops     uint64               // notifications dropped from relocation-pending buffers
+
+	// pool is the parallel matching pool, nil when the pipeline is
+	// serial (Workers <= 1 or Flooding).
+	pool *workerPool
 
 	closeOnce sync.Once
 }
@@ -172,7 +188,11 @@ type Stats struct {
 	// SubIndex and AdvIndex describe the predicate match index backing
 	// each routing table (posting-list shape, match-all rows).
 	SubIndex, AdvIndex routing.IndexStats
-	// MailboxDepth is the number of queued, not yet processed tasks.
+	// MailboxDepth is the number of queued, not yet processed tasks,
+	// aggregated across the mailbox, the drained-but-unprocessed tail of
+	// the current batch, and — when Workers > 1 — the jobs currently in
+	// flight on the matching workers, so the reading cannot go stale or
+	// negative whichever pipeline is active.
 	MailboxDepth int
 	// BatchesProcessed counts mailbox drains executed by the message loop;
 	// MaxBatchSize is the largest single drain and MeanBatchSize the
@@ -184,6 +204,26 @@ type Stats struct {
 	// relocation-pending buffers because they exceeded MaxBufferPerSub
 	// (the relocation-side counterpart of clientSub overflow).
 	RelocationPendingDrops uint64
+	// Workers is the configured matching parallelism (1 = serial).
+	// WorkerRuns counts parallel publish runs dispatched to the pool and
+	// WorkerJobs the publishes matched there; WorkerMaxShardDepth /
+	// WorkerMeanShardDepth describe how many jobs each dispatched shard
+	// carried (the worker-depth distribution); WorkerInflight is the
+	// number of jobs dispatched but not yet applied. Because Stats
+	// serializes through the run loop — which blocks on each run's apply
+	// barrier — WorkerInflight is always 0 here; it is reported so the
+	// MailboxDepth aggregation stays correct if an asynchronous apply
+	// stage is ever added.
+	Workers              int
+	WorkerRuns           uint64
+	WorkerJobs           uint64
+	WorkerMaxShardDepth  int
+	WorkerMeanShardDepth float64
+	WorkerInflight       int
+	// SubSnapshots reports the subscription table's copy-on-write
+	// snapshot activity (mutation generation, build/clone/rebuild
+	// counts).
+	SubSnapshots routing.SnapshotStats
 }
 
 // clientState tracks an attached (or roaming-away) client.
@@ -254,14 +294,21 @@ func New(id wire.BrokerID, opts Options) *Broker {
 		},
 	}
 	b.pub.visit = b.visitPublishEntry
+	if opts.Workers > 1 && opts.Strategy != routing.Flooding {
+		b.pool = newWorkerPool(opts.Workers)
+	}
 	return b
 }
 
 // ID returns the broker's identity.
 func (b *Broker) ID() wire.BrokerID { return b.id }
 
-// Start launches the message loop.
+// Start launches the message loop and, when Workers > 1, the matching
+// worker pool.
 func (b *Broker) Start() {
+	if b.pool != nil {
+		b.pool.start()
+	}
 	go b.run()
 }
 
@@ -305,6 +352,9 @@ func (b *Broker) exec(fn func()) error {
 
 func (b *Broker) run() {
 	defer close(b.done)
+	if b.pool != nil {
+		defer b.pool.stop()
+	}
 	for {
 		batch, ok := b.box.popBatch()
 		if !ok {
@@ -323,9 +373,16 @@ func (b *Broker) run() {
 // outbox flushes at the end of the batch. A control closure forces a
 // flush first, preserving the exec/Barrier contract that every earlier
 // task's output is on the wire before the closure observes the broker.
+//
+// With a worker pool, maximal runs of consecutive publish tasks are
+// matched in parallel against one immutable routing snapshot and applied
+// in batch order (processPublishRun); everything else — control messages,
+// closures — serializes through this loop and thereby acts as a barrier
+// between runs, so a publish can never be matched against routing state
+// older than the last control message processed before it.
 func (b *Broker) processBatch(batch []task) {
 	b.batchDepth.Observe(uint64(len(batch)))
-	for i := range batch {
+	for i := 0; i < len(batch); {
 		t := &batch[i]
 		if t.fn != nil {
 			b.flushOutbox()
@@ -333,18 +390,75 @@ func (b *Broker) processBatch(batch []task) {
 			// unprocessed tail of this batch as queue depth.
 			b.batchRemaining = len(batch) - i - 1
 			t.fn()
+			i++
 			continue
+		}
+		if b.pool != nil && isPublishTask(t) {
+			j := i + 1
+			for j < len(batch) && isPublishTask(&batch[j]) {
+				j++
+			}
+			if j-i >= minParallelRun {
+				b.processed[wire.TypePublish] += uint64(j - i)
+				b.processPublishRun(batch[i:j])
+				i = j
+				continue
+			}
 		}
 		if int(t.in.Msg.Type) < processedTypes {
 			b.processed[t.in.Msg.Type]++
 		}
 		if t.in.From.IsClient() {
 			b.clientInbound(t.in.From, t.in.Msg)
+			i++
 			continue
 		}
 		b.dispatch(t.in)
+		i++
 	}
 	b.flushOutbox()
+}
+
+// isPublishTask reports whether a task is an inbound publish eligible for
+// parallel matching (client- and broker-hop publishes both go through
+// handlePublish on the serial path).
+func isPublishTask(t *task) bool {
+	return t.fn == nil && t.in.Msg.Type == wire.TypePublish && t.in.Msg.Notif != nil
+}
+
+// processPublishRun matches one run of consecutive publishes on the worker
+// pool — all against the same immutable routing snapshot, sharded by
+// publisher hop — and then applies each result in batch order on the run
+// goroutine: outbox writes first, local deliveries second, exactly the
+// order and dedup the serial handlePublish emits. Per-link FIFO follows
+// from the ordered apply feeding the per-hop outboxes, which a single
+// flusher (flushOutbox) drains at the next batch boundary.
+func (b *Broker) processPublishRun(run []task) {
+	results := b.pool.match(b.subs.Snapshot(), run)
+	for i := range run {
+		b.applyPublish(&run[i], &results[i])
+	}
+}
+
+// applyPublish turns one worker-produced match result into observable
+// output. Runs on the run goroutine: all client and link state is owned
+// here, so the parallel pipeline's writes stay single-threaded.
+func (b *Broker) applyPublish(t *task, r *matchResult) {
+	n := *t.in.Msg.Notif
+	msg := wire.Message{}
+	for _, hop := range r.hops {
+		if _, ok := b.links[hop.Broker]; !ok {
+			continue
+		}
+		if msg.Type == wire.TypeInvalid {
+			msg = wire.NewPublish(n)
+		}
+		b.maybePreencode(hop.Broker, &msg)
+		b.send(hop, msg)
+	}
+	for _, ref := range r.deliveries {
+		b.deliverTo(ref.client, ref.id, n, false)
+	}
 }
 
 // flushOutbox writes every deferred message to its link, one FIFO burst
@@ -466,6 +580,17 @@ func (b *Broker) Stats() Stats {
 		s.MaxBatchSize = int(b.batchDepth.Max())
 		s.MeanBatchSize = b.batchDepth.Mean()
 		s.RelocationPendingDrops = b.relocDrops
+		s.Workers = 1
+		s.SubSnapshots = b.subs.SnapshotStats()
+		if b.pool != nil {
+			s.Workers = len(b.pool.chans)
+			s.WorkerRuns = b.pool.dispatches
+			s.WorkerJobs = b.pool.jobs
+			s.WorkerMaxShardDepth = int(b.pool.shardDepth.Max())
+			s.WorkerMeanShardDepth = b.pool.shardDepth.Mean()
+			s.WorkerInflight = int(b.pool.inflight.Get())
+			s.MailboxDepth += s.WorkerInflight
+		}
 	})
 	return s
 }
@@ -495,16 +620,26 @@ func (b *Broker) send(hop wire.Hop, m wire.Message) {
 // encoding once at the first frame-encoding destination (a fan-out that
 // only crosses in-process links serializes nothing).
 func (b *Broker) broadcast(m wire.Message, except wire.Hop) {
-	for id, l := range b.links {
+	for id := range b.links {
 		if !except.IsClient() && id == except.Broker {
 			continue
 		}
-		if b.encLinks > 0 && m.Frame == nil {
-			if _, enc := l.(transport.FrameEncoder); enc {
-				_ = wire.Preencode(&m)
-			}
-		}
+		b.maybePreencode(id, &m)
 		b.send(wire.BrokerHop(id), m)
+	}
+}
+
+// maybePreencode caches m's wire frame before it is queued for a
+// frame-encoding peer, so a fan-out serializes at most once and message
+// copies enqueued for later hops inherit the cached frame. The
+// encode-once policy lives only here: the serial publish visitor, the
+// parallel apply stage, and broadcast all share it.
+func (b *Broker) maybePreencode(peer wire.BrokerID, m *wire.Message) {
+	if b.encLinks == 0 || m.Frame != nil {
+		return
+	}
+	if _, enc := b.links[peer].(transport.FrameEncoder); enc {
+		_ = wire.Preencode(m)
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/routing"
-	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -558,14 +557,7 @@ func (b *Broker) visitPublishEntry(e *routing.Entry) {
 	if b.pub.msg.Type == wire.TypeInvalid {
 		b.pub.msg = wire.NewPublish(b.pub.n)
 	}
-	// Encode lazily at the first frame-encoding destination, so a fan-out
-	// that never touches a TCP link serializes nothing; copies enqueued
-	// for later hops inherit the cached frame.
-	if b.encLinks > 0 && b.pub.msg.Frame == nil {
-		if _, enc := b.links[e.Hop.Broker].(transport.FrameEncoder); enc {
-			_ = wire.Preencode(&b.pub.msg)
-		}
-	}
+	b.maybePreencode(e.Hop.Broker, &b.pub.msg)
 	b.send(e.Hop, b.pub.msg)
 }
 

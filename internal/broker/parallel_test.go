@@ -1,0 +1,239 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestParallelControlDataInterleaving storms a Workers>1 broker with
+// publishes from several publisher hops while the test churns
+// subscriptions through the control path, and checks the snapshot
+// freshness contract: once a Subscribe call has returned (the ack), every
+// later matching publish is delivered — it cannot be matched against a
+// routing snapshot from before the ack — and once an Unsubscribe has
+// returned, no later publish is delivered. The background storm keeps the
+// worker pool saturated so the control messages land between (and split)
+// parallel runs. Run under -race this also exercises the
+// snapshot-immutability guarantees end to end.
+func TestParallelControlDataInterleaving(t *testing.T) {
+	b := New("hub", Options{Workers: 4})
+	b.Start()
+	defer b.Close()
+
+	var mu sync.Mutex
+	delivered := make(map[int64]int) // marker id -> count
+	client := wire.ClientID("c")
+	if err := b.AttachClient(client, func(d wire.Deliver) {
+		if v, ok := d.Item.Notif.Get("marker"); ok {
+			mu.Lock()
+			delivered[v.IntVal()]++
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Background storm: several publisher hops push matching and
+	// non-matching noise (no marker attribute) concurrently with the
+	// control churn below.
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		p := p
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			from := wire.ClientHop(wire.ClientID(fmt.Sprintf("noise%d", p)))
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := message.New(map[string]message.Value{
+					"topic": message.String(fmt.Sprintf("t%d", rng.Intn(4))),
+					"i":     message.Int(int64(i)),
+				})
+				b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n)})
+			}
+		}()
+	}
+
+	marker := int64(0)
+	pubMarker := func(topic string, from wire.Hop) int64 {
+		marker++
+		n := message.New(map[string]message.Value{
+			"topic":  message.String(topic),
+			"marker": message.Int(marker),
+		})
+		b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n)})
+		return marker
+	}
+
+	const rounds = 40
+	const markersPerRound = 25
+	mainHop := wire.ClientHop("main-pub")
+	for round := 0; round < rounds; round++ {
+		topic := fmt.Sprintf("t%d", round%4)
+		subID := wire.SubID(fmt.Sprintf("s%d", round))
+		f := filter.MustNew(filter.EQ("topic", message.String(topic)))
+		// Subscribe ack: the control message has been processed by the
+		// run loop, so the next publish run's snapshot must include it.
+		if err := b.Subscribe(wire.Subscription{Filter: f, Client: client, ID: subID}); err != nil {
+			t.Fatal(err)
+		}
+		var expect []int64
+		for k := 0; k < markersPerRound; k++ {
+			expect = append(expect, pubMarker(topic, mainHop))
+		}
+		b.Barrier()
+		mu.Lock()
+		for _, m := range expect {
+			if delivered[m] != 1 {
+				mu.Unlock()
+				t.Fatalf("round %d: marker %d delivered %d times (stale snapshot after sub ack?)",
+					round, m, delivered[m])
+			}
+		}
+		mu.Unlock()
+
+		// Unsubscribe ack: markers published afterwards must never be
+		// delivered, however the storm interleaves.
+		if err := b.Unsubscribe(client, subID); err != nil {
+			t.Fatal(err)
+		}
+		var ghosts []int64
+		for k := 0; k < markersPerRound; k++ {
+			ghosts = append(ghosts, pubMarker(topic, mainHop))
+		}
+		b.Barrier()
+		mu.Lock()
+		for _, m := range ghosts {
+			if delivered[m] != 0 {
+				mu.Unlock()
+				t.Fatalf("round %d: marker %d delivered after unsub ack (snapshot older than ack)", round, m)
+			}
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	storm.Wait()
+	b.Barrier()
+
+	st := b.Stats()
+	if st.Workers != 4 {
+		t.Fatalf("Workers = %d", st.Workers)
+	}
+	if st.WorkerRuns == 0 || st.WorkerJobs == 0 {
+		t.Fatalf("storm never hit the parallel pipeline: %+v", st)
+	}
+	if st.SubSnapshots.Builds == 0 {
+		t.Fatalf("no snapshots built: %+v", st.SubSnapshots)
+	}
+	if st.SubSnapshots.Gen < uint64(rounds) {
+		t.Fatalf("snapshot generation %d below control churn %d", st.SubSnapshots.Gen, rounds)
+	}
+}
+
+// TestStatsWorkerAggregation checks the Workers>1 Stats plumbing: the
+// mailbox-depth aggregate stays non-negative under load, worker counters
+// move, and shard-depth observability is populated.
+func TestStatsWorkerAggregation(t *testing.T) {
+	b := New("hub", Options{Workers: 3})
+	b.Start()
+	defer b.Close()
+
+	client := wire.ClientID("c")
+	var got atomic.Int64
+	if err := b.AttachClient(client, func(wire.Deliver) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParse(`k = "v"`)
+	if err := b.Subscribe(wire.Subscription{Filter: f, Client: client, ID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+
+	n := message.New(map[string]message.Value{"k": message.String("v")})
+	msg := wire.NewPublish(n)
+	const total = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			from := wire.ClientHop(wire.ClientID(fmt.Sprintf("p%d", p)))
+			for i := 0; i < total/4; i++ {
+				b.Receive(transport.Inbound{From: from, Msg: msg})
+			}
+		}()
+	}
+	// Poll Stats concurrently with the storm: the aggregate depth must
+	// never be negative and the snapshot must stay internally consistent.
+	for i := 0; i < 20; i++ {
+		st := b.Stats()
+		if st.MailboxDepth < 0 {
+			t.Fatalf("negative MailboxDepth %d", st.MailboxDepth)
+		}
+		if st.WorkerInflight < 0 {
+			t.Fatalf("negative WorkerInflight %d", st.WorkerInflight)
+		}
+	}
+	wg.Wait()
+	b.Barrier()
+	if got.Load() != total {
+		t.Fatalf("delivered %d of %d", got.Load(), total)
+	}
+	st := b.Stats()
+	if st.WorkerJobs == 0 || st.WorkerRuns == 0 {
+		t.Fatalf("parallel pipeline unused: %+v", st)
+	}
+	if st.WorkerMaxShardDepth <= 0 || st.WorkerMeanShardDepth <= 0 {
+		t.Fatalf("shard depth distribution empty: %+v", st)
+	}
+	if st.WorkerJobs > st.Processed[wire.TypePublish] {
+		t.Fatalf("worker jobs %d exceed processed publishes %d", st.WorkerJobs, st.Processed[wire.TypePublish])
+	}
+	if st.WorkerInflight != 0 {
+		t.Fatalf("inflight %d after barrier", st.WorkerInflight)
+	}
+}
+
+// TestWorkersSerialEquivalenceSmallRuns checks that runs shorter than the
+// dispatch threshold take the inline path and still deliver identically
+// (Workers>1 with trickle traffic must not change behavior).
+func TestWorkersSerialEquivalenceSmallRuns(t *testing.T) {
+	b := New("hub", Options{Workers: 4, MaxBatch: 2}) // batches below minParallelRun
+	b.Start()
+	defer b.Close()
+	client := wire.ClientID("c")
+	var got atomic.Int64
+	if err := b.AttachClient(client, func(wire.Deliver) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`k = "v"`), Client: client, ID: "s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := message.New(map[string]message.Value{"k": message.String("v")})
+	for i := 0; i < 100; i++ {
+		b.Receive(transport.Inbound{From: wire.ClientHop("p"), Msg: wire.NewPublish(n)})
+	}
+	b.Barrier()
+	if got.Load() != 100 {
+		t.Fatalf("delivered %d of 100", got.Load())
+	}
+	if st := b.Stats(); st.WorkerJobs != 0 {
+		t.Fatalf("sub-threshold runs were dispatched to workers: %+v", st)
+	}
+}

@@ -42,6 +42,7 @@ type networkConfig struct {
 	defaultLat time.Duration
 	procDelay  time.Duration
 	maxBuffer  int
+	workers    int
 }
 
 // WithStrategy selects the routing strategy for all brokers (default
@@ -65,6 +66,13 @@ func WithProcDelay(d time.Duration) NetworkOption {
 // WithMaxBufferPerSub caps the relocation and virtual-counterpart buffers.
 func WithMaxBufferPerSub(n int) NetworkOption {
 	return func(c *networkConfig) { c.maxBuffer = n }
+}
+
+// WithWorkers sets every broker's publish-matching parallelism (see
+// broker.Options.Workers). The default of 0 keeps the serial pipeline;
+// delivery sequences are byte-identical for any value.
+func WithWorkers(n int) NetworkOption {
+	return func(c *networkConfig) { c.workers = n }
 }
 
 // Network owns a set of in-process brokers, their links, the shared
@@ -123,6 +131,7 @@ func (n *Network) AddBroker(id wire.BrokerID) (*broker.Broker, error) {
 		ProcDelay:       n.cfg.procDelay,
 		Counter:         n.counter,
 		MaxBufferPerSub: n.cfg.maxBuffer,
+		Workers:         n.cfg.workers,
 	})
 	b.Start()
 	n.brokers[id] = b

@@ -152,6 +152,18 @@ func (d *Distribution) Mean() float64 {
 	return float64(d.sum.Load()) / float64(n)
 }
 
+// Gauge is an atomic up/down counter for instantaneous quantities (queue
+// depths, in-flight work). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Get returns the current value.
+func (g *Gauge) Get() int64 { return g.v.Load() }
+
 // LatencyRecorder accumulates deliveries with timestamps, used by the
 // blackout-period experiment (Figure 3).
 type LatencyRecorder struct {

@@ -88,6 +88,53 @@ func newMatchIndex() *matchIndex {
 	return &matchIndex{attrs: make(map[string]*attrIndex)}
 }
 
+// clone returns a structural copy of the index for an immutable snapshot:
+// every mutable container (slot arrays, posting lists, maps) is copied,
+// while the idxEntry rows themselves are shared — they are never mutated
+// after their insert into the live index assigns their slot. The clone's
+// scratch pool starts fresh (sync.Pool must not be copied).
+func (x *matchIndex) clone() *matchIndex {
+	c := &matchIndex{
+		slots:    append([]*idxEntry(nil), x.slots...),
+		totals:   append([]int32(nil), x.totals...),
+		free:     append([]int32(nil), x.free...),
+		matchAll: append([]*idxEntry(nil), x.matchAll...),
+		attrs:    make(map[string]*attrIndex, len(x.attrs)),
+		postings: x.postings,
+	}
+	for a, ai := range x.attrs {
+		c.attrs[a] = ai.clone()
+	}
+	return c
+}
+
+func (ai *attrIndex) clone() *attrIndex {
+	c := &attrIndex{
+		exists:    append([]int32(nil), ai.exists...),
+		anyString: append([]int32(nil), ai.anyString...),
+		scan:      append([]scanPosting(nil), ai.scan...),
+	}
+	if ai.eq != nil {
+		c.eq = make(map[message.Value][]int32, len(ai.eq))
+		for v, ps := range ai.eq {
+			c.eq[v] = append([]int32(nil), ps...)
+		}
+	}
+	if ai.intervals != nil {
+		c.intervals = make(map[message.Kind]*intervalList, len(ai.intervals))
+		for k, il := range ai.intervals {
+			c.intervals[k] = &intervalList{ivs: append([]interval(nil), il.ivs...)}
+		}
+	}
+	if ai.prefixes != nil {
+		c.prefixes = make(map[byte][]prefixPosting, len(ai.prefixes))
+		for b, ps := range ai.prefixes {
+			c.prefixes[b] = append([]prefixPosting(nil), ps...)
+		}
+	}
+	return c
+}
+
 // ---------------------------------------------------------------------------
 // Maintenance: insert / remove.
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/filter"
 	"repro/internal/message"
@@ -60,6 +61,14 @@ type Table struct {
 	mu      sync.RWMutex
 	entries map[string]*idxEntry
 	idx     *matchIndex
+
+	// Copy-on-write snapshot state (see snapshot.go): snap caches the
+	// last built immutable snapshot, gen counts mutations, and the
+	// clone/rebuild counters feed SnapshotStats.
+	snap         atomic.Pointer[Snapshot]
+	gen          uint64
+	snapClones   uint64
+	snapRebuilds uint64
 }
 
 // NewTable returns an empty table.
@@ -86,6 +95,7 @@ func (t *Table) Add(e Entry) bool {
 	}
 	t.entries[k] = ie
 	t.idx.insert(ie)
+	t.invalidateSnapshot()
 	return true
 }
 
@@ -100,6 +110,7 @@ func (t *Table) Remove(e Entry) bool {
 	}
 	delete(t.entries, k)
 	t.idx.remove(ie)
+	t.invalidateSnapshot()
 	return true
 }
 
@@ -181,9 +192,16 @@ func (t *Table) MatchingEntries(n message.Notification, from wire.Hop) []Entry {
 func (t *Table) EachMatchingEntry(n message.Notification, from wire.Hop, visit func(*Entry)) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := t.idx.getScratch()
-	defer t.idx.putScratch(s)
-	matched := t.idx.match(n, s)
+	t.idx.eachMatching(n, from, visit)
+}
+
+// eachMatching is the shared visit-in-entry-key-order matcher behind
+// Table.EachMatchingEntry (under the table's read lock) and
+// Snapshot.EachMatchingEntry (lock-free on the immutable copy).
+func (x *matchIndex) eachMatching(n message.Notification, from wire.Hop, visit func(*Entry)) {
+	s := x.getScratch()
+	defer x.putScratch(s)
+	matched := x.match(n, s)
 	kept := matched[:0]
 	for _, ie := range matched {
 		if ie.e.Hop != from {
@@ -275,6 +293,9 @@ func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 			t.idx.remove(ie)
 		}
 	}
+	if len(sel) > 0 {
+		t.invalidateSnapshot()
+	}
 	return sortedEntries(sel)
 }
 
@@ -290,6 +311,9 @@ func (t *Table) RemoveHop(h wire.Hop) []Entry {
 			delete(t.entries, k)
 			t.idx.remove(ie)
 		}
+	}
+	if len(sel) > 0 {
+		t.invalidateSnapshot()
 	}
 	return sortedEntries(sel)
 }
