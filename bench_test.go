@@ -471,6 +471,165 @@ func BenchmarkMatchIndexEntries(b *testing.B) {
 	})
 }
 
+// churnBenchFilters builds n overlapping subscription filters with a
+// realistic shape mix — per-topic price windows, wide umbrella ranges,
+// path prefixes, and region sets — so the covering poset has both heavy
+// cover chains (umbrellas over windows) and disjoint signature buckets.
+func churnBenchFilters(n int) []filter.Filter {
+	fs := make([]filter.Filter, n)
+	for i := 0; i < n; i++ {
+		// Topic advances once per shape cycle so narrow windows and wide
+		// umbrellas share topics (i%16 would correlate with the i%4 shape
+		// selector and leave the pool cover-free); the prime window
+		// modulus decorrelates the price offset from the topic.
+		topic := fmt.Sprintf("t%d", (i/4)%16)
+		switch i % 4 {
+		case 0: // narrow per-topic price window
+			lo := int64((i % 97) * 10)
+			fs[i] = filter.MustNew(
+				filter.EQ("topic", message.String(topic)),
+				filter.Range("price", message.Int(lo), message.Int(lo+15)))
+		case 1: // wide umbrella covering several windows of the same topic
+			lo := int64((i % 5) * 100)
+			fs[i] = filter.MustNew(
+				filter.EQ("topic", message.String(topic)),
+				filter.Range("price", message.Int(lo), message.Int(lo+300)))
+		case 2: // path prefix (separate signature bucket)
+			fs[i] = filter.MustNew(filter.Prefix("path", fmt.Sprintf("/svc%d/", i%32)))
+		default: // region membership + presence (third bucket)
+			fs[i] = filter.MustNew(
+				filter.In("region", message.String(fmt.Sprintf("r%d", i%24)),
+					message.String(fmt.Sprintf("r%d", i%24+1))),
+				filter.Exists("price"))
+		}
+	}
+	return fs
+}
+
+// BenchmarkSubscriptionChurn measures the control-plane cost of one
+// roaming handoff (subscribe + unsubscribe of one filter) against a
+// forwarder already tracking 1000 subscriptions, for every strategy, in
+// both modes: "incremental" drives the delta API (AddFilter/RemoveFilter,
+// the broker's hot path since the delta control plane), "batch" the
+// pre-refactor equivalent of two full Recompute table scans. The
+// acceptance bar is Covering incremental ≥10x faster than Covering
+// batch. Merging's delta API recomputes its merge fixpoint internally
+// (the documented fallback), so its two modes stay comparable.
+func BenchmarkSubscriptionChurn(b *testing.B) {
+	const existing = 1000
+	pool := churnBenchFilters(existing)
+	churn := filter.MustNew(
+		filter.EQ("topic", message.String("t3")),
+		filter.Range("price", message.Int(102), message.Int(107)))
+	hop := wire.BrokerHop("up")
+	for _, strat := range routing.Strategies() {
+		strat := strat
+		b.Run(strat.String()+"/incremental", func(b *testing.B) {
+			fwd := routing.NewForwarder(strat)
+			fwd.Recompute(hop, pool)
+			if strat == routing.Covering {
+				// Guard the workload itself: a cover-free pool would
+				// bench none of the index's covering logic.
+				distinct := make(map[string]bool, len(pool))
+				for _, f := range pool {
+					distinct[f.ID()] = true
+				}
+				if got := len(fwd.Forwarded(hop)); got == 0 || got >= len(distinct) {
+					b.Fatalf("pool has no covering structure: %d forwarded of %d distinct",
+						got, len(distinct))
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fwd.AddFilter(hop, churn)
+				fwd.RemoveFilter(hop, churn)
+			}
+		})
+		b.Run(strat.String()+"/batch", func(b *testing.B) {
+			fwd := routing.NewForwarder(strat)
+			fwd.Recompute(hop, pool)
+			withChurn := append(append([]filter.Filter{}, pool...), churn)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fwd.Recompute(hop, withChurn)
+				fwd.Recompute(hop, pool)
+			}
+		})
+	}
+}
+
+// BenchmarkSubscriptionChurnBroker measures the same roaming handoff end
+// to end through a live covering broker: a hub with three neighbor
+// brokers and 1000 existing local subscriptions processes one
+// subscribe/unsubscribe pair per iteration, control messages included.
+// Before the delta control plane this cost three EntriesNotFrom scans
+// plus three quadratic Reduce runs per handoff.
+func BenchmarkSubscriptionChurnBroker(b *testing.B) {
+	const existing = 1000
+	hub := broker.New("hub", broker.Options{Strategy: routing.Covering})
+	hub.Start()
+	defer hub.Close()
+	neighbors := make([]*broker.Broker, 3)
+	for i := range neighbors {
+		id := wire.BrokerID(fmt.Sprintf("n%d", i))
+		n := broker.New(id, broker.Options{Strategy: routing.Covering})
+		n.Start()
+		defer n.Close()
+		neighbors[i] = n
+		lh, ln := transport.Pipe(wire.BrokerHop("hub"), wire.BrokerHop(id), hub, n)
+		if err := hub.AddLink(id, lh); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.AddLink("hub", ln); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := hub.AttachClient("c", nil); err != nil {
+		b.Fatal(err)
+	}
+	for i, f := range churnBenchFilters(existing) {
+		err := hub.Subscribe(wire.Subscription{
+			Filter: f, Client: "c", ID: wire.SubID(fmt.Sprintf("s%d", i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	settle := func() {
+		for r := 0; r < 4; r++ {
+			hub.Barrier()
+			for _, n := range neighbors {
+				n.Barrier()
+			}
+		}
+	}
+	settle()
+	churn := filter.MustNew(
+		filter.EQ("topic", message.String("t3")),
+		filter.Range("price", message.Int(102), message.Int(107)))
+	// Baseline after setup so the reported metrics cover only the timed
+	// handoffs, normalized per operation (raw totals would scale with
+	// b.N and drown benchstat deltas in noise).
+	base := hub.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hub.Subscribe(wire.Subscription{Filter: churn, Client: "c", ID: "roam"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := hub.Unsubscribe("c", "roam"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	settle()
+	b.StopTimer()
+	stats := hub.Stats()
+	b.ReportMetric(float64(stats.ControlSubsSent-base.ControlSubsSent)/float64(b.N), "ctrl-subs/op")
+	b.ReportMetric(float64(stats.CoverChecksSaved-base.CoverChecksSaved)/float64(b.N), "cover-checks-saved/op")
+}
+
 func BenchmarkWireCodecRoundTrip(b *testing.B) {
 	m := wire.NewPublish(message.New(map[string]message.Value{
 		"service":  message.String("parking"),

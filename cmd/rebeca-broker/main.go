@@ -44,7 +44,7 @@ func run(args []string) error {
 	listen := fs.String("listen", ":7001", "TCP listen address")
 	peers := fs.String("peer", "", "comma-separated peer addresses to dial")
 	strategyName := fs.String("strategy", "covering",
-		"routing strategy: flooding, simple, identity, covering, merging")
+		"routing strategy: "+strings.Join(routing.StrategyNames(), ", ")+" (case-insensitive)")
 	statsEvery := fs.Duration("stats", 30*time.Second, "stats print interval")
 	workers := fs.Int("workers", 1,
 		"publish-matching parallelism (1 = serial pipeline)")

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+)
 
 func TestRunRequiresID(t *testing.T) {
 	if err := run([]string{"-listen", ":0"}); err == nil {
@@ -9,8 +14,16 @@ func TestRunRequiresID(t *testing.T) {
 }
 
 func TestRunRejectsBadStrategy(t *testing.T) {
-	if err := run([]string{"-id", "b1", "-strategy", "bogus", "-listen", ":0"}); err == nil {
-		t.Error("bad strategy should fail")
+	err := run([]string{"-id", "b1", "-strategy", "bogus", "-listen", ":0"})
+	if err == nil {
+		t.Fatal("bad strategy should fail")
+	}
+	// The error names the valid strategies, so -strategy typos are
+	// self-documenting.
+	for _, name := range routing.StrategyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q should list %q", err, name)
+		}
 	}
 }
 

@@ -119,6 +119,11 @@ type Broker struct {
 	batchRemaining int                  // unprocessed tail of the current batch, set at closure boundaries
 	relocDrops     uint64               // notifications dropped from relocation-pending buffers
 
+	// Control-plane admin traffic sent by the forwarding strategy
+	// (aggregate subscribe/unsubscribe messages toward neighbors).
+	ctrlSubsSent   uint64
+	ctrlUnsubsSent uint64
+
 	// pool is the parallel matching pool, nil when the pipeline is
 	// serial (Workers <= 1 or Flooding).
 	pool *workerPool
@@ -224,6 +229,19 @@ type Stats struct {
 	// snapshot activity (mutation generation, build/clone/rebuild
 	// counts).
 	SubSnapshots routing.SnapshotStats
+	// ControlSubsSent and ControlUnsubsSent count the administrative
+	// subscribe/unsubscribe messages this broker's forwarding strategy
+	// sent to neighbors — the per-strategy admin traffic Figure 9
+	// compares. CoverChecksSaved is the number of pairwise cover tests
+	// the incremental control plane's signature buckets avoided
+	// (Forwarder carries the full breakdown).
+	ControlSubsSent   uint64
+	ControlUnsubsSent uint64
+	CoverChecksSaved  uint64
+	// Forwarder describes the subscription-forwarding control plane:
+	// strategy, incrementality, tracked/forwarded filter counts, and
+	// cover-check work.
+	Forwarder routing.ForwarderStats
 }
 
 // clientState tracks an attached (or roaming-away) client.
@@ -503,7 +521,10 @@ const maxOutboxRetainCap = 1 << 14
 
 // AddLink registers a link to a neighbor broker. The overlay must remain
 // acyclic and connected (the system model of Section 2.1); Network in
-// package core enforces this.
+// package core enforces this. The new neighbor's forwarding state is
+// seeded through the batch Recompute oracle from the current table, so a
+// broker joining an overlay that already carries subscriptions learns the
+// aggregate interest immediately instead of at the next table change.
 func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
 	return b.exec(func() {
 		if old, ok := b.links[peer]; ok {
@@ -515,10 +536,15 @@ func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
 		if _, enc := l.(transport.FrameEncoder); enc {
 			b.encLinks++
 		}
+		hop := wire.BrokerHop(peer)
+		b.sendForwardUpdate(b.fwd.Recompute(hop, b.aggregateInputs(hop)))
 	})
 }
 
-// RemoveLink drops a neighbor link and its routing state.
+// RemoveLink drops a neighbor link and its routing state. Plain entries
+// that pointed along the dead link stop being control-plane inputs for
+// the surviving neighbors, so the forwarded aggregates they justified are
+// retracted instead of lingering as over-subscription.
 func (b *Broker) RemoveLink(peer wire.BrokerID) error {
 	return b.exec(func() {
 		hop := wire.BrokerHop(peer)
@@ -529,9 +555,14 @@ func (b *Broker) RemoveLink(peer wire.BrokerID) error {
 		}
 		delete(b.links, peer)
 		delete(b.out.pending, peer)
-		b.subs.RemoveHop(hop)
+		removed := b.subs.RemoveHop(hop)
 		b.advs.RemoveHop(hop)
 		b.fwd.DropHop(hop)
+		for _, e := range removed {
+			if !b.isPerClientEntry(e) {
+				b.aggregateEntryRemoved(e)
+			}
+		}
 	})
 }
 
@@ -550,6 +581,15 @@ func (b *Broker) Neighbors() []wire.BrokerID {
 // processed. Used by tests and Network.Settle to flush in-flight traffic.
 func (b *Broker) Barrier() {
 	_ = b.exec(func() {})
+}
+
+// SubEntries returns a snapshot of the subscription routing table in
+// deterministic order (diagnostics and the control-plane equivalence
+// tests).
+func (b *Broker) SubEntries() []routing.Entry {
+	var out []routing.Entry
+	_ = b.exec(func() { out = b.subs.All() })
+	return out
 }
 
 // TableSizes returns the subscription and advertisement table sizes
@@ -580,6 +620,10 @@ func (b *Broker) Stats() Stats {
 		s.MaxBatchSize = int(b.batchDepth.Max())
 		s.MeanBatchSize = b.batchDepth.Mean()
 		s.RelocationPendingDrops = b.relocDrops
+		s.ControlSubsSent = b.ctrlSubsSent
+		s.ControlUnsubsSent = b.ctrlUnsubsSent
+		s.Forwarder = b.fwd.Stats()
+		s.CoverChecksSaved = s.Forwarder.CoverChecksSaved
 		s.Workers = 1
 		s.SubSnapshots = b.subs.SnapshotStats()
 		if b.pool != nil {

@@ -196,7 +196,7 @@ func (b *Broker) localSubscribe(sub wire.Subscription) error {
 		b.knownSubs[sub.Key()] = sub
 		b.propagateClientSub(sub, clientHop)
 	} else {
-		b.recomputeAggregates(clientHop)
+		b.aggregateEntryAdded(routing.Entry{Filter: sub.Filter, Hop: clientHop})
 	}
 	return nil
 }
@@ -212,7 +212,7 @@ func (b *Broker) localUnsubscribe(client wire.ClientID, id wire.SubID) error {
 	}
 	delete(cs.subs, id)
 	key := subKey(client, id)
-	b.subs.RemoveClient(client, id)
+	removed := b.subs.RemoveClient(client, id)
 	delete(b.pending, key)
 	switch {
 	case state.sub.LocDependent:
@@ -220,7 +220,9 @@ func (b *Broker) localUnsubscribe(client wire.ClientID, id wire.SubID) error {
 	case state.sub.Mobile():
 		b.retractClientSub(state.sub)
 	default:
-		b.recomputeAggregates(wire.ClientHop(client))
+		for _, e := range removed {
+			b.aggregateEntryRemoved(e)
+		}
 	}
 	return nil
 }
@@ -234,8 +236,10 @@ func (b *Broker) handleSubscribe(from wire.Hop, sub wire.Subscription) {
 		b.handleClientSubscribe(from, sub)
 	default:
 		// Aggregate subscription from a neighbor broker.
-		b.subs.Add(routing.Entry{Filter: sub.Filter, Hop: from})
-		b.recomputeAggregates(from)
+		e := routing.Entry{Filter: sub.Filter, Hop: from}
+		if b.subs.Add(e) {
+			b.aggregateEntryAdded(e)
+		}
 	}
 }
 
@@ -249,8 +253,10 @@ func (b *Broker) handleUnsubscribe(from wire.Hop, sub wire.Subscription) {
 		b.subs.RemoveClient(sub.Client, sub.ID)
 		b.retractClientSub(sub)
 	default:
-		b.subs.Remove(routing.Entry{Filter: sub.Filter, Hop: from})
-		b.recomputeAggregates(from)
+		e := routing.Entry{Filter: sub.Filter, Hop: from}
+		if b.subs.Remove(e) {
+			b.aggregateEntryRemoved(e)
+		}
 	}
 }
 
@@ -360,27 +366,46 @@ func (b *Broker) retractClientSub(sub wire.Subscription) {
 	delete(b.fetched, key)
 }
 
-// recomputeAggregates refreshes the aggregate subscriptions forwarded to
-// the neighbors a change arriving from the given hop can affect: every
-// neighbor except the changed hop itself, since the aggregate forwarded
-// toward a neighbor excludes entries pointing at that neighbor (its
-// recompute would always be an empty diff). Only plain
-// (non-per-client-propagated) entries feed the aggregation.
-func (b *Broker) recomputeAggregates(changed wire.Hop) {
-	for _, n := range b.neighborHops(changed) {
-		inputs := b.aggregateInputs(n)
-		u := b.fwd.Recompute(n, inputs)
-		for _, f := range u.Subscribe {
-			b.send(n, wire.NewSubscribe(wire.Subscription{Filter: f}))
-		}
-		for _, f := range u.Unsubscribe {
-			b.send(n, wire.NewUnsubscribe(wire.Subscription{Filter: f}))
-		}
+// aggregateEntryAdded feeds one new plain routing entry through the
+// delta-based forwarding control plane: every neighbor except the entry's
+// own hop gains the filter as an input (the aggregate forwarded toward a
+// neighbor excludes entries pointing at that neighbor), and whatever
+// sub/unsub diff the strategy derives goes straight on the wire. No table
+// scan happens here — the forwarder tracks its inputs per neighbor, so a
+// subscribe, unsubscribe, or roaming handoff costs work proportional to
+// the change, not to the table.
+func (b *Broker) aggregateEntryAdded(e routing.Entry) {
+	for _, n := range b.neighborHops(e.Hop) {
+		b.sendForwardUpdate(b.fwd.AddFilter(n, e.Filter))
+	}
+}
+
+// aggregateEntryRemoved is the removal half of the delta control plane.
+func (b *Broker) aggregateEntryRemoved(e routing.Entry) {
+	for _, n := range b.neighborHops(e.Hop) {
+		b.sendForwardUpdate(b.fwd.RemoveFilter(n, e.Filter))
+	}
+}
+
+// sendForwardUpdate puts a forwarder diff on the wire toward its neighbor
+// and counts the administrative traffic (Stats.ControlSubsSent /
+// ControlUnsubsSent, the per-strategy admin-message measure of Figure 9).
+func (b *Broker) sendForwardUpdate(u routing.Update) {
+	for _, f := range u.Subscribe {
+		b.ctrlSubsSent++
+		b.send(u.Hop, wire.NewSubscribe(wire.Subscription{Filter: f}))
+	}
+	for _, f := range u.Unsubscribe {
+		b.ctrlUnsubsSent++
+		b.send(u.Hop, wire.NewUnsubscribe(wire.Subscription{Filter: f}))
 	}
 }
 
 // aggregateInputs collects the filters of plain entries not pointing at
-// the given neighbor.
+// the given neighbor — the authoritative input list for that neighbor's
+// forwarding state. Only link churn (AddLink's seed/repair Recompute)
+// scans the table through this; steady-state subscription churn flows
+// through the per-entry delta helpers above.
 func (b *Broker) aggregateInputs(n wire.Hop) []filter.Filter {
 	var out []filter.Filter
 	for _, e := range b.subs.EntriesNotFrom(n) {

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Run executes the named experiment and returns its rendered artifact.
-// Names: table1, table2, table3, table4, fig2, fig3, fig8, fig9, all.
+// Names: table1, table2, table3, table4, fig2, fig3, fig8, fig9, churn,
+// all.
 func Run(name string) (string, error) {
 	switch name {
 	case "table1":
@@ -34,6 +37,12 @@ func Run(name string) (string, error) {
 			return "", err
 		}
 		return res.Render(), nil
+	case "churn":
+		res, err := Churn(sim.DefaultChurnConfig())
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "all":
 		var b strings.Builder
 		for _, n := range Names() {
@@ -52,7 +61,7 @@ func Run(name string) (string, error) {
 
 // Names lists all experiment identifiers in a stable order.
 func Names() []string {
-	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9"}
+	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9", "churn"}
 	sort.Strings(names)
 	return names
 }

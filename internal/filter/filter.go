@@ -12,9 +12,12 @@ import (
 // constraints and matches every notification ("true"); it models the
 // flooding subscription "everything, everywhere, all the time".
 //
-// Filters are immutable after construction.
+// Filters are immutable after construction. Every constructor precomputes
+// the cover signature (see signature.go) that lets Covers reject most
+// non-covering pairs without walking the constraint lists.
 type Filter struct {
-	cs []Constraint
+	cs  []Constraint
+	sig sig
 }
 
 // New builds a filter from the given constraints, validating each. The
@@ -34,7 +37,7 @@ func New(cs ...Constraint) (Filter, error) {
 		}
 		return cp[i].key() < cp[j].key()
 	})
-	return Filter{cs: cp}, nil
+	return Filter{cs: cp, sig: computeSig(cp)}, nil
 }
 
 // MustNew is like New but panics on invalid constraints; it is intended for
@@ -116,7 +119,18 @@ func (f Filter) Equal(g Filter) bool {
 // accepted by g (Section 2.2: the covering routing strategy). The empty
 // filter covers everything. The test is sound; for each constraint of f
 // there must be a constraint of g on the same attribute that it covers.
+// The precomputed signatures settle most non-covering pairs in O(1)
+// before the constraint walk.
 func (f Filter) Covers(g Filter) bool {
+	if !f.sig.canCover(g.sig) {
+		return false
+	}
+	return f.coversFull(g)
+}
+
+// coversFull is the constraint-walking cover test behind Covers, split out
+// so the signature fast path can be property-tested against it.
+func (f Filter) coversFull(g Filter) bool {
 	for _, c := range f.cs {
 		covered := false
 		for _, d := range g.cs {
@@ -191,7 +205,7 @@ func (f Filter) Without(attr string) Filter {
 			out = append(out, c)
 		}
 	}
-	return Filter{cs: out}
+	return Filter{cs: out, sig: computeSig(out)}
 }
 
 // Replace returns a new filter where all constraints on c.Attr are

@@ -1,0 +1,170 @@
+package filter
+
+import (
+	"math"
+
+	"repro/internal/message"
+)
+
+// This file implements the precomputed cover signature: a compact,
+// construction-time fingerprint of a filter that lets Covers reject most
+// non-covering pairs without walking constraint lists, and that the routing
+// layer's cover index buckets candidates by. The signature is a sound
+// rejector only — when it cannot prove "f does not cover g" the full
+// constraint walk decides — so it never changes the result of Covers, it
+// only makes the common negative case O(1).
+//
+// Two ingredients:
+//
+//   - attribute bloom: one bit per constrained attribute name (FNV-1a
+//     hashed into a 64-bit word). f covers g only if every attribute f
+//     constrains is also constrained by g, so a bit set in f's bloom but
+//     clear in g's proves non-coverage. Hash collisions only cost a missed
+//     rejection, never a wrong one.
+//   - per-attribute cells: for each attribute constrained by exactly one
+//     signature-representable constraint, a summary of the accepted value
+//     set — a numeric interval hull for EQ/LT/LE/GT/GE/Range over int or
+//     float values, or an exact point for EQ over string or bool values.
+//     When both filters carry a cell on the same attribute, the single
+//     constraints must cover each other for the filters to, so a kind
+//     mismatch, a point mismatch, or a hull non-containment is a proof of
+//     non-coverage.
+//
+// Interval endpoints are widened to float64 (monotonically, so containment
+// in the exact domain implies containment of the hulls) and open/closed
+// endpoint distinctions are deliberately ignored: equal-looking float
+// bounds with differing openness cannot be rejected soundly once int64
+// values exceed float64 precision, so those rare pairs fall through to the
+// full check instead.
+
+// sig is the precomputed cover signature of a filter.
+type sig struct {
+	bloom uint64
+	cells []sigCell
+}
+
+// sigCell summarizes the single constraint on one attribute, when that
+// constraint is signature-representable. Cells are sorted by attribute
+// (the constraint list they are derived from already is).
+type sigCell struct {
+	attr   string
+	kind   message.Kind // kind of the constrained values
+	lo, hi float64      // numeric hull; ±Inf when unbounded
+	point  string       // Value.Key() for string/bool equality cells
+}
+
+// isPoint reports whether the cell is an exact-point cell rather than a
+// numeric hull.
+func (c *sigCell) isPoint() bool { return c.kind == message.KindString || c.kind == message.KindBool }
+
+// computeSig builds the signature for a canonically sorted constraint
+// list.
+func computeSig(cs []Constraint) sig {
+	var s sig
+	for i := 0; i < len(cs); {
+		j := i
+		for j < len(cs) && cs[j].Attr == cs[i].Attr {
+			j++
+		}
+		s.bloom |= attrBit(cs[i].Attr)
+		if j-i == 1 {
+			if cell, ok := constraintCell(cs[i]); ok {
+				s.cells = append(s.cells, cell)
+			}
+		}
+		i = j
+	}
+	return s
+}
+
+// attrBit hashes an attribute name to its bloom bit (FNV-1a, 64-bit).
+func attrBit(attr string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(attr); i++ {
+		h ^= uint64(attr[i])
+		h *= 1099511628211
+	}
+	return 1 << (h & 63)
+}
+
+// constraintCell summarizes one constraint, if representable.
+func constraintCell(c Constraint) (sigCell, bool) {
+	switch c.Op {
+	case OpEQ:
+		switch c.Value.Kind() {
+		case message.KindInt, message.KindFloat:
+			v := numVal(c.Value)
+			return sigCell{attr: c.Attr, kind: c.Value.Kind(), lo: v, hi: v}, true
+		case message.KindString, message.KindBool:
+			return sigCell{attr: c.Attr, kind: c.Value.Kind(), point: c.Value.Key()}, true
+		}
+	case OpLT, OpLE:
+		if isNum(c.Value) {
+			return sigCell{attr: c.Attr, kind: c.Value.Kind(), lo: math.Inf(-1), hi: numVal(c.Value)}, true
+		}
+	case OpGT, OpGE:
+		if isNum(c.Value) {
+			return sigCell{attr: c.Attr, kind: c.Value.Kind(), lo: numVal(c.Value), hi: math.Inf(1)}, true
+		}
+	case OpRange:
+		if isNum(c.Lo) && c.Lo.Kind() == c.Hi.Kind() {
+			return sigCell{attr: c.Attr, kind: c.Lo.Kind(), lo: numVal(c.Lo), hi: numVal(c.Hi)}, true
+		}
+	}
+	return sigCell{}, false
+}
+
+func isNum(v message.Value) bool {
+	return v.Kind() == message.KindInt || v.Kind() == message.KindFloat
+}
+
+func numVal(v message.Value) float64 {
+	if v.Kind() == message.KindInt {
+		return float64(v.IntVal())
+	}
+	return v.FloatVal()
+}
+
+// canCover reports whether the signatures leave f.Covers(g) possible; a
+// false result is a proof of non-coverage.
+func (s sig) canCover(t sig) bool {
+	if s.bloom&^t.bloom != 0 {
+		// f constrains an attribute g does not; g accepts notifications
+		// unconstrained there, which f rejects.
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.cells) && j < len(t.cells) {
+		a, b := &s.cells[i], &t.cells[j]
+		switch {
+		case a.attr < b.attr:
+			i++
+		case a.attr > b.attr:
+			j++
+		default:
+			// Both filters constrain this attribute with exactly one
+			// representable constraint each, so f covers g only if a's
+			// constraint covers b's.
+			if a.kind != b.kind {
+				return false
+			}
+			if a.isPoint() {
+				if a.point != b.point {
+					return false
+				}
+			} else if a.lo > b.lo || a.hi < b.hi {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// CoverBloom returns the filter's attribute fingerprint: one bit per
+// constrained attribute name. f.Covers(g) requires
+// f.CoverBloom() &^ g.CoverBloom() == 0, which the routing cover index
+// uses to bucket candidates and skip whole groups without any pairwise
+// work. The empty filter's bloom is 0.
+func (f Filter) CoverBloom() uint64 { return f.sig.bloom }

@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/wire"
+)
+
+// churnFilterPool builds a structured filter family with heavy covering
+// and merging material: nested and adjacent ranges, point subscriptions,
+// equivalence classes (EQ vs singleton IN), presence constraints, and a
+// second attribute dimension so signature buckets split.
+func churnFilterPool() []filter.Filter {
+	var pool []filter.Filter
+	add := func(src string) { pool = append(pool, filter.MustParse(src)) }
+	for lo := 0; lo < 40; lo += 5 {
+		add(fmt.Sprintf(`p in [%d, %d]`, lo, lo+4))  // adjacent runs
+		add(fmt.Sprintf(`p in [%d, %d]`, lo, lo+20)) // nested overlaps
+	}
+	for v := 0; v < 6; v++ {
+		add(fmt.Sprintf(`p = %d`, v))
+		add(fmt.Sprintf(`p in {%d}`, v)) // mutual cover with the EQ form
+	}
+	for _, svc := range []string{"parking", "pizza", "taxi"} {
+		add(fmt.Sprintf(`service = %q`, svc))
+		add(fmt.Sprintf(`service = %q && cost < 3`, svc))
+		add(fmt.Sprintf(`service = %q && cost < 7`, svc))
+	}
+	add(`cost exists`)
+	add(`p >= 0`)
+	return pool
+}
+
+// refInputs is the authoritative per-hop input multiset the test
+// maintains alongside the forwarder.
+type refInputs map[string][]filter.Filter // hop key -> multiset
+
+func (r refInputs) add(hk string, f filter.Filter) { r[hk] = append(r[hk], f) }
+
+func (r refInputs) remove(hk string, f filter.Filter) bool {
+	id := f.ID()
+	fs := r[hk]
+	for i, g := range fs {
+		if g.ID() == id {
+			r[hk] = append(fs[:i], fs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// sortedIDs returns the canonical ID set of a filter list.
+func sortedIDs(fs []filter.Filter) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.ID()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canonicalReduce is the batch oracle: Strategy.Reduce over the ID-sorted
+// distinct... no — over the ID-sorted input list, the canonical order the
+// merge plane uses, so Merging's greedy fixpoint is reproducible.
+func canonicalReduce(s Strategy, inputs []filter.Filter) []filter.Filter {
+	cp := make([]filter.Filter, len(inputs))
+	copy(cp, inputs)
+	sortFiltersByID(cp)
+	return s.Reduce(cp)
+}
+
+// TestForwarderIncrementalMatchesBatch drives random churn —
+// subscription adds, removes, and relocations between hops — through the
+// delta API of every strategy and asserts after each step that the
+// per-neighbor forwarded set is exactly the batch Strategy.Reduce over
+// the surviving inputs, and that the emitted sub/unsub wire deltas replay
+// to the same set.
+func TestForwarderIncrementalMatchesBatch(t *testing.T) {
+	hops := []wire.Hop{wire.BrokerHop("n1"), wire.BrokerHop("n2"), wire.BrokerHop("n3")}
+	pool := churnFilterPool()
+	for _, strat := range Strategies() {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(0xC0FFEE) + int64(strat)))
+			fwd := NewForwarder(strat)
+			ref := make(refInputs)
+			// remote simulates each neighbor applying the emitted wire
+			// deltas; it must track Forwarded exactly.
+			remote := make(map[string]map[string]filter.Filter)
+			apply := func(u Update) {
+				hk := u.Hop.String()
+				m := remote[hk]
+				if m == nil {
+					m = make(map[string]filter.Filter)
+					remote[hk] = m
+				}
+				for _, f := range u.Subscribe {
+					if _, dup := m[f.ID()]; dup {
+						t.Fatalf("%s: duplicate subscribe for %s", hk, f)
+					}
+					m[f.ID()] = f
+				}
+				for _, f := range u.Unsubscribe {
+					if _, ok := m[f.ID()]; !ok {
+						t.Fatalf("%s: unsubscribe for never-forwarded %s", hk, f)
+					}
+					delete(m, f.ID())
+				}
+			}
+
+			steps := 400
+			if strat == Merging && testing.Short() {
+				steps = 100
+			}
+			for step := 0; step < steps; step++ {
+				f := pool[rng.Intn(len(pool))]
+				hop := hops[rng.Intn(len(hops))]
+				hk := hop.String()
+				switch op := rng.Intn(10); {
+				case op < 4: // subscribe
+					ref.add(hk, f)
+					apply(fwd.AddFilter(hop, f))
+				case op < 7: // unsubscribe (only if present)
+					if ref.remove(hk, f) {
+						apply(fwd.RemoveFilter(hop, f))
+					}
+				default: // relocate: move one input between neighbors
+					to := hops[rng.Intn(len(hops))]
+					if to == hop || !ref.remove(hk, f) {
+						continue
+					}
+					apply(fwd.RemoveFilter(hop, f))
+					ref.add(to.String(), f)
+					apply(fwd.AddFilter(to, f))
+				}
+
+				for _, h := range hops {
+					want := sortedIDs(canonicalReduce(strat, ref[h.String()]))
+					got := sortedIDs(fwd.Forwarded(h))
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("step %d hop %s:\n got  %v\n want %v",
+							step, h, got, want)
+					}
+					replayed := make([]filter.Filter, 0, len(remote[h.String()]))
+					for _, fl := range remote[h.String()] {
+						replayed = append(replayed, fl)
+					}
+					if !reflect.DeepEqual(sortedIDs(replayed), want) {
+						t.Fatalf("step %d hop %s: wire replay diverged:\n got  %v\n want %v",
+							step, h, sortedIDs(replayed), want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForwarderRecomputeReseedsDeltaState interleaves the batch oracle
+// with delta ops: a Recompute must leave the tracked state exactly as if
+// the inputs had arrived incrementally.
+func TestForwarderRecomputeReseedsDeltaState(t *testing.T) {
+	hop := wire.BrokerHop("up")
+	wide := mkFilter(`p in [0, 100]`)
+	narrow := mkFilter(`p in [10, 20]`)
+	other := mkFilter(`q = 1`)
+	for _, strat := range Strategies() {
+		fwd := NewForwarder(strat)
+		fwd.AddFilter(hop, narrow)
+		// Authoritative reseed drops narrow, installs wide+other.
+		fwd.Recompute(hop, []filter.Filter{wide, other})
+		// Delta ops continue from the reseeded state.
+		u := fwd.RemoveFilter(hop, wide)
+		want := sortedIDs(canonicalReduce(strat, []filter.Filter{other}))
+		if got := sortedIDs(fwd.Forwarded(hop)); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: after reseed+remove got %v want %v (update %+v)", strat, got, want, u)
+		}
+	}
+}
+
+// TestForwarderUpdateDeterministic pins satellite-level determinism: the
+// same input set presented in shuffled orders yields byte-identical
+// sorted updates.
+func TestForwarderUpdateDeterministic(t *testing.T) {
+	hop := wire.BrokerHop("up")
+	var inputs []filter.Filter
+	for i := 0; i < 16; i++ {
+		inputs = append(inputs, filter.MustNew(
+			filter.EQ("topic", message.String(fmt.Sprintf("t%d", i)))))
+	}
+	var first []string
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		cp := make([]filter.Filter, len(inputs))
+		copy(cp, inputs)
+		rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+		fwd := NewForwarder(Simple)
+		u := fwd.Recompute(hop, cp)
+		ids := idsOf(u.Subscribe)
+		if !sort.StringsAreSorted(ids) {
+			t.Fatalf("Subscribe not sorted: %v", ids)
+		}
+		if first == nil {
+			first = ids
+		} else if !reflect.DeepEqual(ids, first) {
+			t.Fatalf("shuffled inputs changed wire order: %v vs %v", ids, first)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package routing
+
+import (
+	"slices"
+	"sort"
+	"strings"
+
+	"repro/internal/filter"
+)
+
+// CoverIndex incrementally maintains the covering-optimized forward set of
+// a stream of filter deltas: the subset of currently tracked filters not
+// covered by any other tracked filter (the maximal elements of the cover
+// poset). It produces, for each Add and Remove, exactly the
+// subscribe/retract delta that moves a neighbor from the previous minimal
+// cover set to the next one — the incremental equivalent of running
+// Covering.Reduce over the whole table and diffing, at a per-delta cost
+// proportional to the number of signature-compatible candidates instead
+// of the table size squared.
+//
+// Filters are tracked by canonical ID with reference counts, mirroring
+// how the same filter can back several routing-table entries; only the
+// first Add and the last Remove of an ID change the poset. Candidate
+// lookup is bucketed by the filters' cover signatures (filter.CoverBloom):
+// a filter can only cover filters whose attribute fingerprint is a
+// superset of its own, so whole buckets are skipped without any pairwise
+// cover test. Buckets and their members are kept in canonical order, so
+// deltas, forward sets, and even the work counters are a deterministic
+// function of the operation history.
+//
+// Mutually covering but non-identical filters (equal accepted sets, e.g.
+// `x = 5` and `x in {5}`) are deterministically represented by the one
+// with the lexicographically smallest ID — the same tie-break
+// Covering.Reduce applies — so the incremental forward set is always
+// identical to the batch one.
+type CoverIndex struct {
+	items     map[string]*coverItem
+	groups    map[uint64]*coverGroup
+	order     []*coverGroup // sorted by bloom
+	forwarded int
+	checks    uint64
+	saved     uint64
+}
+
+// coverItem is one tracked filter.
+type coverItem struct {
+	f       filter.Filter
+	id      string
+	bloom   uint64
+	refs    int
+	covered bool
+}
+
+// coverGroup is one signature bucket; members share an attribute
+// fingerprint and stay sorted by ID.
+type coverGroup struct {
+	bloom uint64
+	items []*coverItem
+}
+
+func (g *coverGroup) insert(it *coverItem) {
+	i := sort.Search(len(g.items), func(i int) bool { return g.items[i].id >= it.id })
+	g.items = slices.Insert(g.items, i, it)
+}
+
+func (g *coverGroup) remove(it *coverItem) {
+	i := sort.Search(len(g.items), func(i int) bool { return g.items[i].id >= it.id })
+	if i < len(g.items) && g.items[i] == it {
+		g.items = slices.Delete(g.items, i, i+1)
+	}
+}
+
+// CoverDelta is the forward-set change one Add or Remove produces:
+// Forward lists filters that must newly be subscribed upstream, Retract
+// filters whose upstream subscription is no longer needed. Both are
+// sorted by canonical filter ID.
+type CoverDelta struct {
+	Forward []filter.Filter
+	Retract []filter.Filter
+}
+
+// Empty reports whether the delta changes nothing.
+func (d CoverDelta) Empty() bool { return len(d.Forward) == 0 && len(d.Retract) == 0 }
+
+// CoverIndexStats describes the index's shape and the work its signature
+// bucketing avoided.
+type CoverIndexStats struct {
+	// Items is the number of distinct tracked filters; Forwarded the size
+	// of the current minimal cover set.
+	Items, Forwarded int
+	// CoverChecks counts full Covers evaluations; CoverChecksSaved counts
+	// candidate pairs dismissed by the signature-bucket prefilter without
+	// a Covers call.
+	CoverChecks, CoverChecksSaved uint64
+}
+
+// NewCoverIndex returns an empty index.
+func NewCoverIndex() *CoverIndex {
+	return &CoverIndex{
+		items:  make(map[string]*coverItem),
+		groups: make(map[uint64]*coverGroup),
+	}
+}
+
+// Len returns the number of distinct tracked filters.
+func (x *CoverIndex) Len() int { return len(x.items) }
+
+// Stats returns a snapshot of the index counters.
+func (x *CoverIndex) Stats() CoverIndexStats {
+	return CoverIndexStats{
+		Items:            len(x.items),
+		Forwarded:        x.forwarded,
+		CoverChecks:      x.checks,
+		CoverChecksSaved: x.saved,
+	}
+}
+
+// Forwarded returns the current minimal cover set, sorted by filter ID.
+func (x *CoverIndex) Forwarded() []filter.Filter {
+	out := make([]filter.Filter, 0, x.forwarded)
+	for _, it := range x.items {
+		if !it.covered {
+			out = append(out, it.f)
+		}
+	}
+	sortFiltersByID(out)
+	return out
+}
+
+// Add tracks one more reference to f and returns the forward-set delta:
+// f itself if it enters the cover set, plus retractions for previously
+// forwarded filters that f now covers. A covered newcomer can still
+// retract forwarded filters — coverage by any tracked filter counts, not
+// only by forwarded ones — which keeps the set identical to the batch
+// removeCovered result.
+func (x *CoverIndex) Add(f filter.Filter) CoverDelta {
+	id := f.ID()
+	if it, ok := x.items[id]; ok {
+		it.refs++
+		return CoverDelta{}
+	}
+	it := &coverItem{f: f, id: id, bloom: f.CoverBloom(), refs: 1}
+	it.covered = x.coveredBy(it) != nil
+	x.items[id] = it
+	g := x.groups[it.bloom]
+	if g == nil {
+		g = &coverGroup{bloom: it.bloom}
+		x.groups[it.bloom] = g
+		i := sort.Search(len(x.order), func(i int) bool { return x.order[i].bloom >= it.bloom })
+		x.order = slices.Insert(x.order, i, g)
+	}
+	g.insert(it)
+
+	var d CoverDelta
+	if !it.covered {
+		x.forwarded++
+		d.Forward = append(d.Forward, f)
+	}
+	// Filters the newcomer forces out of the cover set: only groups whose
+	// attribute fingerprint is a superset of f's can hold them.
+	for _, grp := range x.order {
+		if it.bloom&^grp.bloom != 0 {
+			x.saved += uint64(len(grp.items))
+			continue
+		}
+		for _, o := range grp.items {
+			if o == it || o.covered {
+				continue
+			}
+			if x.drops(it, o) {
+				o.covered = true
+				x.forwarded--
+				d.Retract = append(d.Retract, o.f)
+			}
+		}
+	}
+	sortFiltersByID(d.Retract)
+	return d
+}
+
+// Remove drops one reference to f and, when it was the last, returns the
+// forward-set delta: a retraction if f was forwarded, plus re-forwards
+// for filters that only f kept covered. Removing an unknown filter is a
+// no-op.
+func (x *CoverIndex) Remove(f filter.Filter) CoverDelta {
+	id := f.ID()
+	it, ok := x.items[id]
+	if !ok {
+		return CoverDelta{}
+	}
+	if it.refs--; it.refs > 0 {
+		return CoverDelta{}
+	}
+	delete(x.items, id)
+	g := x.groups[it.bloom]
+	g.remove(it)
+	if len(g.items) == 0 {
+		delete(x.groups, it.bloom)
+		i := sort.Search(len(x.order), func(i int) bool { return x.order[i].bloom >= it.bloom })
+		if i < len(x.order) && x.order[i] == g {
+			x.order = slices.Delete(x.order, i, i+1)
+		}
+	}
+
+	var d CoverDelta
+	if !it.covered {
+		x.forwarded--
+		d.Retract = append(d.Retract, it.f)
+	}
+	// Covered filters for which the departed item was a witness must be
+	// re-examined against the remaining set.
+	for _, grp := range x.order {
+		if it.bloom&^grp.bloom != 0 {
+			x.saved += uint64(len(grp.items))
+			continue
+		}
+		for _, o := range grp.items {
+			if !o.covered || !x.drops(it, o) {
+				continue
+			}
+			if x.coveredBy(o) == nil {
+				o.covered = false
+				x.forwarded++
+				d.Forward = append(d.Forward, o.f)
+			}
+		}
+	}
+	sortFiltersByID(d.Forward)
+	return d
+}
+
+// coveredBy returns a tracked witness that forces it out of the cover
+// set, or nil. Witnesses can only live in groups whose attribute
+// fingerprint is a subset of it's.
+func (x *CoverIndex) coveredBy(it *coverItem) *coverItem {
+	for _, grp := range x.order {
+		if grp.bloom&^it.bloom != 0 {
+			x.saved += uint64(len(grp.items))
+			continue
+		}
+		for _, o := range grp.items {
+			if o == it {
+				continue
+			}
+			if x.drops(o, it) {
+				return o
+			}
+		}
+	}
+	return nil
+}
+
+// drops reports whether a's presence forces o out of the cover set: a
+// strictly covers o, or the two cover each other and a wins the
+// deterministic smaller-ID tie-break.
+func (x *CoverIndex) drops(a, o *coverItem) bool {
+	x.checks++
+	if !a.f.Covers(o.f) {
+		return false
+	}
+	x.checks++
+	if !o.f.Covers(a.f) {
+		return true
+	}
+	return a.id < o.id
+}
+
+// sortFiltersByID orders filters by canonical identity, the package's
+// deterministic wire order for administrative traffic.
+func sortFiltersByID(fs []filter.Filter) {
+	slices.SortFunc(fs, func(a, b filter.Filter) int {
+		return strings.Compare(a.ID(), b.ID())
+	})
+}

@@ -1,0 +1,148 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+)
+
+func idsOf(fs []filter.Filter) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.ID()
+	}
+	return out
+}
+
+func TestCoverIndexAddCoveredAndRetract(t *testing.T) {
+	x := NewCoverIndex()
+	wide := mkFilter(`p in [0, 100]`)
+	narrow := mkFilter(`p in [10, 20]`)
+
+	d := x.Add(narrow)
+	if len(d.Forward) != 1 || !d.Forward[0].Equal(narrow) || len(d.Retract) != 0 {
+		t.Fatalf("first add: %+v", d)
+	}
+	// A wider filter retracts the narrow one and forwards itself.
+	d = x.Add(wide)
+	if len(d.Forward) != 1 || !d.Forward[0].Equal(wide) {
+		t.Fatalf("wide add forward: %+v", d)
+	}
+	if len(d.Retract) != 1 || !d.Retract[0].Equal(narrow) {
+		t.Fatalf("wide add retract: %+v", d)
+	}
+	// A covered newcomer changes nothing.
+	mid := mkFilter(`p in [5, 50]`)
+	if d = x.Add(mid); !d.Empty() {
+		t.Fatalf("covered add must be silent: %+v", d)
+	}
+	if got := x.Forwarded(); len(got) != 1 || !got[0].Equal(wide) {
+		t.Fatalf("forwarded = %v", got)
+	}
+	// Removing the wide filter re-forwards the widest survivor chain:
+	// mid covers narrow, so only mid comes back.
+	d = x.Remove(wide)
+	if len(d.Retract) != 1 || !d.Retract[0].Equal(wide) {
+		t.Fatalf("remove retract: %+v", d)
+	}
+	if len(d.Forward) != 1 || !d.Forward[0].Equal(mid) {
+		t.Fatalf("remove must re-forward mid only: %+v", d)
+	}
+	if x.Len() != 2 || len(x.Forwarded()) != 1 {
+		t.Fatalf("len=%d forwarded=%v", x.Len(), x.Forwarded())
+	}
+}
+
+func TestCoverIndexRefcount(t *testing.T) {
+	x := NewCoverIndex()
+	f := mkFilter(`a = 1`)
+	if d := x.Add(f); len(d.Forward) != 1 {
+		t.Fatal("first ref must forward")
+	}
+	if d := x.Add(f); !d.Empty() {
+		t.Fatal("second ref must be silent")
+	}
+	if d := x.Remove(f); !d.Empty() {
+		t.Fatal("first unref must be silent")
+	}
+	if d := x.Remove(f); len(d.Retract) != 1 {
+		t.Fatal("last unref must retract")
+	}
+	if d := x.Remove(f); !d.Empty() {
+		t.Fatal("removing an unknown filter must be a no-op")
+	}
+	if x.Len() != 0 {
+		t.Fatalf("len = %d", x.Len())
+	}
+}
+
+// TestCoverIndexCoveredWitnessRemoval exercises the non-transitive chain:
+// a covered filter may be the only witness covering a third one, so its
+// removal must re-examine (and here re-forward) the dependents even
+// though it was never forwarded itself.
+func TestCoverIndexCoveredWitnessRemoval(t *testing.T) {
+	x := NewCoverIndex()
+	a := mkFilter(`p in [0, 100]`)
+	b := mkFilter(`p in [10, 50]`)
+	c := mkFilter(`p in [20, 30]`)
+	x.Add(a)
+	x.Add(b) // covered by a
+	x.Add(c) // covered by both
+	if got := idsOf(x.Forwarded()); len(got) != 1 || got[0] != a.ID() {
+		t.Fatalf("forwarded = %v", got)
+	}
+	// Removing covered b must not uncover c (a still covers it).
+	if d := x.Remove(b); !d.Empty() {
+		t.Fatalf("removing covered b with a alive: %+v", d)
+	}
+	x.Add(b)
+	// Removing a re-forwards b only; c stays covered by b.
+	d := x.Remove(a)
+	if len(d.Forward) != 1 || !d.Forward[0].Equal(b) {
+		t.Fatalf("remove a: %+v", d)
+	}
+}
+
+// TestCoverIndexMutualCoverTieBreak pins the deterministic representative
+// of an equivalence class: `x = 5` and `x in {5}` accept the same set, and
+// the smaller canonical ID must win regardless of arrival order.
+func TestCoverIndexMutualCoverTieBreak(t *testing.T) {
+	eq := mkFilter(`x = 5`)
+	in := mkFilter(`x in {5}`)
+	if !eq.Covers(in) || !in.Covers(eq) {
+		t.Skip("test premise: filters must mutually cover")
+	}
+	want := eq.ID()
+	if in.ID() < want {
+		want = in.ID()
+	}
+	for _, order := range [][2]filter.Filter{{eq, in}, {in, eq}} {
+		x := NewCoverIndex()
+		x.Add(order[0])
+		x.Add(order[1])
+		got := x.Forwarded()
+		if len(got) != 1 || got[0].ID() != want {
+			t.Errorf("order %v/%v: forwarded %v, want [%s]",
+				order[0], order[1], idsOf(got), want)
+		}
+	}
+}
+
+func TestCoverIndexSignatureBuckets(t *testing.T) {
+	x := NewCoverIndex()
+	// Disjoint attribute sets land in different buckets; adding across
+	// them must save pairwise checks.
+	for _, src := range []string{`a = 1`, `a = 2`, `b = 1`, `b = 2`, `c < 9`} {
+		x.Add(mkFilter(src))
+	}
+	s := x.Stats()
+	if s.Items != 5 || s.Forwarded != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.CoverChecksSaved == 0 {
+		t.Error("bucketed lookup saved no checks across disjoint attr sets")
+	}
+	if s.CoverChecks == 0 {
+		t.Error("same-bucket pairs must still be checked")
+	}
+}

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/filter"
@@ -173,11 +174,27 @@ func TestStrategyParseAndString(t *testing.T) {
 			t.Errorf("round trip %s -> %s", name, s)
 		}
 	}
-	if _, err := ParseStrategy("bogus"); err == nil {
-		t.Error("bogus strategy should fail")
+	err := func() error {
+		_, err := ParseStrategy("bogus")
+		return err
+	}()
+	if err == nil {
+		t.Fatal("bogus strategy should fail")
+	}
+	for _, name := range StrategyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q should list valid name %q", err, name)
+		}
 	}
 	if Strategy(0).String() != "invalid" {
 		t.Error("zero strategy should render invalid")
+	}
+	// Case and whitespace are forgiven.
+	for _, variant := range []string{"Covering", "COVERING", " covering "} {
+		s, err := ParseStrategy(variant)
+		if err != nil || s != Covering {
+			t.Errorf("ParseStrategy(%q) = %v, %v", variant, s, err)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/filter"
@@ -32,9 +33,21 @@ const (
 	Merging
 )
 
-// ParseStrategy maps a name to a Strategy.
+// StrategyNames lists the parseable strategy names in increasing order of
+// routing-table optimization.
+func StrategyNames() []string {
+	return []string{"flooding", "simple", "identity", "covering", "merging"}
+}
+
+// Strategies lists all strategies in the same order as StrategyNames.
+func Strategies() []Strategy {
+	return []Strategy{Flooding, Simple, Identity, Covering, Merging}
+}
+
+// ParseStrategy maps a name to a Strategy, ignoring case and surrounding
+// whitespace. The error for an unknown name lists the valid ones.
 func ParseStrategy(name string) (Strategy, error) {
-	switch name {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "flooding":
 		return Flooding, nil
 	case "simple":
@@ -46,7 +59,8 @@ func ParseStrategy(name string) (Strategy, error) {
 	case "merging":
 		return Merging, nil
 	default:
-		return 0, fmt.Errorf("routing: unknown strategy %q", name)
+		return 0, fmt.Errorf("routing: unknown strategy %q (valid: %s)",
+			name, strings.Join(StrategyNames(), ", "))
 	}
 }
 
@@ -104,8 +118,16 @@ func dedupIdentical(fs []filter.Filter) []filter.Filter {
 }
 
 // removeCovered drops every filter that is covered by another (distinct)
-// filter in the set. Mutual covers (equivalent filters) keep the first.
+// filter in the set. Mutually covering filters (equal accepted sets, e.g.
+// `x = 5` and `x in {5}`) keep the one with the lexicographically smallest
+// canonical ID, so the result is a deterministic function of the input
+// *set* — the property the incremental CoverIndex relies on to stay
+// byte-identical to this batch oracle.
 func removeCovered(fs []filter.Filter) []filter.Filter {
+	ids := make([]string, len(fs))
+	for i, f := range fs {
+		ids[i] = f.ID()
+	}
 	out := make([]filter.Filter, 0, len(fs))
 	for i, f := range fs {
 		covered := false
@@ -114,8 +136,10 @@ func removeCovered(fs []filter.Filter) []filter.Filter {
 				continue
 			}
 			if g.Covers(f) {
-				// Break ties between mutually covering filters by index.
-				if f.Covers(g) && i < j {
+				// Mutual covers: keep the smaller ID (input order for
+				// identical duplicates, which dedupIdentical removes
+				// upstream anyway).
+				if f.Covers(g) && (ids[i] < ids[j] || (ids[i] == ids[j] && i < j)) {
 					continue
 				}
 				covered = true
@@ -130,22 +154,50 @@ func removeCovered(fs []filter.Filter) []filter.Filter {
 }
 
 // Update is the diff a Forwarder emits for one neighbor: filters to newly
-// subscribe and filters to retract.
+// subscribe and filters to retract. Both lists are sorted by canonical
+// filter ID, so the administrative wire traffic a table change produces
+// is deterministic and transcripts can be compared byte-for-byte.
 type Update struct {
 	Hop         wire.Hop
 	Subscribe   []filter.Filter
 	Unsubscribe []filter.Filter
 }
 
+// Empty reports whether the update carries no wire traffic.
+func (u Update) Empty() bool { return len(u.Subscribe) == 0 && len(u.Unsubscribe) == 0 }
+
 // Forwarder tracks, per neighbor, the set of filters this broker has
-// forwarded (its provisioned upstream interest), and computes minimal
-// sub/unsub diffs when the local routing table changes. It implements the
-// strategy-specific administrative traffic that Figure 9 counts.
+// forwarded (its provisioned upstream interest) together with the input
+// filters that justify it, and computes minimal sub/unsub diffs when the
+// local routing table changes. It implements the strategy-specific
+// administrative traffic that Figure 9 counts.
+//
+// The primary API is the delta one — AddFilter/RemoveFilter apply a
+// single routing-entry change at a cost proportional to the change
+// (Flooding and Simple/Identity in O(1), Covering through the
+// signature-bucketed CoverIndex) — while Recompute remains as the batch
+// oracle: Merging's perfect-merge fixpoint is recomputed from the tracked
+// inputs on every delta, and link churn uses Recompute to reseed or
+// repair a neighbor's state from an authoritative input list.
 type Forwarder struct {
 	strategy Strategy
 
 	mu        sync.Mutex
 	forwarded map[string]map[string]filter.Filter // hop -> filterID -> filter
+	planes    map[string]plane                    // hop -> tracked-input state
+}
+
+// plane is the per-neighbor input state behind the delta API. add and
+// remove report the forward-set delta and whether they computed it
+// incrementally; when incremental is false the caller diffs desired()
+// against the forwarded set instead (the batch path Merging takes).
+type plane interface {
+	add(f filter.Filter) (d CoverDelta, incremental bool)
+	remove(f filter.Filter) (d CoverDelta, incremental bool)
+	reset(inputs []filter.Filter)
+	desired() []filter.Filter
+	size() int
+	stats() (checks, saved uint64)
 }
 
 // NewForwarder returns a Forwarder for the given strategy.
@@ -153,25 +205,107 @@ func NewForwarder(s Strategy) *Forwarder {
 	return &Forwarder{
 		strategy:  s,
 		forwarded: make(map[string]map[string]filter.Filter),
+		planes:    make(map[string]plane),
 	}
 }
 
 // Strategy returns the forwarder's strategy.
 func (f *Forwarder) Strategy() Strategy { return f.strategy }
 
-// Recompute diffs the desired forward set for the given neighbor against
-// what was previously forwarded. inputs are the filters of all routing
-// table entries *not* pointing at that neighbor.
+// Incremental reports whether the delta API avoids batch recomputation:
+// true for every strategy except Merging, whose perfect-merge fixpoint
+// has no known cheap incremental form.
+func (f *Forwarder) Incremental() bool { return f.strategy != Merging }
+
+// AddFilter records one more routing-table entry carrying fl among the
+// inputs for the neighbor and returns the administrative diff it causes.
+func (f *Forwarder) AddFilter(hop wire.Hop, fl filter.Filter) Update {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hk := hop.String()
+	p := f.planeLocked(hk)
+	if d, incremental := p.add(fl); incremental {
+		return f.applyDeltaLocked(hop, hk, d)
+	}
+	return f.diffLocked(hop, hk, p.desired())
+}
+
+// RemoveFilter records that one routing-table entry carrying fl is gone
+// from the neighbor's inputs and returns the administrative diff.
+func (f *Forwarder) RemoveFilter(hop wire.Hop, fl filter.Filter) Update {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hk := hop.String()
+	p := f.planeLocked(hk)
+	if d, incremental := p.remove(fl); incremental {
+		return f.applyDeltaLocked(hop, hk, d)
+	}
+	return f.diffLocked(hop, hk, p.desired())
+}
+
+// Recompute replaces the neighbor's tracked inputs with the given
+// authoritative list — the filters of all routing table entries *not*
+// pointing at that neighbor — and diffs the resulting desired forward set
+// against what was previously forwarded. It is the batch oracle behind
+// the delta API: link churn reseeds through it, and the equivalence tests
+// compare the delta path against it.
 func (f *Forwarder) Recompute(hop wire.Hop, inputs []filter.Filter) Update {
-	desired := f.strategy.Reduce(inputs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hk := hop.String()
+	p := f.planeLocked(hk)
+	p.reset(inputs)
+	return f.diffLocked(hop, hk, p.desired())
+}
+
+// planeLocked returns (creating on first use) the tracked-input state for
+// a neighbor. Callers hold f.mu.
+func (f *Forwarder) planeLocked(hk string) plane {
+	p, ok := f.planes[hk]
+	if !ok {
+		p = newPlane(f.strategy)
+		f.planes[hk] = p
+	}
+	return p
+}
+
+// applyDeltaLocked turns an incremental forward-set delta into an Update,
+// mutating the neighbor's forwarded set. Callers hold f.mu.
+func (f *Forwarder) applyDeltaLocked(hop wire.Hop, hk string, d CoverDelta) Update {
+	u := Update{Hop: hop}
+	if d.Empty() {
+		return u
+	}
+	have := f.forwarded[hk]
+	if have == nil {
+		have = make(map[string]filter.Filter)
+		f.forwarded[hk] = have
+	}
+	for _, fl := range d.Forward {
+		id := fl.ID()
+		if _, ok := have[id]; !ok {
+			have[id] = fl
+			u.Subscribe = append(u.Subscribe, fl)
+		}
+	}
+	for _, fl := range d.Retract {
+		id := fl.ID()
+		if _, ok := have[id]; ok {
+			delete(have, id)
+			u.Unsubscribe = append(u.Unsubscribe, fl)
+		}
+	}
+	return u
+}
+
+// diffLocked diffs a freshly computed desired forward set against the
+// neighbor's forwarded set, sorted for deterministic wire order. Callers
+// hold f.mu.
+func (f *Forwarder) diffLocked(hop wire.Hop, hk string, desired []filter.Filter) Update {
 	want := make(map[string]filter.Filter, len(desired))
 	for _, d := range desired {
 		want[d.ID()] = d
 	}
-
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	hk := hop.String()
 	have := f.forwarded[hk]
 	if have == nil {
 		have = make(map[string]filter.Filter)
@@ -190,10 +324,13 @@ func (f *Forwarder) Recompute(hop wire.Hop, inputs []filter.Filter) Update {
 			delete(have, id)
 		}
 	}
+	sortFiltersByID(u.Subscribe)
+	sortFiltersByID(u.Unsubscribe)
 	return u
 }
 
-// Forwarded returns the filters currently forwarded to the neighbor.
+// Forwarded returns the filters currently forwarded to the neighbor,
+// sorted by canonical ID.
 func (f *Forwarder) Forwarded(hop wire.Hop) []filter.Filter {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -202,6 +339,7 @@ func (f *Forwarder) Forwarded(hop wire.Hop) []filter.Filter {
 	for _, fl := range m {
 		out = append(out, fl)
 	}
+	sortFiltersByID(out)
 	return out
 }
 
@@ -209,5 +347,197 @@ func (f *Forwarder) Forwarded(hop wire.Hop) []filter.Filter {
 func (f *Forwarder) DropHop(hop wire.Hop) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	delete(f.forwarded, hop.String())
+	hk := hop.String()
+	delete(f.forwarded, hk)
+	delete(f.planes, hk)
 }
+
+// ForwarderStats describes the control plane's shape and the pairwise
+// cover work the incremental path avoided.
+type ForwarderStats struct {
+	// Strategy is the forwarder's routing strategy; Incremental reports
+	// whether its delta API avoids batch recomputation (false only for
+	// Merging).
+	Strategy    Strategy
+	Incremental bool
+	// Hops is the number of neighbors with tracked state; TrackedFilters
+	// the distinct input filters summed over neighbors; ForwardedFilters
+	// the forwarded filters summed over neighbors.
+	Hops, TrackedFilters, ForwardedFilters int
+	// CoverChecks counts full filter.Covers evaluations in the cover
+	// indexes; CoverChecksSaved counts candidate pairs the signature
+	// buckets dismissed without one.
+	CoverChecks, CoverChecksSaved uint64
+}
+
+// Stats returns a snapshot of the forwarder's counters.
+func (f *Forwarder) Stats() ForwarderStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := ForwarderStats{
+		Strategy:    f.strategy,
+		Incremental: f.strategy != Merging,
+		Hops:        len(f.planes),
+	}
+	for _, p := range f.planes {
+		s.TrackedFilters += p.size()
+		checks, saved := p.stats()
+		s.CoverChecks += checks
+		s.CoverChecksSaved += saved
+	}
+	for _, m := range f.forwarded {
+		s.ForwardedFilters += len(m)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Per-strategy planes.
+// ---------------------------------------------------------------------------
+
+// newPlane builds the tracked-input state for one neighbor under the
+// given strategy.
+func newPlane(s Strategy) plane {
+	switch s {
+	case Flooding:
+		return floodPlane{}
+	case Covering:
+		return &coverPlane{idx: NewCoverIndex()}
+	case Merging:
+		return &mergePlane{refPlane: newRefPlane()}
+	default: // Simple, Identity
+		return &dedupPlane{refPlane: newRefPlane()}
+	}
+}
+
+// floodPlane is the Flooding no-op: no subscriptions propagate at all.
+type floodPlane struct{}
+
+func (floodPlane) add(filter.Filter) (CoverDelta, bool)    { return CoverDelta{}, true }
+func (floodPlane) remove(filter.Filter) (CoverDelta, bool) { return CoverDelta{}, true }
+func (floodPlane) reset([]filter.Filter)                   {}
+func (floodPlane) desired() []filter.Filter                { return nil }
+func (floodPlane) size() int                               { return 0 }
+func (floodPlane) stats() (uint64, uint64)                 { return 0, 0 }
+
+// refPlane reference-counts distinct filters, the shared bookkeeping of
+// the dedup and merge planes.
+type refPlane struct {
+	refs map[string]int
+	fs   map[string]filter.Filter
+}
+
+func newRefPlane() refPlane {
+	return refPlane{refs: make(map[string]int), fs: make(map[string]filter.Filter)}
+}
+
+// track adds one reference, reporting whether the filter is new.
+func (p *refPlane) track(f filter.Filter) bool {
+	id := f.ID()
+	p.refs[id]++
+	if p.refs[id] == 1 {
+		p.fs[id] = f
+		return true
+	}
+	return false
+}
+
+// untrack drops one reference, reporting whether the filter is gone.
+func (p *refPlane) untrack(f filter.Filter) bool {
+	id := f.ID()
+	if p.refs[id] == 0 {
+		return false
+	}
+	if p.refs[id]--; p.refs[id] > 0 {
+		return false
+	}
+	delete(p.refs, id)
+	delete(p.fs, id)
+	return true
+}
+
+func (p *refPlane) reset(inputs []filter.Filter) {
+	clear(p.refs)
+	clear(p.fs)
+	for _, f := range inputs {
+		p.track(f)
+	}
+}
+
+// distinct returns the tracked filters sorted by ID (the canonical input
+// order, which makes Merging's greedy fixpoint deterministic).
+func (p *refPlane) distinct() []filter.Filter {
+	out := make([]filter.Filter, 0, len(p.fs))
+	for _, f := range p.fs {
+		out = append(out, f)
+	}
+	sortFiltersByID(out)
+	return out
+}
+
+func (p *refPlane) size() int               { return len(p.fs) }
+func (p *refPlane) stats() (uint64, uint64) { return 0, 0 }
+
+// dedupPlane implements Simple and Identity: forward every distinct
+// filter once.
+type dedupPlane struct{ refPlane }
+
+func (p *dedupPlane) add(f filter.Filter) (CoverDelta, bool) {
+	if p.track(f) {
+		return CoverDelta{Forward: []filter.Filter{f}}, true
+	}
+	return CoverDelta{}, true
+}
+
+func (p *dedupPlane) remove(f filter.Filter) (CoverDelta, bool) {
+	if p.untrack(f) {
+		return CoverDelta{Retract: []filter.Filter{f}}, true
+	}
+	return CoverDelta{}, true
+}
+
+func (p *dedupPlane) desired() []filter.Filter { return p.distinct() }
+
+// coverPlane implements Covering through the incremental CoverIndex.
+type coverPlane struct{ idx *CoverIndex }
+
+func (p *coverPlane) add(f filter.Filter) (CoverDelta, bool)    { return p.idx.Add(f), true }
+func (p *coverPlane) remove(f filter.Filter) (CoverDelta, bool) { return p.idx.Remove(f), true }
+
+func (p *coverPlane) reset(inputs []filter.Filter) {
+	idx := NewCoverIndex()
+	idx.checks, idx.saved = p.idx.checks, p.idx.saved // counters survive reseeds
+	for _, f := range inputs {
+		idx.Add(f)
+	}
+	p.idx = idx
+}
+
+func (p *coverPlane) desired() []filter.Filter { return p.idx.Forwarded() }
+func (p *coverPlane) size() int                { return p.idx.Len() }
+func (p *coverPlane) stats() (uint64, uint64)  { return p.idx.checks, p.idx.saved }
+
+// mergePlane implements Merging: deltas maintain the tracked input
+// multiset, but the desired set is recomputed through the full
+// Reduce fixpoint each time — the documented batch fallback, since a
+// perfect merge can entangle arbitrarily many inputs and has no cheap
+// inverse.
+type mergePlane struct{ refPlane }
+
+func (p *mergePlane) add(f filter.Filter) (CoverDelta, bool) {
+	if !p.track(f) {
+		// The distinct input set is unchanged, so the fixpoint is too:
+		// report an (incremental) empty delta instead of recomputing.
+		return CoverDelta{}, true
+	}
+	return CoverDelta{}, false
+}
+
+func (p *mergePlane) remove(f filter.Filter) (CoverDelta, bool) {
+	if !p.untrack(f) {
+		return CoverDelta{}, true
+	}
+	return CoverDelta{}, false
+}
+
+func (p *mergePlane) desired() []filter.Filter { return Merging.Reduce(p.distinct()) }
