@@ -9,6 +9,7 @@ package repro_test
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -917,5 +918,164 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 	b.StopTimer()
 	if delivered.Load() != int64(b.N) {
 		b.Fatalf("delivered %d of %d", delivered.Load(), b.N)
+	}
+}
+
+// BenchmarkWireDecodePublish measures the TCP receive path's per-frame
+// decode cost for a representative publish. With the canonical slice
+// representation and the attribute-name interner this is two allocations:
+// the attribute slice and the notification box — no map, no per-name
+// string copies on interner hits.
+func BenchmarkWireDecodePublish(b *testing.B) {
+	frame, err := wire.Encode(wire.NewPublish(message.New(map[string]message.Value{
+		"service":     message.String("hvac"),
+		"temperature": message.Float(21.5),
+		"room":        message.String("r4c2"),
+		"floor":       message.Int(4),
+	})))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the interner so steady state is measured, not first-contact
+	// misses.
+	if _, err := wire.Decode(frame); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := wire.Decode(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Frame == nil {
+			b.Fatal("canonical publish frame not attached")
+		}
+	}
+}
+
+// BenchmarkTransitForward measures the multi-broker hot path the zero-copy
+// claim is about: a publish crosses producer → ingress → transit →
+// consumer over real TCP links, so the transit broker decodes a canonical
+// frame and forwards the received bytes without re-encoding. Reported
+// encodes/op counts frame serializations across the whole process per
+// delivered notification (publisher-side client encode + at most one
+// ingress-side share of pipelined control traffic; the transit broker
+// contributes zero).
+func BenchmarkTransitForward(b *testing.B) {
+	ingress := broker.New("ingress", broker.Options{})
+	transit := broker.New("transit", broker.Options{})
+	egress := broker.New("egress", broker.Options{})
+	for _, br := range []*broker.Broker{ingress, transit, egress} {
+		br.Start()
+		defer br.Close()
+	}
+	connectTCP(b, ingress, transit)
+	connectTCP(b, transit, egress)
+
+	var delivered atomic.Int64
+	if err := egress.AttachClient("c", func(wire.Deliver) { delivered.Add(1) }); err != nil {
+		b.Fatal(err)
+	}
+	if err := ingress.AttachClient("p", nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := egress.Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`sym = "ACME"`), Client: "c", ID: "s",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// Subscription propagation crosses two TCP links asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if subs, _ := ingress.TableSizes(); subs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("subscription did not propagate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	n := message.New(map[string]message.Value{"sym": message.String("ACME")})
+	settle := func(want int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for delivered.Load() < want {
+			if time.Now().After(deadline) {
+				b.Fatalf("delivered %d of %d", delivered.Load(), want)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	// Warm-up: interner, routes, TCP buffers.
+	if err := ingress.Publish("p", n); err != nil {
+		b.Fatal(err)
+	}
+	settle(1)
+
+	encodesBefore := wire.EncodeCalls()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ingress.Publish("p", n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	settle(int64(b.N) + 1)
+	b.StopTimer()
+	b.ReportMetric(float64(wire.EncodeCalls()-encodesBefore)/float64(b.N), "encodes/op")
+}
+
+// connectTCP links two in-process brokers over a real localhost TCP
+// connection, handshake and framing included.
+func connectTCP(b *testing.B, a, c *broker.Broker) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	acceptDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		_ = ln.Close()
+		if err != nil {
+			acceptDone <- err
+			return
+		}
+		link, err := transport.AcceptTCP(conn, a.ID(), a)
+		if err != nil {
+			acceptDone <- err
+			return
+		}
+		acceptDone <- a.AddLink(link.Peer().Broker, link)
+	}()
+	link, err := transport.DialTCP(ln.Addr().String(), c.ID(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AddLink(link.Peer().Broker, link); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-acceptDone; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWireEncodePublish measures the frame serialization cost of a
+// representative publish: the canonical attribute slice appends in order
+// (no name collection, no sort) from a pooled scratch buffer.
+func BenchmarkWireEncodePublish(b *testing.B) {
+	m := wire.NewPublish(message.New(map[string]message.Value{
+		"service":     message.String("hvac"),
+		"temperature": message.Float(21.5),
+		"room":        message.String("r4c2"),
+		"floor":       message.Int(4),
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(m); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

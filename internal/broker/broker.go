@@ -460,16 +460,16 @@ func (b *Broker) processPublishRun(run []task) {
 
 // applyPublish turns one worker-produced match result into observable
 // output. Runs on the run goroutine: all client and link state is owned
-// here, so the parallel pipeline's writes stay single-threaded.
+// here, so the parallel pipeline's writes stay single-threaded. The
+// inbound envelope is forwarded as-is — publishes that arrived over TCP
+// carry the decoded frame, so a transit broker's fan-out reuses those
+// bytes instead of re-encoding.
 func (b *Broker) applyPublish(t *task, r *matchResult) {
 	n := *t.in.Msg.Notif
-	msg := wire.Message{}
+	msg := t.in.Msg
 	for _, hop := range r.hops {
 		if _, ok := b.links[hop.Broker]; !ok {
 			continue
-		}
-		if msg.Type == wire.TypeInvalid {
-			msg = wire.NewPublish(n)
 		}
 		b.maybePreencode(hop.Broker, &msg)
 		b.send(hop, msg)

@@ -16,7 +16,7 @@ func (b *Broker) dispatch(in inbound) {
 	switch in.Msg.Type {
 	case wire.TypePublish:
 		if in.Msg.Notif != nil {
-			b.handlePublish(in.From, *in.Msg.Notif)
+			b.handlePublish(in.From, *in.Msg.Notif, in.Msg)
 		}
 	case wire.TypeSubscribe:
 		if in.Msg.Sub != nil {
@@ -127,7 +127,7 @@ func (b *Broker) Unsubscribe(client wire.ClientID, id wire.SubID) error {
 // Publish injects a notification from a locally attached client.
 func (b *Broker) Publish(client wire.ClientID, n message.Notification) error {
 	return b.exec(func() {
-		b.handlePublish(wire.ClientHop(client), n)
+		b.handlePublish(wire.ClientHop(client), n, wire.Message{})
 	})
 }
 
@@ -520,9 +520,17 @@ func (b *Broker) flushSubsToward(advHop wire.Hop, advFilter filter.Filter) {
 // Publish routing and delivery.
 // ---------------------------------------------------------------------------
 
-func (b *Broker) handlePublish(from wire.Hop, n message.Notification) {
+// handlePublish routes one publish. env is the inbound wire envelope when
+// the publish arrived over a link (it may carry a cached frame — the
+// decoded TCP frame or an upstream pre-encoding — which forwarding reuses
+// so a transit broker never re-serializes); local client publishes pass a
+// zero Message and the envelope is built lazily at the first broker hop.
+func (b *Broker) handlePublish(from wire.Hop, n message.Notification, env wire.Message) {
 	if b.opts.Strategy == routing.Flooding {
-		b.broadcast(wire.NewPublish(n), from)
+		if env.Type == wire.TypeInvalid {
+			env = wire.NewPublish(n)
+		}
+		b.broadcast(env, from)
 		b.deliverFlooded(n)
 		return
 	}
@@ -544,7 +552,7 @@ func (b *Broker) handlePublish(from wire.Hop, n message.Notification) {
 	b.pubSeen.epoch++
 	b.pub.n = n
 	b.pub.from = from
-	b.pub.msg = wire.Message{}
+	b.pub.msg = env
 	b.pub.deliveries = b.pub.deliveries[:0]
 	b.subs.EachMatchingEntry(n, from, b.pub.visit)
 	for _, ref := range b.pub.deliveries {
@@ -562,7 +570,10 @@ func (b *Broker) handlePublish(from wire.Hop, n message.Notification) {
 // visitPublishEntry routes one matching table row of the publish carried
 // in b.pub: local subscriptions are queued for delivery after the visit
 // (client callbacks must not run under the table lock), broker hops
-// receive the shared fan-out envelope through the outbox. Bound once as
+// receive the shared fan-out envelope through the outbox. For publishes
+// that arrived over a link, b.pub.msg is the inbound envelope (possibly
+// carrying the decoded frame for zero-copy forwarding); for local client
+// publishes it is built lazily at the first broker hop. Bound once as
 // b.pub.visit.
 func (b *Broker) visitPublishEntry(e *routing.Entry) {
 	s := &b.pubSeen

@@ -31,7 +31,7 @@ func (b *Broker) clientInbound(from wire.Hop, msg wire.Message) {
 	switch msg.Type {
 	case wire.TypePublish:
 		if msg.Notif != nil {
-			b.handlePublish(from, *msg.Notif)
+			b.handlePublish(from, *msg.Notif, msg)
 		}
 	case wire.TypeSubscribe:
 		if msg.Sub != nil {

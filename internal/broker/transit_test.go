@@ -1,0 +1,165 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// codecCountingLink is a frame-encoding link test double: it records every
+// message it is handed (as a frame-based transport would see it) so tests
+// can assert whether the broker attached a cached frame — and which bytes —
+// without a real TCP connection.
+type codecCountingLink struct {
+	mu   sync.Mutex
+	msgs []wire.Message
+}
+
+var _ transport.Link = (*codecCountingLink)(nil)
+var _ transport.BatchSender = (*codecCountingLink)(nil)
+var _ transport.FrameEncoder = (*codecCountingLink)(nil)
+
+func (l *codecCountingLink) Send(m wire.Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.msgs = append(l.msgs, m)
+	return nil
+}
+
+func (l *codecCountingLink) SendBatch(ms []wire.Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.msgs = append(l.msgs, ms...)
+	return nil
+}
+
+func (l *codecCountingLink) Close() error   { return nil }
+func (l *codecCountingLink) EncodesFrames() {}
+
+func (l *codecCountingLink) sent() []wire.Message {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]wire.Message(nil), l.msgs...)
+}
+
+// TestTransitForwardWithoutReencode is the zero-copy acceptance test: a
+// transit broker that receives a canonical publish frame from one neighbor
+// and forwards it to another must not call the wire encoder at all — the
+// decoded inbound frame doubles as the outbound encoding, bytes included.
+func TestTransitForwardWithoutReencode(t *testing.T) {
+	b := New("transit", Options{})
+	b.Start()
+	defer b.Close()
+
+	out := &codecCountingLink{}
+	if err := b.AddLink("downstream", out); err != nil {
+		t.Fatal(err)
+	}
+	// The downstream neighbor subscribes to everything about temperature.
+	b.Receive(transport.Inbound{
+		From: wire.BrokerHop("downstream"),
+		Msg: wire.NewSubscribe(wire.Subscription{
+			Filter: filter.MustNew(filter.Exists("temperature")),
+		}),
+	})
+	b.Barrier()
+	subSent := len(out.sent()) // control-plane traffic before the publish
+
+	// A publish arrives from the upstream side exactly as the TCP read
+	// loop would deliver it: encoded by the peer, decoded here.
+	frame, err := wire.Encode(wire.NewPublish(message.New(map[string]message.Value{
+		"temperature": message.Float(21.5),
+		"room":        message.String("4a"),
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := wire.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Frame == nil {
+		t.Fatal("decoded canonical publish did not carry the inbound frame")
+	}
+
+	encodesBefore := wire.EncodeCalls()
+	b.Receive(transport.Inbound{From: wire.BrokerHop("upstream"), Msg: in})
+	b.Barrier()
+
+	if got := wire.EncodeCalls() - encodesBefore; got != 0 {
+		t.Errorf("transit forward performed %d frame encodings, want 0", got)
+	}
+	msgs := out.sent()[subSent:]
+	if len(msgs) != 1 || msgs[0].Type != wire.TypePublish {
+		t.Fatalf("downstream received %d messages, want 1 publish", len(msgs))
+	}
+	fwd := msgs[0]
+	if fwd.Frame == nil {
+		t.Fatal("forwarded publish carries no cached frame")
+	}
+	if &fwd.Frame[0] != &frame[0] || len(fwd.Frame) != len(frame) {
+		t.Error("forwarded frame is not the inbound frame (bytes were copied or re-encoded)")
+	}
+	if fwd.Notif == nil || !fwd.Notif.Equal(*in.Notif) {
+		t.Error("forwarded notification diverged from the inbound one")
+	}
+}
+
+// TestTransitForwardNonCanonicalReencodes pins the fallback: a publish
+// from a foreign encoder (attributes out of wire order) is normalized on
+// decode, carries no cached frame, and the transit broker re-encodes it
+// canonically for frame-based neighbors.
+func TestTransitForwardNonCanonicalReencodes(t *testing.T) {
+	b := New("transit", Options{})
+	b.Start()
+	defer b.Close()
+
+	out := &codecCountingLink{}
+	if err := b.AddLink("downstream", out); err != nil {
+		t.Fatal(err)
+	}
+	b.Receive(transport.Inbound{
+		From: wire.BrokerHop("downstream"),
+		Msg: wire.NewSubscribe(wire.Subscription{
+			Filter: filter.MustNew(filter.Exists("a")),
+		}),
+	})
+	b.Barrier()
+	subSent := len(out.sent())
+
+	// version, type, count=2, then "b" before "a": decodes, but is not
+	// canonical.
+	frame := []byte{1, byte(wire.TypePublish), 2, 1, 'b'}
+	frame = message.AppendValue(frame, message.Int(2))
+	frame = append(frame, 1, 'a')
+	frame = message.AppendValue(frame, message.Int(1))
+	in, err := wire.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Frame != nil {
+		t.Fatal("non-canonical frame must not be attached on decode")
+	}
+
+	b.Receive(transport.Inbound{From: wire.BrokerHop("upstream"), Msg: in})
+	b.Barrier()
+
+	msgs := out.sent()[subSent:]
+	if len(msgs) != 1 || msgs[0].Type != wire.TypePublish {
+		t.Fatalf("downstream received %d messages, want 1 publish", len(msgs))
+	}
+	if msgs[0].Frame == nil {
+		t.Fatal("forwarded publish for a frame-encoding link was not pre-encoded")
+	}
+	want, err := wire.Encode(wire.NewPublish(*in.Notif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msgs[0].Frame) != string(want) {
+		t.Error("re-encoded forward is not the canonical encoding")
+	}
+}

@@ -49,58 +49,79 @@ func AppendValue(buf []byte, v Value) []byte {
 }
 
 // DecodeValue decodes a value from the front of buf, returning the value
-// and the number of bytes consumed.
+// and the number of bytes consumed. String payloads are plain copies; the
+// notification decode path interns them instead (filter constants and
+// other control-plane strings must not consume the value intern table).
 func DecodeValue(buf []byte) (Value, int, error) {
+	v, used, _, err := decodeValue(buf, false)
+	return v, used, err
+}
+
+// minimalVarint reports whether the n-byte varint just read from the
+// front of buf is the minimal encoding of its value: a multi-byte varint
+// whose final byte is zero carries a redundant most-significant group, so
+// re-encoding would produce different (shorter) bytes.
+func minimalVarint(buf []byte, n int) bool { return n <= 1 || buf[n-1] != 0 }
+
+// decodeValue decodes one value; the canonical result reports whether the
+// encoding was minimal (every varint in its shortest form), which the
+// notification decoder needs to decide frame pass-through eligibility.
+func decodeValue(buf []byte, intern bool) (v Value, used int, canonical bool, err error) {
 	if len(buf) == 0 {
-		return Value{}, 0, ErrTruncated
+		return Value{}, 0, false, ErrTruncated
 	}
 	kind := Kind(buf[0])
 	rest := buf[1:]
-	used := 1
+	used = 1
 	switch kind {
 	case KindString:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 {
-			return Value{}, 0, ErrTruncated
+			return Value{}, 0, false, ErrTruncated
 		}
+		canonical = minimalVarint(rest, sz)
 		rest = rest[sz:]
 		used += sz
 		if uint64(len(rest)) < n {
-			return Value{}, 0, ErrTruncated
+			return Value{}, 0, false, ErrTruncated
 		}
-		return String(string(rest[:n])), used + int(n), nil
+		if intern {
+			return String(internValueBytes(rest[:n])), used + int(n), canonical, nil
+		}
+		return String(string(rest[:n])), used + int(n), canonical, nil
 	case KindInt:
 		i, sz := binary.Varint(rest)
 		if sz <= 0 {
-			return Value{}, 0, ErrTruncated
+			return Value{}, 0, false, ErrTruncated
 		}
-		return Int(i), used + sz, nil
+		return Int(i), used + sz, minimalVarint(rest, sz), nil
 	case KindFloat:
 		if len(rest) < 8 {
-			return Value{}, 0, ErrTruncated
+			return Value{}, 0, false, ErrTruncated
 		}
-		return Float(math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))), used + 8, nil
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))), used + 8, true, nil
 	case KindBool:
 		if len(rest) < 1 {
-			return Value{}, 0, ErrTruncated
+			return Value{}, 0, false, ErrTruncated
 		}
-		return Bool(rest[0] != 0), used + 1, nil
+		// Any nonzero byte decodes as true, but only 1 re-encodes to the
+		// same byte.
+		return Bool(rest[0] != 0), used + 1, rest[0] <= 1, nil
 	default:
-		return Value{}, 0, fmt.Errorf("message: decode: unknown kind %d", kind)
+		return Value{}, 0, false, fmt.Errorf("message: decode: unknown kind %d", kind)
 	}
 }
 
 // AppendNotification appends the binary encoding of n to buf and returns
-// the extended slice. Attributes are encoded in sorted name order so the
-// encoding is canonical.
+// the extended slice. The notification's attribute slice is already in
+// sorted name order, so the canonical encoding is a single linear append —
+// no per-encode name collection or sort.
 func AppendNotification(buf []byte, n Notification) []byte {
-	names := n.Names()
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
-	for _, name := range names {
-		buf = binary.AppendUvarint(buf, uint64(len(name)))
-		buf = append(buf, name...)
-		v, _ := n.Get(name)
-		buf = AppendValue(buf, v)
+	buf = binary.AppendUvarint(buf, uint64(len(n.attrs)))
+	for _, a := range n.attrs {
+		buf = binary.AppendUvarint(buf, uint64(len(a.Name)))
+		buf = append(buf, a.Name...)
+		buf = AppendValue(buf, a.Value)
 	}
 	return buf
 }
@@ -108,33 +129,66 @@ func AppendNotification(buf []byte, n Notification) []byte {
 // DecodeNotification decodes a notification from the front of buf,
 // returning it and the number of bytes consumed.
 func DecodeNotification(buf []byte) (Notification, int, error) {
+	n, used, _, err := DecodeNotificationCanonical(buf)
+	return n, used, err
+}
+
+// DecodeNotificationCanonical decodes a notification from the front of buf
+// and additionally reports whether the encoding was canonical — exactly
+// the bytes AppendNotification would produce for the decoded content:
+// attribute names strictly increasing, every varint minimal, every bool
+// 0 or 1. A canonical input decodes straight into the attribute slice in
+// wire order — one allocation, no map, no sort — and re-encoding the
+// result reproduces the input bytes, which is what lets a transit broker
+// forward the inbound frame without re-encoding. Non-canonical input (a
+// foreign encoder) still decodes — names normalized with
+// later-duplicate-wins semantics — but is reported as such so it is never
+// passed through verbatim.
+func DecodeNotificationCanonical(buf []byte) (Notification, int, bool, error) {
 	count, sz := binary.Uvarint(buf)
 	if sz <= 0 {
-		return Notification{}, 0, ErrTruncated
+		return Notification{}, 0, false, ErrTruncated
 	}
+	canonical := minimalVarint(buf, sz)
 	used := sz
 	buf = buf[sz:]
-	attrs := make(map[string]Value, count)
+	// Clamp the preallocation against the remaining bytes: an encoded
+	// attribute takes at least three bytes (name length, value kind, one
+	// payload byte), so a hostile count — which may not even fit an int —
+	// cannot force a huge allocation.
+	capN := len(buf) / 3
+	if count < uint64(capN) {
+		capN = int(count)
+	}
+	attrs := make([]Attr, 0, capN)
 	for i := uint64(0); i < count; i++ {
 		nameLen, nsz := binary.Uvarint(buf)
 		if nsz <= 0 {
-			return Notification{}, 0, ErrTruncated
+			return Notification{}, 0, false, ErrTruncated
 		}
+		canonical = canonical && minimalVarint(buf, nsz)
 		buf = buf[nsz:]
 		used += nsz
 		if uint64(len(buf)) < nameLen {
-			return Notification{}, 0, ErrTruncated
+			return Notification{}, 0, false, ErrTruncated
 		}
-		name := string(buf[:nameLen])
+		name := InternName(buf[:nameLen])
 		buf = buf[nameLen:]
 		used += int(nameLen)
-		v, vsz, err := DecodeValue(buf)
+		v, vsz, vcanon, err := decodeValue(buf, true)
 		if err != nil {
-			return Notification{}, 0, err
+			return Notification{}, 0, false, err
 		}
 		buf = buf[vsz:]
 		used += vsz
-		attrs[name] = v
+		canonical = canonical && vcanon
+		if len(attrs) > 0 && name <= attrs[len(attrs)-1].Name {
+			canonical = false
+		}
+		attrs = append(attrs, Attr{Name: name, Value: v})
 	}
-	return Notification{attrs: attrs}, used, nil
+	if canonical {
+		return Notification{attrs: attrs}, used, true, nil
+	}
+	return Notification{attrs: normalizeAttrs(attrs)}, used, false, nil
 }

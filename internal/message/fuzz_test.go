@@ -1,0 +1,53 @@
+package message_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/message"
+)
+
+// FuzzDecodeNotification feeds arbitrary bytes to the notification
+// decoder: it must never panic, must never read past the reported length,
+// and every successful decode must reach the canonical fixpoint —
+// encoding the result and decoding again reproduces the same bytes.
+// (Comparison is on encoded bytes, not Equal, so NaN payloads — which are
+// never Equal to themselves — still round-trip.)
+func FuzzDecodeNotification(f *testing.F) {
+	seed := func(n message.Notification) { f.Add(message.AppendNotification(nil, n)) }
+	seed(message.New(nil))
+	seed(message.New(map[string]message.Value{
+		"s": message.String("str"),
+		"i": message.Int(99),
+		"f": message.Float(1.25),
+		"b": message.Bool(true),
+	}))
+	seed(message.NewAttrs(
+		message.Attr{Name: "", Value: message.String("")},
+		message.Attr{Name: "temperature", Value: message.Float(21.5)},
+	))
+	// Non-canonical: out-of-order attrs, forcing the normalize path.
+	f.Add([]byte{2, 1, 'b', 2, 2, 1, 'a', 2, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, used, err := message.DecodeNotification(data)
+		if err != nil {
+			return
+		}
+		if used < 0 || used > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", used, len(data))
+		}
+		enc := message.AppendNotification(nil, n)
+		n2, used2, err := message.DecodeNotification(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if used2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", used2, len(enc))
+		}
+		enc2 := message.AppendNotification(nil, n2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode/decode fixpoint violated:\n %x\n %x", enc, enc2)
+		}
+	})
+}

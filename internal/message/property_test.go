@@ -1,0 +1,275 @@
+package message_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/message"
+)
+
+// Reference model: the map-backed Notification the slice representation
+// replaced. The property test drives both through the same operation
+// sequences and requires identical observable behavior, plus bytewise
+// identical encodings — mixed-version peers must interoperate.
+
+type refNotif map[string]message.Value
+
+func refNew(attrs map[string]message.Value) refNotif {
+	cp := make(refNotif, len(attrs))
+	for k, v := range attrs {
+		if v.IsValid() {
+			cp[k] = v
+		}
+	}
+	return cp
+}
+
+func refNewAttrs(attrs []message.Attr) refNotif {
+	m := make(refNotif, len(attrs))
+	for _, a := range attrs {
+		if a.Value.IsValid() {
+			m[a.Name] = a.Value
+		}
+	}
+	return m
+}
+
+func (r refNotif) names() []string {
+	names := make([]string, 0, len(r))
+	for k := range r {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r refNotif) with(name string, v message.Value) refNotif {
+	cp := make(refNotif, len(r)+1)
+	for k, val := range r {
+		cp[k] = val
+	}
+	if v.IsValid() {
+		cp[name] = v
+	}
+	return cp
+}
+
+func (r refNotif) equal(o refNotif) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for k, v := range r {
+		w, ok := o[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// refEncode is the seed codec verbatim: count, then name/value pairs in
+// sorted name order.
+func (r refNotif) encode() []byte {
+	names := r.names()
+	buf := binary.AppendUvarint(nil, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = message.AppendValue(buf, r[name])
+	}
+	return buf
+}
+
+var propNames = []string{"", "a", "aa", "ab", "b", "temperature", "room", "cost", "loc", "x"}
+
+func randValue(rng *rand.Rand) message.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return message.String("")
+	case 1:
+		return message.String(propNames[rng.Intn(len(propNames))])
+	case 2:
+		return message.Int(rng.Int63n(100) - 50)
+	case 3:
+		return message.Float(rng.NormFloat64())
+	case 4:
+		return message.Bool(rng.Intn(2) == 0)
+	default:
+		return message.Value{} // invalid: both impls must drop it
+	}
+}
+
+func randAttrs(rng *rand.Rand) []message.Attr {
+	n := rng.Intn(8)
+	attrs := make([]message.Attr, n)
+	for i := range attrs {
+		attrs[i] = message.Attr{
+			Name:  propNames[rng.Intn(len(propNames))], // collisions on purpose
+			Value: randValue(rng),
+		}
+	}
+	return attrs
+}
+
+func checkParity(t *testing.T, n message.Notification, ref refNotif) {
+	t.Helper()
+	if n.Len() != len(ref) {
+		t.Fatalf("Len() = %d, reference %d", n.Len(), len(ref))
+	}
+	wantNames := ref.names()
+	gotNames := n.Names()
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("Names() = %v, reference %v", gotNames, wantNames)
+	}
+	for i := range wantNames {
+		if gotNames[i] != wantNames[i] {
+			t.Fatalf("Names() = %v, reference %v", gotNames, wantNames)
+		}
+	}
+	for _, name := range propNames {
+		gv, gok := n.Get(name)
+		rv, rok := ref[name]
+		if gok != rok || (gok && !gv.Equal(rv)) {
+			t.Fatalf("Get(%q) = %v,%v; reference %v,%v", name, gv, gok, rv, rok)
+		}
+		if n.Has(name) != rok {
+			t.Fatalf("Has(%q) = %v, reference %v", name, n.Has(name), rok)
+		}
+	}
+	// Each must visit exactly the reference's pairs, in sorted name order.
+	i := 0
+	n.Each(func(name string, v message.Value) bool {
+		if i >= len(wantNames) || name != wantNames[i] || !v.Equal(ref[name]) {
+			t.Fatalf("Each visit %d: (%q, %s)", i, name, v)
+		}
+		i++
+		return true
+	})
+	if i != len(wantNames) {
+		t.Fatalf("Each visited %d of %d attrs", i, len(wantNames))
+	}
+	// At mirrors Each.
+	for j := 0; j < n.Len(); j++ {
+		a := n.At(j)
+		if a.Name != wantNames[j] || !a.Value.Equal(ref[a.Name]) {
+			t.Fatalf("At(%d) = %+v", j, a)
+		}
+	}
+	// Encoded bytes must match the seed codec exactly.
+	got := message.AppendNotification(nil, n)
+	want := ref.encode()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding diverged from map-backed reference:\n got %x\nwant %x", got, want)
+	}
+	// And the codec must round-trip.
+	dec, used, err := message.DecodeNotification(got)
+	if err != nil || used != len(got) {
+		t.Fatalf("round trip: used %d of %d, err %v", used, len(got), err)
+	}
+	if !notifEqualModuloNaN(dec, n) {
+		t.Fatalf("round trip mismatch: %s vs %s", dec, n)
+	}
+}
+
+// notifEqualModuloNaN is Equal except NaN compares equal to NaN (Equal
+// follows IEEE semantics where NaN != NaN, which would fail legitimate
+// round trips).
+func notifEqualModuloNaN(a, b message.Notification) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ok := true
+	i := 0
+	a.Each(func(name string, v message.Value) bool {
+		w := b.At(i)
+		i++
+		if name != w.Name {
+			ok = false
+			return false
+		}
+		if v.Kind() == message.KindFloat && w.Value.Kind() == message.KindFloat &&
+			math.IsNaN(v.FloatVal()) && math.IsNaN(w.Value.FloatVal()) {
+			return true
+		}
+		if !v.Equal(w.Value) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// TestNotificationSliceVsMapReference drives the slice-backed Notification
+// and the map-backed reference through randomized construction, With
+// chains, and equality checks, requiring behavioral identity and bytewise
+// codec compatibility.
+func TestNotificationSliceVsMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 2000; iter++ {
+		var n message.Notification
+		var ref refNotif
+		if rng.Intn(2) == 0 {
+			attrs := randAttrs(rng)
+			n = message.NewAttrs(attrs...)
+			ref = refNewAttrs(attrs)
+		} else {
+			m := make(map[string]message.Value)
+			for _, a := range randAttrs(rng) {
+				m[a.Name] = a.Value
+			}
+			n = message.New(m)
+			ref = refNew(m)
+		}
+		checkParity(t, n, ref)
+
+		// A chain of With ops, checked at every step; the receiver must
+		// stay untouched.
+		for w := rng.Intn(4); w > 0; w-- {
+			name := propNames[rng.Intn(len(propNames))]
+			v := randValue(rng)
+			n2, ref2 := n.With(name, v), ref.with(name, v)
+			checkParity(t, n, ref)
+			checkParity(t, n2, ref2)
+			n, ref = n2, ref2
+		}
+
+		// Equal parity against an independently generated notification.
+		other := randAttrs(rng)
+		on := message.NewAttrs(other...)
+		oref := refNewAttrs(other)
+		if n.Equal(on) != ref.equal(oref) {
+			t.Fatalf("Equal diverged: slice %v, reference %v for %s vs %s",
+				n.Equal(on), ref.equal(oref), n, on)
+		}
+		if !n.Equal(n) {
+			t.Fatalf("Equal not reflexive for %s", n)
+		}
+	}
+}
+
+// TestNewAttrsLaterDuplicateWins pins the documented duplicate semantics:
+// the last valid occurrence of a name wins, and invalid values neither
+// insert nor erase.
+func TestNewAttrsLaterDuplicateWins(t *testing.T) {
+	n := message.NewAttrs(
+		message.Attr{Name: "a", Value: message.Int(1)},
+		message.Attr{Name: "a", Value: message.Int(2)},
+		message.Attr{Name: "b", Value: message.String("x")},
+		message.Attr{Name: "a", Value: message.Value{}}, // invalid: ignored
+		message.Attr{Name: "b", Value: message.String("y")},
+	)
+	if n.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", n.Len())
+	}
+	if v, _ := n.Get("a"); v.IntVal() != 2 {
+		t.Errorf("a = %s, want 2", v)
+	}
+	if v, _ := n.Get("b"); v.Str() != "y" {
+		t.Errorf("b = %s, want y", v)
+	}
+}

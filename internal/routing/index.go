@@ -28,15 +28,30 @@ import (
 // The index is maintained incrementally by insert/remove and is not
 // concurrency-safe on its own; Table's lock covers it. Match scratch state
 // (the counting arrays) is pooled so concurrent readers do not contend.
+//
+// The per-attribute indexes are kept in a slice sorted by attribute name
+// rather than a map: notifications carry their attributes as a canonical
+// sorted slice, so the match path intersects the two ordered sequences
+// with a sorted merge (or a binary-search probe of the smaller side into
+// the larger when the sizes are lopsided) instead of hashing every
+// attribute name. Insert/remove pay an O(attrs) slice shift, which is
+// control-plane cost.
 type matchIndex struct {
 	slots    []*idxEntry // slot id -> entry; nil when free
 	totals   []int32     // slot id -> constraint total (parallel to slots)
 	free     []int32     // free slot ids
 	matchAll []*idxEntry // entries with empty filters: match everything
-	attrs    map[string]*attrIndex
-	postings int // live posting-list entries, for IndexStats
+	attrs    []attrRef   // per-attribute indexes, sorted by name
+	postings int         // live posting-list entries, for IndexStats
 
 	pool sync.Pool // *scratch
+}
+
+// attrRef pairs an indexed attribute name with its posting lists; the
+// matchIndex keeps these sorted by name for the merge-based match walk.
+type attrRef struct {
+	name string
+	ai   *attrIndex
 }
 
 // idxEntry is a table row plus everything precomputed at insert time: its
@@ -85,7 +100,22 @@ type intervalList struct {
 }
 
 func newMatchIndex() *matchIndex {
-	return &matchIndex{attrs: make(map[string]*attrIndex)}
+	return &matchIndex{}
+}
+
+// findAttr binary-searches the sorted attribute list for name, returning
+// its index, or the insertion point and false.
+func (x *matchIndex) findAttr(name string) (int, bool) {
+	lo, hi := 0, len(x.attrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.attrs[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(x.attrs) && x.attrs[lo].name == name
 }
 
 // clone returns a structural copy of the index for an immutable snapshot:
@@ -99,11 +129,11 @@ func (x *matchIndex) clone() *matchIndex {
 		totals:   append([]int32(nil), x.totals...),
 		free:     append([]int32(nil), x.free...),
 		matchAll: append([]*idxEntry(nil), x.matchAll...),
-		attrs:    make(map[string]*attrIndex, len(x.attrs)),
+		attrs:    make([]attrRef, len(x.attrs)),
 		postings: x.postings,
 	}
-	for a, ai := range x.attrs {
-		c.attrs[a] = ai.clone()
+	for i, ar := range x.attrs {
+		c.attrs[i] = attrRef{name: ar.name, ai: ar.ai.clone()}
 	}
 	return c
 }
@@ -157,12 +187,13 @@ func (x *matchIndex) insert(ie *idxEntry) {
 		return
 	}
 	for _, c := range ie.cs {
-		ai := x.attrs[c.Attr]
-		if ai == nil {
-			ai = &attrIndex{}
-			x.attrs[c.Attr] = ai
+		i, ok := x.findAttr(c.Attr)
+		if !ok {
+			x.attrs = append(x.attrs, attrRef{})
+			copy(x.attrs[i+1:], x.attrs[i:])
+			x.attrs[i] = attrRef{name: c.Attr, ai: &attrIndex{}}
 		}
-		ai.insert(slot, c)
+		x.attrs[i].ai.insert(slot, c)
 		x.postings++
 	}
 }
@@ -177,11 +208,12 @@ func (x *matchIndex) remove(ie *idxEntry) {
 		}
 	}
 	for _, c := range ie.cs {
-		if ai := x.attrs[c.Attr]; ai != nil {
+		if i, ok := x.findAttr(c.Attr); ok {
+			ai := x.attrs[i].ai
 			ai.remove(ie.slot, c)
 			x.postings--
 			if ai.empty() {
-				delete(x.attrs, c.Attr)
+				x.attrs = append(x.attrs[:i], x.attrs[i+1:]...)
 			}
 		}
 	}
@@ -481,23 +513,46 @@ func (s *scratch) bump(slot int32, x *matchIndex) {
 // match appends every entry whose filter accepts n to s.matched and returns
 // it. The result aliases scratch state and is only valid until the scratch
 // is released.
+//
+// Both the notification's attributes and the index's attribute list are
+// sorted by name, so their intersection is found by a sorted merge: one
+// linear walk of string comparisons, no hashing, no closure. When one side
+// dwarfs the other, binary-searching each element of the small side into
+// the large one is cheaper than walking the large side, so the walk
+// switches shape on a size ratio.
 func (x *matchIndex) match(n message.Notification, s *scratch) []*idxEntry {
 	s.matched = append(s.matched, x.matchAll...)
-	// Probe the intersection of indexed and present attributes from the
-	// smaller side.
-	if len(x.attrs) <= n.Len() {
-		for attr, ai := range x.attrs {
-			if v, ok := n.Get(attr); ok {
-				ai.probe(v, s, x)
+	la, ln := len(x.attrs), n.Len()
+	switch {
+	case la == 0 || ln == 0:
+	case la <= 8*ln && ln <= 8*la:
+		i, j := 0, 0
+		for i < la && j < ln {
+			a := n.At(j)
+			switch {
+			case x.attrs[i].name < a.Name:
+				i++
+			case x.attrs[i].name > a.Name:
+				j++
+			default:
+				x.attrs[i].ai.probe(a.Value, s, x)
+				i++
+				j++
 			}
 		}
-	} else {
-		n.Each(func(name string, v message.Value) bool {
-			if ai := x.attrs[name]; ai != nil {
-				ai.probe(v, s, x)
+	case ln < la:
+		for j := 0; j < ln; j++ {
+			a := n.At(j)
+			if i, ok := x.findAttr(a.Name); ok {
+				x.attrs[i].ai.probe(a.Value, s, x)
 			}
-			return true
-		})
+		}
+	default:
+		for i := range x.attrs {
+			if v, ok := n.Get(x.attrs[i].name); ok {
+				x.attrs[i].ai.probe(v, s, x)
+			}
+		}
 	}
 	return s.matched
 }

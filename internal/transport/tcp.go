@@ -26,6 +26,7 @@ type TCPLink struct {
 
 	writeMu sync.Mutex
 	w       *bufio.Writer // guarded by writeMu
+	enc     *[]byte       // pooled encode scratch for non-preencoded messages; guarded by writeMu
 	closeMu sync.Mutex
 	closed  bool
 	done    chan struct{}
@@ -139,7 +140,11 @@ func (l *TCPLink) Flush() error {
 // messages (wire.Preencode) save this link a per-hop serialization.
 func (l *TCPLink) EncodesFrames() {}
 
-// writeMsgLocked buffers one message. Callers hold writeMu.
+// writeMsgLocked buffers one message. Callers hold writeMu. Messages that
+// carry a cached frame (pre-encoded fan-outs, decoded transit publishes)
+// are written as-is; everything else is serialized into the link's pooled
+// scratch buffer, which bufio copies, so the scratch is reused across the
+// batch and handed back to the pool at flush.
 func (l *TCPLink) writeMsgLocked(m wire.Message) error {
 	l.closeMu.Lock()
 	closed := l.closed
@@ -149,11 +154,15 @@ func (l *TCPLink) writeMsgLocked(m wire.Message) error {
 	}
 	frame := m.Frame
 	if frame == nil {
-		var err error
-		frame, err = wire.Encode(m)
+		if l.enc == nil {
+			l.enc = wire.GetEncodeBuf()
+		}
+		f, err := wire.AppendEncode((*l.enc)[:0], m)
 		if err != nil {
 			return fmt.Errorf("transport: encode: %w", err)
 		}
+		*l.enc = f
+		frame = f
 	}
 	if err := writeFrame(l.w, frame); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
@@ -162,6 +171,12 @@ func (l *TCPLink) writeMsgLocked(m wire.Message) error {
 }
 
 func (l *TCPLink) flushLocked() error {
+	if l.enc != nil {
+		// Batch boundary: return the encode scratch. PutEncodeBuf drops
+		// oversized buffers, mirroring the mailbox's recycle policy.
+		wire.PutEncodeBuf(l.enc)
+		l.enc = nil
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("transport: flush: %w", err)
 	}

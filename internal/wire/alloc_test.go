@@ -1,0 +1,37 @@
+//go:build !race
+
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/message"
+)
+
+// TestDecodePublishAllocBudget enforces the decode-path allocation budget:
+// after the interner has seen the names and hot values once, decoding a
+// publish costs exactly the attribute slice and the notification box — no
+// map, no per-name string copies. (Excluded under -race, which adds
+// bookkeeping allocations.)
+func TestDecodePublishAllocBudget(t *testing.T) {
+	frame, err := Encode(NewPublish(message.New(map[string]message.Value{
+		"service":     message.String("hvac"),
+		"temperature": message.Float(21.5),
+		"room":        message.String("r4c2"),
+		"floor":       message.Int(4),
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(frame); err != nil { // warm the interner
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Decode of a publish allocates %.1f times per frame, budget is 2", allocs)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/filter"
@@ -20,6 +22,52 @@ const codecVersion = 1
 
 // ErrBadFrame is returned for malformed or incompatible frames.
 var ErrBadFrame = errors.New("wire: bad frame")
+
+// encodeCalls counts frame serializations (AppendEncode, which Encode and
+// Preencode go through). It exists for the zero-copy observability story:
+// tests and benchmarks assert that a transit broker forwards a decoded
+// publish without a single new serialization.
+var encodeCalls atomic.Uint64
+
+// EncodeCalls returns the number of frame serializations performed by this
+// process so far.
+func EncodeCalls() uint64 { return encodeCalls.Load() }
+
+// Encode scratch pool. Frames are encoded into recycled buffers instead of
+// a fresh make([]byte, 0, 128) per frame; the TCP send path holds one
+// buffer per link and returns it at flush. PutEncodeBuf drops oversized
+// buffers the same way the broker mailbox's recycle policy drops
+// spike-sized batch arrays, so a single huge replay cannot pin its
+// high-water allocation in the pool forever.
+const maxPooledEncodeBuf = 64 << 10
+
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// GetEncodeBuf returns an empty scratch buffer for AppendEncode. The
+// boxed form keeps the pool cycle allocation-free: callers hold the *[]byte
+// (updating it after AppendEncode grows the slice) and hand the same box
+// back to PutEncodeBuf.
+func GetEncodeBuf() *[]byte {
+	buf := encBufPool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// PutEncodeBuf returns a scratch buffer to the pool. Oversized buffers are
+// dropped (left to the GC) so the pool retains only steady-state sizes.
+// The caller must not use the buffer afterwards.
+func PutEncodeBuf(buf *[]byte) {
+	if cap(*buf) == 0 || cap(*buf) > maxPooledEncodeBuf {
+		return
+	}
+	*buf = (*buf)[:0]
+	encBufPool.Put(buf)
+}
 
 type encoder struct{ buf []byte }
 
@@ -199,8 +247,15 @@ func encodeSub(e *encoder, s *Subscription) {
 }
 
 func decodeSub(d *decoder) *Subscription {
+	f := decodeFilter(d)
+	if d.err != nil {
+		// Bail out before constructing a garbage Subscription: every
+		// remaining field read would return zero values anyway, and the
+		// caller discards the message on d.err.
+		return nil
+	}
 	s := &Subscription{
-		Filter:       decodeFilter(d),
+		Filter:       f,
 		Client:       ClientID(d.str()),
 		ID:           SubID(d.str()),
 		IsMobile:     d.boolean(),
@@ -223,9 +278,30 @@ func decodeSub(d *decoder) *Subscription {
 }
 
 // Encode serializes a message into a self-contained frame (excluding any
-// outer length prefix, which the transport adds).
+// outer length prefix, which the transport adds). The returned slice is
+// freshly allocated at exact size and owned by the caller; the encoding
+// itself runs in a pooled scratch buffer. Callers that write-and-discard
+// frames should prefer AppendEncode with a recycled buffer.
 func Encode(m Message) ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 128)}
+	scratch := GetEncodeBuf()
+	frame, err := AppendEncode(*scratch, m)
+	if err != nil {
+		PutEncodeBuf(scratch)
+		return nil, err
+	}
+	*scratch = frame[:0] // keep the possibly grown array for the pool
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	PutEncodeBuf(scratch)
+	return out, nil
+}
+
+// AppendEncode appends m's frame encoding to buf and returns the extended
+// slice. It is the allocation-conscious form of Encode: the TCP send path
+// reuses one buffer per link across messages.
+func AppendEncode(buf []byte, m Message) ([]byte, error) {
+	encodeCalls.Add(1)
+	e := &encoder{buf: buf}
 	e.u8(codecVersion)
 	e.u8(uint8(m.Type))
 	switch m.Type {
@@ -302,6 +378,14 @@ func Preencode(m *Message) error {
 }
 
 // Decode parses a frame produced by Encode.
+//
+// For publish frames whose notification body is in canonical attribute
+// order (every frame this codec produces is), Decode attaches the inbound
+// frame to Message.Frame: re-encoding the decoded message would reproduce
+// those bytes exactly, so a broker that merely forwards the publish sends
+// the received frame verbatim instead of serializing again. Callers must
+// therefore treat the frame buffer as owned by the returned message and
+// not reuse it.
 func Decode(frame []byte) (Message, error) {
 	d := &decoder{buf: frame}
 	if v := d.u8(); v != codecVersion {
@@ -310,12 +394,18 @@ func Decode(frame []byte) (Message, error) {
 	m := Message{Type: Type(d.u8())}
 	switch m.Type {
 	case TypePublish:
-		n, used, err := message.DecodeNotification(d.buf[d.pos:])
+		n, used, canonical, err := message.DecodeNotificationCanonical(d.buf[d.pos:])
 		if err != nil {
 			return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
 		d.pos += used
 		m.Notif = &n
+		if canonical && d.pos == len(frame) {
+			// Byte-identical to the re-encoding (canonical body, no
+			// trailing garbage): the inbound frame doubles as the cached
+			// outbound encoding.
+			m.Frame = frame
+		}
 	case TypeSubscribe, TypeUnsubscribe, TypeAdvertise, TypeUnadvertise:
 		m.Sub = decodeSub(d)
 	case TypeFetch:
@@ -338,6 +428,16 @@ func Decode(frame []byte) (Message, error) {
 		count := d.uv()
 		if count > uint64(len(d.buf)) {
 			return Message{}, fmt.Errorf("%w: bad replay count", ErrBadFrame)
+		}
+		// Preallocate from the decoded count, clamped against the
+		// remaining bytes (every item takes at least one byte), instead of
+		// growing by append.
+		capItems := int(count)
+		if remaining := len(d.buf) - d.pos; capItems > remaining {
+			capItems = remaining
+		}
+		if capItems > 0 {
+			r.Items = make([]SeqNotification, 0, capItems)
 		}
 		for i := uint64(0); i < count && d.err == nil; i++ {
 			seq := d.uv()

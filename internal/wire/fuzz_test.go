@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzWireRoundTrip feeds arbitrary frames to the wire decoder: it must
+// never panic, and every frame that decodes must reach the canonical
+// fixpoint — encode(decode(frame)) re-decodes to a message whose encoding
+// is byte-identical. For publish frames the pass-through invariant is also
+// checked: whenever Decode attaches the inbound frame as the cached
+// encoding, those bytes must equal a fresh canonical encoding, since a
+// transit broker forwards them verbatim.
+func FuzzWireRoundTrip(f *testing.F) {
+	seedMsgs := []Message{
+		NewPublish(sampleNotif()),
+		NewSubscribe(Subscription{Filter: sampleFilter(), Client: "C", ID: "s1", IsMobile: true}),
+		NewSubscribe(Subscription{
+			Filter: sampleFilter(), Client: "C", ID: "s2",
+			LocDependent: true, LocAttr: "location", GraphName: "fig7",
+			Loc: "a", Delta: time.Second, CumDelay: 170 * time.Millisecond,
+			Steps: 2, NextMultiple: 3,
+		}),
+		NewUnsubscribe(Subscription{Filter: sampleFilter()}),
+		NewAdvertise(Subscription{Filter: sampleFilter()}),
+		NewFetch(Fetch{Client: "C", ID: "s", Filter: sampleFilter(), LastSeq: 42, Junction: "b4", Epoch: 2}),
+		NewReplay(Replay{
+			Client: "C", ID: "s", From: "b6", NextSeq: 200,
+			Items: []SeqNotification{{Seq: 124, Notif: sampleNotif()}},
+		}),
+		NewLocUpdate(LocUpdate{Client: "C", ID: "s", OldLoc: "a", NewLoc: "b"}),
+		NewDeliver(Deliver{Client: "C", ID: "s", Item: SeqNotification{Seq: 7, Notif: sampleNotif()}, Replayed: true}),
+	}
+	for _, m := range seedMsgs {
+		frame, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		attached := m.Frame != nil
+		m.Frame = nil
+		e1, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		if attached && !bytes.Equal(e1, data) {
+			// The pass-through soundness invariant: an attached frame is
+			// forwarded verbatim by transit brokers, so it must be
+			// byte-identical to the canonical re-encoding.
+			t.Fatalf("Decode attached a frame that differs from its re-encoding:\n in  %x\n out %x", data, e1)
+		}
+		m2, err := Decode(e1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if m2.Type == TypePublish {
+			// Canonical self-produced publish frames must always be
+			// eligible for zero-copy pass-through.
+			if m2.Frame == nil {
+				t.Fatalf("canonical publish frame not attached for pass-through")
+			}
+		}
+		m2.Frame = nil
+		e2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encode/decode fixpoint violated:\n %x\n %x", e1, e2)
+		}
+	})
+}

@@ -263,11 +263,15 @@ type Message struct {
 	Loc     *LocUpdate
 	Deliver *Deliver
 
-	// Frame is the cached wire encoding of the message, populated by
+	// Frame is the cached wire encoding of the message: populated by
 	// Preencode so a fan-out serializes once and every frame-based
-	// transport (TCP) reuses the same bytes. It is advisory: in-process
-	// links ignore it, Decode never sets it, and it must only be written
-	// through Preencode (a stale cache would desynchronize peers).
+	// transport (TCP) reuses the same bytes, and by Decode for canonical
+	// publish frames so a transit broker forwards the inbound bytes
+	// without re-encoding (the canonical notification representation
+	// makes the received frame byte-identical to its re-encoding). It is
+	// advisory: in-process links ignore it. It must only be attached to
+	// an encoding byte-identical to Encode of this message — a stale or
+	// foreign cache would desynchronize peers.
 	Frame []byte
 }
 

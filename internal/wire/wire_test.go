@@ -262,10 +262,91 @@ func TestPreencode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Frame != nil {
-		t.Error("Decode populated the frame cache")
-	}
 	if dec.Type != TypePublish || dec.Notif == nil {
 		t.Errorf("decoded %v", dec)
+	}
+	// Canonical publish frames pass through: Decode attaches the inbound
+	// bytes as the cached encoding, so forwarding needs no re-encode.
+	if len(dec.Frame) == 0 || &dec.Frame[0] != &m.Frame[0] {
+		t.Error("Decode did not attach the canonical inbound frame")
+	}
+}
+
+// TestDecodeNonCanonicalPublish checks mixed-version interop: a publish
+// frame whose attributes are not in sorted order (a foreign encoder)
+// still decodes — normalized to the canonical representation — but is not
+// eligible for zero-copy pass-through, so forwarding re-encodes it
+// canonically.
+func TestDecodeNonCanonicalPublish(t *testing.T) {
+	canonical := message.New(map[string]message.Value{
+		"a": message.Int(1),
+		"b": message.String("x"),
+	})
+	// Hand-build a frame with the attributes in reverse (non-canonical)
+	// order: version, type, count, then b before a.
+	frame := []byte{1, byte(TypePublish), 2}
+	frame = append(frame, 1, 'b')
+	frame = message.AppendValue(frame, message.String("x"))
+	frame = append(frame, 1, 'a')
+	frame = message.AppendValue(frame, message.Int(1))
+
+	m, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Notif.Equal(canonical) {
+		t.Errorf("non-canonical frame decoded to %s, want %s", m.Notif, canonical)
+	}
+	if m.Frame != nil {
+		t.Error("non-canonical frame must not be attached for pass-through")
+	}
+	enc, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Encode(NewPublish(canonical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(want) {
+		t.Error("re-encoding a normalized notification is not canonical")
+	}
+}
+
+// TestDecodePublishNonMinimalVarint: a frame using a padded (non-minimal)
+// varint decodes to the same content but is not byte-identical to its
+// re-encoding, so it must not be attached for pass-through.
+func TestDecodePublishNonMinimalVarint(t *testing.T) {
+	// version, type, count=1 encoded non-minimally as 0x81 0x00, then one
+	// canonical attribute.
+	frame := []byte{1, byte(TypePublish), 0x81, 0x00, 1, 'a'}
+	frame = message.AppendValue(frame, message.Int(7))
+	m, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Notif.Get("a"); !ok || v.IntVal() != 7 {
+		t.Fatalf("padded-varint frame decoded to %s", m.Notif)
+	}
+	if m.Frame != nil {
+		t.Error("non-minimal varint frame attached for pass-through")
+	}
+}
+
+// TestDecodePublishTrailingBytes: a decodable publish with trailing bytes
+// after the body must not be attached for pass-through (the frame is not
+// byte-identical to the re-encoding).
+func TestDecodePublishTrailingBytes(t *testing.T) {
+	frame, err := Encode(NewPublish(sampleNotif()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append(append([]byte(nil), frame...), 0xff)
+	m, err := Decode(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frame != nil {
+		t.Error("frame with trailing bytes attached for pass-through")
 	}
 }
