@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/filter"
+	"repro/internal/flow"
 	"repro/internal/location"
 	"repro/internal/locfilter"
 	"repro/internal/message"
@@ -1077,5 +1079,109 @@ func BenchmarkWireEncodePublish(b *testing.B) {
 		if _, err := wire.Encode(m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBackpressureStalledLeaf measures the flow-control design under
+// an adversarial consumer: a hub fans out to 8 leaves over windowed links
+// and bounded Block mailboxes, and in the stalled mode one leaf stops
+// consuming entirely (its deliver callback parks until the benchmark
+// ends). That leaf's link uses a DropOldest window, so the hub sheds there
+// instead of wedging; the timing measures how fast the 7 healthy leaves
+// receive the full stream. The acceptance bar is stalled ns/op within 10%
+// of unstalled — a dead consumer must not tax its siblings. dropped/op is
+// the overflow shed at the stalled link (≈1 in stalled mode, 0 otherwise).
+func BenchmarkBackpressureStalledLeaf(b *testing.B) {
+	const leaves = 8
+	for _, stall := range []bool{false, true} {
+		name := "unstalled"
+		if stall {
+			name = "stalled"
+		}
+		stall := stall
+		b.Run(name, func(b *testing.B) {
+			opts := broker.Options{MailboxCapacity: 1024, MailboxPolicy: flow.Block}
+			hub := broker.New("hub", opts)
+			hub.Start()
+			defer hub.Close()
+
+			gate := make(chan struct{})
+			var releaseOnce sync.Once
+			release := func() { releaseOnce.Do(func() { close(gate) }) }
+
+			var healthy atomic.Int64
+			leafBrokers := make([]*broker.Broker, leaves)
+			links := make([]*transport.ChanLink, 0, 2*leaves)
+			for i := 0; i < leaves; i++ {
+				i := i
+				id := wire.BrokerID(fmt.Sprintf("leaf%d", i))
+				leaf := broker.New(id, opts)
+				leaf.Start()
+				defer leaf.Close()
+				leafBrokers[i] = leaf
+				w := flow.Options{Capacity: 256, Policy: flow.Block}
+				if stall && i == 0 {
+					w.Policy = flow.DropOldest
+				}
+				lh, ll := transport.Pipe(wire.BrokerHop("hub"), wire.BrokerHop(id),
+					hub, leaf, transport.WithWindow(w))
+				links = append(links, lh, ll)
+				if err := hub.AddLink(id, lh); err != nil {
+					b.Fatal(err)
+				}
+				if err := leaf.AddLink("hub", ll); err != nil {
+					b.Fatal(err)
+				}
+				deliver := func(wire.Deliver) { healthy.Add(1) }
+				if i == 0 {
+					deliver = func(wire.Deliver) {
+						if stall {
+							<-gate
+						}
+					}
+				}
+				client := wire.ClientID(fmt.Sprintf("c%d", i))
+				if err := leaf.AttachClient(client, deliver); err != nil {
+					b.Fatal(err)
+				}
+				err := leaf.Subscribe(wire.Subscription{
+					Filter: filter.MustParse(`sym = "ACME"`), Client: client, ID: "s",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Registered after the leaf Close defers so it runs before them
+			// (LIFO): the stalled run loop must unpark for Close to finish.
+			defer release()
+
+			for r := 0; r < 4; r++ {
+				hub.Barrier()
+				for _, leaf := range leafBrokers {
+					leaf.Barrier()
+				}
+				for _, l := range links {
+					l.WaitIdle()
+				}
+			}
+
+			n := message.New(map[string]message.Value{"sym": message.String("ACME")})
+			pub := wire.NewPublish(n)
+			from := wire.ClientHop("prod")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Receive(transport.Inbound{From: from, Msg: pub})
+			}
+			want := int64(b.N) * (leaves - 1)
+			for healthy.Load() < want {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+			stats := hub.Stats()
+			b.ReportMetric(float64(stats.LinkDroppedOldest)/float64(b.N), "dropped/op")
+			b.ReportMetric(float64(stats.LinkQueueHighWater), "link-hw")
+			b.ReportMetric(float64(stats.LinkCreditStalls), "credit-stalls")
+		})
 	}
 }

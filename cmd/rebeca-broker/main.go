@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/flow"
 	"repro/internal/routing"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -48,6 +49,16 @@ func run(args []string) error {
 	statsEvery := fs.Duration("stats", 30*time.Second, "stats print interval")
 	workers := fs.Int("workers", 1,
 		"publish-matching parallelism (1 = serial pipeline)")
+	maxBatch := fs.Int("maxbatch", 0,
+		"max tasks drained from the mailbox per batch (0 = unlimited, 1 = one message per lock)")
+	mailboxCap := fs.Int("mailbox-cap", 0,
+		"mailbox capacity in tasks (0 = unbounded)")
+	mailboxPolicy := fs.String("mailbox-policy", flow.ShedNewest.String(),
+		"bounded-mailbox overload policy: "+strings.Join(flow.PolicyNames(), ", "))
+	sendWindow := fs.Int("send-window", transport.DefaultSendWindow,
+		"per-peer TCP send window in frames")
+	sendPolicy := fs.String("send-policy", flow.Block.String(),
+		"send-window overload policy: "+strings.Join(flow.PolicyNames(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,10 +69,37 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *maxBatch < 0 {
+		return fmt.Errorf("-maxbatch must be >= 0, got %d", *maxBatch)
+	}
+	if *mailboxCap < 0 {
+		return fmt.Errorf("-mailbox-cap must be >= 0, got %d", *mailboxCap)
+	}
+	if *sendWindow < 1 {
+		return fmt.Errorf("-send-window must be >= 1, got %d", *sendWindow)
+	}
+	boxPolicy, err := flow.ParsePolicy(*mailboxPolicy)
+	if err != nil {
+		return fmt.Errorf("-mailbox-policy: %w", err)
+	}
+	// Block mailboxes are deadlock-prone on bidirectional broker flows
+	// (see broker.Options.MailboxPolicy); the daemon refuses the footgun.
+	if *mailboxCap > 0 && boxPolicy == flow.Block {
+		return fmt.Errorf("-mailbox-policy block is not supported on a networked broker (deadlocks on bidirectional flows); use %s or %s",
+			flow.DropOldest, flow.ShedNewest)
+	}
+	ringPolicy, err := flow.ParsePolicy(*sendPolicy)
+	if err != nil {
+		return fmt.Errorf("-send-policy: %w", err)
+	}
+	ring := flow.Options{Capacity: *sendWindow, Policy: ringPolicy}
 
 	b := broker.New(wire.BrokerID(*id), broker.Options{
-		Strategy: strategy,
-		Workers:  *workers,
+		Strategy:        strategy,
+		Workers:         *workers,
+		MaxBatch:        *maxBatch,
+		MailboxCapacity: *mailboxCap,
+		MailboxPolicy:   boxPolicy,
 	})
 	b.Start()
 	defer b.Close()
@@ -71,7 +109,12 @@ func run(args []string) error {
 		return fmt.Errorf("listen %s: %w", *listen, err)
 	}
 	defer ln.Close()
-	log.Printf("broker %s listening on %s (strategy %s)", *id, ln.Addr(), strategy)
+	box := "unbounded"
+	if *mailboxCap > 0 {
+		box = fmt.Sprintf("%d tasks, %s", *mailboxCap, boxPolicy)
+	}
+	log.Printf("broker %s listening on %s (strategy %s, workers %d, maxbatch %d, mailbox %s, send window %d frames %s)",
+		*id, ln.Addr(), strategy, *workers, *maxBatch, box, *sendWindow, ringPolicy)
 
 	// Dial configured peers.
 	for _, addr := range strings.Split(*peers, ",") {
@@ -79,7 +122,7 @@ func run(args []string) error {
 		if addr == "" {
 			continue
 		}
-		link, err := transport.DialTCP(addr, wire.BrokerID(*id), b)
+		link, err := transport.DialTCP(addr, wire.BrokerID(*id), b, transport.WithSendWindow(ring))
 		if err != nil {
 			return fmt.Errorf("dial peer %s: %w", addr, err)
 		}
@@ -97,7 +140,7 @@ func run(args []string) error {
 			if err != nil {
 				return
 			}
-			link, err := transport.AcceptTCP(conn, wire.BrokerID(*id), b)
+			link, err := transport.AcceptTCP(conn, wire.BrokerID(*id), b, transport.WithSendWindow(ring))
 			if err != nil {
 				log.Printf("handshake failed: %v", err)
 				continue

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/flow"
 	"repro/internal/routing"
 )
 
@@ -38,5 +39,35 @@ func TestRunRejectsUnreachablePeer(t *testing.T) {
 	err := run([]string{"-id", "b1", "-listen", "127.0.0.1:0", "-peer", "127.0.0.1:1"})
 	if err == nil {
 		t.Error("unreachable peer should fail")
+	}
+}
+
+func TestRunRejectsBadFlowFlags(t *testing.T) {
+	cases := [][]string{
+		{"-id", "b1", "-listen", ":0", "-maxbatch", "-1"},
+		{"-id", "b1", "-listen", ":0", "-mailbox-cap", "-2"},
+		{"-id", "b1", "-listen", ":0", "-send-window", "0"},
+		{"-id", "b1", "-listen", ":0", "-send-policy", "bogus"},
+		// Block-bounded mailboxes deadlock on bidirectional broker
+		// flows, so the daemon refuses the combination outright.
+		{"-id", "b1", "-listen", ":0", "-mailbox-cap", "64", "-mailbox-policy", "block"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunRejectsBadPolicyListingNames(t *testing.T) {
+	err := run([]string{"-id", "b1", "-listen", ":0", "-mailbox-policy", "bogus"})
+	if err == nil {
+		t.Fatal("bad mailbox policy should fail")
+	}
+	// The error names the valid policies, so typos are self-documenting.
+	for _, name := range flow.PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q should list %q", err, name)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/filter"
+	"repro/internal/flow"
 	"repro/internal/message"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -38,21 +39,69 @@ func TestBatchedDeliveryParity(t *testing.T) {
 			}
 			want := runs["unbatched"]
 			for mode, got := range runs {
-				if len(got) != len(want) {
-					t.Fatalf("%s: subscription sets differ: %d vs %d", mode, len(got), len(want))
-				}
-				for key, ws := range want {
-					gs := got[key]
-					if len(gs) != len(ws) {
-						t.Fatalf("%s: %s: %d deliveries, want %d", mode, key, len(gs), len(ws))
-					}
-					for i := range ws {
-						if gs[i] != ws[i] {
-							t.Fatalf("%s: %s: delivery %d differs\ngot:  %s\nwant: %s",
-								mode, key, i, gs[i], ws[i])
-						}
-					}
-				}
+				assertParity(t, mode, got, want)
+			}
+		})
+	}
+}
+
+// assertParity fails the test unless got and want contain the same
+// subscription keys with byte-identical delivery sequences.
+func assertParity(t *testing.T, mode string, got, want map[string][]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: subscription sets differ: %d vs %d", mode, len(got), len(want))
+	}
+	for key, ws := range want {
+		gs := got[key]
+		if len(gs) != len(ws) {
+			t.Fatalf("%s: %s: %d deliveries, want %d", mode, key, len(gs), len(ws))
+		}
+		for i := range ws {
+			if gs[i] != ws[i] {
+				t.Fatalf("%s: %s: delivery %d differs\ngot:  %s\nwant: %s",
+					mode, key, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// TestBoundedDeliveryParity extends the parity property to bounded Block
+// mailboxes and Block link windows: with a lossless policy, capacity
+// changes scheduling but not content, so every subscription's delivery
+// sequence must stay byte-identical to the unbatched unbounded reference
+// for any capacity.
+//
+// The workload is feed-forward — every producer is homed at the tree
+// root, so notification flow is strictly root-to-leaves while the
+// acyclicity of the wait-for graph keeps Block deadlock-free (control
+// traffic flowing up is exempt from capacity). Bidirectional data flows
+// under Block can deadlock by design; see Options.MailboxPolicy.
+func TestBoundedDeliveryParity(t *testing.T) {
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			cfg := genParityWorkload(rand.New(rand.NewSource(0xb0b0 + int64(trial))))
+			for p := range cfg.pubHome {
+				cfg.pubHome[p] = 0 // feed-forward: all producers at the root
+			}
+			want := runParityWorkload(t, cfg, Options{MaxBatch: 1})
+			window := transport.WithWindow(flow.Options{Capacity: 4, Policy: flow.Block})
+			runs := map[string]map[string][]string{
+				"cap1": runParityWorkload(t, cfg,
+					Options{MailboxCapacity: 1, MailboxPolicy: flow.Block}),
+				"cap2-smallbatch": runParityWorkload(t, cfg,
+					Options{MailboxCapacity: 2, MailboxPolicy: flow.Block, MaxBatch: 2}),
+				"cap16": runParityWorkload(t, cfg,
+					Options{MailboxCapacity: 16, MailboxPolicy: flow.Block}),
+				"cap8-parallel": runParityWorkload(t, cfg,
+					Options{MailboxCapacity: 8, MailboxPolicy: flow.Block, Workers: 4}),
+				"cap8-windowed": runParityWorkload(t, cfg,
+					Options{MailboxCapacity: 8, MailboxPolicy: flow.Block}, window),
+			}
+			for mode, got := range runs {
+				assertParity(t, mode, got, want)
 			}
 		})
 	}
@@ -101,7 +150,7 @@ func genParityWorkload(rng *rand.Rand) parityWorkload {
 
 // runParityWorkload builds the overlay, runs the workload, and returns the
 // rendered delivery sequence per subscription key.
-func runParityWorkload(t *testing.T, w parityWorkload, opts Options) map[string][]string {
+func runParityWorkload(t *testing.T, w parityWorkload, opts Options, pipeOpts ...transport.PipeOption) map[string][]string {
 	t.Helper()
 	brokers := make([]*Broker, 0)
 	ensure := func(i int) *Broker {
@@ -114,9 +163,11 @@ func runParityWorkload(t *testing.T, w parityWorkload, opts Options) map[string]
 		return brokers[i]
 	}
 	ensure(0)
+	links := make([]*transport.ChanLink, 0)
 	for _, e := range w.edges {
 		a, b := ensure(e[0]), ensure(e[1])
-		la, lb := transport.Pipe(wire.BrokerHop(a.ID()), wire.BrokerHop(b.ID()), a, b)
+		la, lb := transport.Pipe(wire.BrokerHop(a.ID()), wire.BrokerHop(b.ID()), a, b, pipeOpts...)
+		links = append(links, la, lb)
 		if err := a.AddLink(b.ID(), la); err != nil {
 			t.Fatal(err)
 		}
@@ -124,10 +175,17 @@ func runParityWorkload(t *testing.T, w parityWorkload, opts Options) map[string]
 			t.Fatal(err)
 		}
 	}
+	// Windowed pipes deliver asynchronously, so each settle round must
+	// also wait for the pumps to quiesce — and a hop can cost two rounds
+	// (one to flush into the pump, one to process after delivery), so the
+	// loop runs twice as long as the synchronous bound.
 	settle := func() {
-		for i := 0; i < len(brokers)+2; i++ {
+		for i := 0; i < 2*len(brokers)+2; i++ {
 			for _, b := range brokers {
 				b.Barrier()
+			}
+			for _, l := range links {
+				l.WaitIdle()
 			}
 		}
 	}

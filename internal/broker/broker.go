@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/flow"
 	"repro/internal/locfilter"
 	"repro/internal/message"
 	"repro/internal/metrics"
@@ -64,6 +65,23 @@ type Options struct {
 	// and exists for the delivery-order parity tests and as the benchmark
 	// baseline.
 	MaxBatch int
+	// MailboxCapacity bounds the broker mailbox (tasks); 0 (the default)
+	// keeps it unbounded, the seed behavior. The bound applies to
+	// notifications only: control tasks — closures and every non-publish
+	// message — are always admitted (see internal/flow).
+	MailboxCapacity int
+	// MailboxPolicy selects the overload behavior of a bounded mailbox:
+	// Block (the default) stalls producers with watermark hysteresis,
+	// DropOldest and ShedNewest trade notification loss for bounded
+	// memory. Ignored when MailboxCapacity is 0.
+	//
+	// Block is lossless — delivery output is byte-identical to the
+	// unbounded broker for any capacity — but on topologies where two
+	// neighbors push data at each other it can deadlock the pair of run
+	// loops (each blocked pushing into the other's full mailbox). Use it
+	// on feed-forward flows, or prefer the shedding policies for
+	// arbitrary traffic.
+	MailboxPolicy flow.Policy
 	// Workers sets the matching parallelism of the publish pipeline: runs
 	// of consecutive publish messages in a drained batch are matched on
 	// this many sharded worker goroutines against an immutable snapshot
@@ -116,6 +134,7 @@ type Broker struct {
 	pub            pubCtx               // per-publish routing context for the match visitor
 	encLinks       int                  // links that serialize frames (transport.FrameEncoder)
 	batchDepth     metrics.Distribution // tasks per mailbox drain
+	flushDepth     metrics.Distribution // messages per per-link outbox flush burst
 	batchRemaining int                  // unprocessed tail of the current batch, set at closure boundaries
 	relocDrops     uint64               // notifications dropped from relocation-pending buffers
 
@@ -242,6 +261,29 @@ type Stats struct {
 	// strategy, incrementality, tracked/forwarded filter counts, and
 	// cover-check work.
 	Forwarder routing.ForwarderStats
+	// Mailbox is the flow-control snapshot of the broker mailbox:
+	// configured capacity and policy, depth high-water mark, credit
+	// stalls, and drops by policy (all zero counters when unbounded).
+	Mailbox flow.Stats
+	// LinkFlow reports the send-window flow snapshot of each neighbor
+	// link that exposes one (flow.Reporter: windowed ChanLinks, the
+	// TCPLink frame ring), keyed by neighbor — the per-link queue-depth
+	// distribution that makes a slow consumer visible at its own link.
+	LinkFlow map[wire.BrokerID]flow.Stats
+	// LinkCreditStalls, LinkDroppedOldest and LinkShedNewest aggregate
+	// the per-link counters across LinkFlow: how often this broker was
+	// stalled waiting for link credit, and how many notifications its
+	// link windows dropped, by policy. LinkQueueHighWater is the largest
+	// send-window depth any link reached.
+	LinkCreditStalls   uint64
+	LinkDroppedOldest  uint64
+	LinkShedNewest     uint64
+	LinkQueueHighWater int
+	// FlushMaxBurst and FlushMeanBurst describe the per-link bursts
+	// flushOutbox hands to links at batch boundaries (the sending-side
+	// counterpart of the mailbox batch-depth distribution).
+	FlushMaxBurst  int
+	FlushMeanBurst float64
 }
 
 // clientState tracks an attached (or roaming-away) client.
@@ -292,7 +334,7 @@ func New(id wire.BrokerID, opts Options) *Broker {
 	b := &Broker{
 		id:           id,
 		opts:         opts,
-		box:          newMailbox(opts.MaxBatch),
+		box:          newMailbox(opts.MaxBatch, opts.MailboxCapacity, opts.MailboxPolicy),
 		done:         make(chan struct{}),
 		links:        make(map[wire.BrokerID]transport.Link),
 		clients:      make(map[wire.ClientID]*clientState),
@@ -489,6 +531,7 @@ func (b *Broker) flushOutbox() {
 	for _, id := range b.out.order {
 		msgs := b.out.pending[id]
 		if l, ok := b.links[id]; ok && len(msgs) > 0 {
+			b.flushDepth.Observe(uint64(len(msgs)))
 			if bs, ok := l.(transport.BatchSender); ok {
 				_ = bs.SendBatch(msgs)
 			} else {
@@ -624,6 +667,26 @@ func (b *Broker) Stats() Stats {
 		s.ControlUnsubsSent = b.ctrlUnsubsSent
 		s.Forwarder = b.fwd.Stats()
 		s.CoverChecksSaved = s.Forwarder.CoverChecksSaved
+		s.Mailbox = b.box.flowStats()
+		s.FlushMaxBurst = int(b.flushDepth.Max())
+		s.FlushMeanBurst = b.flushDepth.Mean()
+		for id, l := range b.links {
+			r, ok := l.(flow.Reporter)
+			if !ok {
+				continue
+			}
+			fs := r.FlowStats()
+			if s.LinkFlow == nil {
+				s.LinkFlow = make(map[wire.BrokerID]flow.Stats)
+			}
+			s.LinkFlow[id] = fs
+			s.LinkCreditStalls += fs.CreditStalls
+			s.LinkDroppedOldest += fs.DroppedOldest
+			s.LinkShedNewest += fs.ShedNewest
+			if fs.HighWater > s.LinkQueueHighWater {
+				s.LinkQueueHighWater = fs.HighWater
+			}
+		}
 		s.Workers = 1
 		s.SubSnapshots = b.subs.SnapshotStats()
 		if b.pool != nil {

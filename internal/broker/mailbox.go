@@ -1,34 +1,31 @@
 package broker
 
 import (
-	"sync"
-
+	"repro/internal/flow"
 	"repro/internal/wire"
 )
 
-// mailbox is an unbounded FIFO queue of broker tasks. Brokers consume
-// their mailbox from a single goroutine, which makes every routing
-// decision atomic (the paper's "routing decision is assumed to be an
-// atomic operation", Section 2.2) and lets links push without ever
-// blocking — avoiding send/receive deadlock cycles between neighboring
-// brokers.
+// mailbox is the broker's task queue: a flow.Queue of tasks consumed by
+// the run goroutine, which makes every routing decision atomic (the
+// paper's "routing decision is assumed to be an atomic operation",
+// Section 2.2). It keeps the two-list drain-batch design — producers
+// append under the lock, the consumer swaps the whole pending list out
+// with one popBatch acquisition and iterates it lock-free, recycle
+// ping-pongs the backing arrays so the steady state allocates nothing —
+// and adds the shared flow-control semantics: an optional capacity with
+// an overload policy from broker.Options.
 //
-// The queue is a two-list drain-batch design: producers append to the
-// pending list under the lock, and the consumer swaps the whole list out
-// with one popBatch acquisition, iterating it lock-free. recycle returns a
-// drained batch's backing array, so in steady state the two slices
-// ping-pong between producer and consumer with no allocation.
-//
-// Unboundedness is deliberate: the system model assumes error-free FIFO
-// links, so backpressure would have to be modeled as latency, not loss.
-// The experiment harness bounds total load instead.
+// The default stays unbounded: the system model assumes error-free FIFO
+// links, so out of the box backpressure is modeled as latency, not loss,
+// and links can push without ever blocking. A bounded mailbox makes the
+// overload behavior explicit instead: Block stalls link readers and
+// publishers at the mailbox (lossless backpressure, deadlock-free on
+// feed-forward flows), DropOldest/ShedNewest trade notification loss for
+// bounded memory. Control tasks — closures and every non-publish message
+// — are always admitted, whatever the policy: shedding them would
+// corrupt routing state, and blocking them would deadlock exec/Barrier.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []task // pending tasks; swapped out wholesale by popBatch
-	spare  []task // recycled backing array for the next queue
-	max    int    // cap on tasks per drain; 0 = unlimited
-	closed bool
+	q *flow.Queue[task]
 }
 
 // task is either an inbound wire message or a control closure to execute
@@ -39,117 +36,61 @@ type task struct {
 	fn func()
 }
 
+// taskIsControl classifies tasks for the flow queue: closures and all
+// non-droppable message types are control.
+func taskIsControl(t task) bool {
+	return t.fn != nil || !t.in.Msg.Type.Droppable()
+}
+
 // newMailbox creates a mailbox. maxBatch caps how many tasks one popBatch
-// drains; 0 means unlimited, 1 reproduces the seed's one-message-per-lock
-// behavior (used by the parity tests and the fan-out benchmark baseline).
-func newMailbox(maxBatch int) *mailbox {
-	m := &mailbox{max: maxBatch}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+// drains (0 = unlimited; 1 reproduces the seed's one-message-per-lock
+// behavior, used by the parity tests and the fan-out benchmark baseline).
+// capacity bounds the queue (0 = unbounded) under the given overload
+// policy.
+func newMailbox(maxBatch, capacity int, policy flow.Policy) *mailbox {
+	return &mailbox{q: flow.NewQueue[task](flow.Options{
+		Capacity: capacity,
+		Policy:   policy,
+		MaxDrain: maxBatch,
+	}, taskIsControl)}
 }
 
 // push enqueues a task. Pushing to a closed mailbox is a silent no-op
-// (late messages during shutdown are dropped, mirroring a closed link).
+// (late messages during shutdown are dropped, mirroring a closed link),
+// as is a push shed by the overload policy (the drop is counted in the
+// queue's flow stats).
 func (m *mailbox) push(t task) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return
-	}
-	if m.queue == nil {
-		m.queue, m.spare = m.spare, nil
-	}
-	m.queue = append(m.queue, t)
-	m.cond.Signal()
+	_ = m.q.Push(t)
 }
 
 // pushBurst enqueues a burst of messages from one hop under one lock
-// acquisition (the receiving half of a link-level batch send).
+// acquisition (the receiving half of a link-level batch send). The
+// overload policy applies per message, so control messages inside a
+// burst are admitted even when notifications around them are shed.
 func (m *mailbox) pushBurst(from wire.Hop, ms []wire.Message) {
 	if len(ms) == 0 {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return
-	}
-	if m.queue == nil {
-		m.queue, m.spare = m.spare, nil
-	}
-	for _, msg := range ms {
-		m.queue = append(m.queue, task{in: inbound{From: from, Msg: msg}})
-	}
-	m.cond.Signal()
+	_ = m.q.PushBurst(len(ms), func(i int) task {
+		return task{in: inbound{From: from, Msg: ms[i]}}
+	})
 }
 
 // popBatch blocks until tasks are available or the mailbox is closed and
 // drained; ok is false in the latter case. On success it returns the
-// entire pending queue (up to max tasks) in FIFO order; the caller owns
-// the slice and should hand it back via recycle when done.
-func (m *mailbox) popBatch() ([]task, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if len(m.queue) == 0 {
-		return nil, false
-	}
-	if m.max > 0 && len(m.queue) > m.max {
-		// Split drain: the batch and the live remainder share one array,
-		// but the 3-index slice caps the batch at max, so a recycled
-		// batch can never append into the remainder's cells.
-		batch := m.queue[:m.max:m.max]
-		m.queue = m.queue[m.max:]
-		return batch, true
-	}
-	batch := m.queue
-	m.queue = nil
-	return batch, true
-}
+// entire pending queue (up to maxBatch tasks) in FIFO order; the caller
+// owns the slice and should hand it back via recycle when done.
+func (m *mailbox) popBatch() ([]task, bool) { return m.q.PopBatch() }
 
-// maxRecycledBatchCap caps the backing array recycle retains: a transient
-// load spike must not pin its high-water batch allocation for the
-// broker's lifetime.
-const maxRecycledBatchCap = 1 << 16
-
-// recycle keeps a drained batch's backing array for future pushes, so the
-// run loop's steady state allocates nothing. Kept arrays are cleared
-// first, dropping task references (closures, notification payloads) for
-// the GC; discarded arrays go to the GC whole and skip the clearing.
-func (m *mailbox) recycle(batch []task) {
-	if cap(batch) == 0 || cap(batch) > maxRecycledBatchCap {
-		return
-	}
-	m.mu.Lock()
-	keep := m.spare == nil || cap(batch) > cap(m.spare)
-	m.mu.Unlock()
-	if !keep {
-		return
-	}
-	for i := range batch {
-		batch[i] = task{}
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.spare == nil || cap(batch) > cap(m.spare) {
-		m.spare = batch[:0]
-	}
-}
+// recycle keeps a drained batch's backing array for future pushes.
+func (m *mailbox) recycle(batch []task) { m.q.Recycle(batch) }
 
 // close stops accepting tasks; popBatch drains the remainder then reports
 // done.
-func (m *mailbox) close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
-	m.cond.Broadcast()
-}
+func (m *mailbox) close() { m.q.Close() }
 
 // len returns the number of queued tasks (diagnostics only).
-func (m *mailbox) len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.queue)
-}
+func (m *mailbox) len() int { return m.q.Len() }
+
+// flowStats snapshots the queue's flow-control counters.
+func (m *mailbox) flowStats() flow.Stats { return m.q.Stats() }

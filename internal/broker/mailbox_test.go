@@ -5,7 +5,10 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/flow"
+	"repro/internal/message"
 	"repro/internal/wire"
 )
 
@@ -29,7 +32,7 @@ func drainAll(t *testing.T, m *mailbox, n int) []task {
 }
 
 func TestMailboxBatchFIFO(t *testing.T) {
-	m := newMailbox(0)
+	m := newMailbox(0, 0, flow.Block)
 	const n = 100
 	var got []int
 	for i := 0; i < n; i++ {
@@ -52,7 +55,7 @@ func TestMailboxBatchFIFO(t *testing.T) {
 // TestMailboxMaxBatch verifies the drain cap used by the parity tests:
 // every batch is at most max tasks and order is still exact FIFO.
 func TestMailboxMaxBatch(t *testing.T) {
-	m := newMailbox(3)
+	m := newMailbox(3, 0, flow.Block)
 	const n = 10
 	var got []int
 	for i := 0; i < n; i++ {
@@ -82,7 +85,7 @@ func TestMailboxMaxBatch(t *testing.T) {
 }
 
 func TestMailboxCloseDrains(t *testing.T) {
-	m := newMailbox(0)
+	m := newMailbox(0, 0, flow.Block)
 	m.push(task{fn: func() {}})
 	m.push(task{fn: func() {}})
 	m.close()
@@ -109,7 +112,7 @@ func TestMailboxCloseDrains(t *testing.T) {
 func TestMailboxDrainBatchProperty(t *testing.T) {
 	const producers, each = 8, 500
 	for trial := 0; trial < 5; trial++ {
-		m := newMailbox(0)
+		m := newMailbox(0, 0, flow.Block)
 		var wg sync.WaitGroup
 		for p := 0; p < producers; p++ {
 			p := p
@@ -195,7 +198,7 @@ func tagOf(in inbound) (p, i int) {
 }
 
 func TestMailboxPopBlocksUntilPush(t *testing.T) {
-	m := newMailbox(0)
+	m := newMailbox(0, 0, flow.Block)
 	got := make(chan struct{})
 	go func() {
 		if _, ok := m.popBatch(); ok {
@@ -210,7 +213,7 @@ func TestMailboxPopBlocksUntilPush(t *testing.T) {
 // backing arrays: after a push/pop/recycle cycle the next drain returns a
 // slice with the recycled capacity.
 func TestMailboxRecycleReuse(t *testing.T) {
-	m := newMailbox(0)
+	m := newMailbox(0, 0, flow.Block)
 	for i := 0; i < 64; i++ {
 		m.push(task{fn: func() {}})
 	}
@@ -236,8 +239,8 @@ func TestMailboxRecycleReuse(t *testing.T) {
 
 // TestMailboxRecycleCap checks that spike-sized batches are not retained.
 func TestMailboxRecycleCap(t *testing.T) {
-	m := newMailbox(0)
-	for i := 0; i < maxRecycledBatchCap+1; i++ {
+	m := newMailbox(0, 0, flow.Block)
+	for i := 0; i < flow.MaxRecycledCap+1; i++ {
 		m.push(task{fn: func() {}})
 	}
 	batch, _ := m.popBatch()
@@ -246,5 +249,64 @@ func TestMailboxRecycleCap(t *testing.T) {
 	batch2, _ := m.popBatch()
 	if cap(batch2) >= cap(batch) {
 		t.Errorf("spike-sized array was retained: cap %d", cap(batch2))
+	}
+}
+
+// TestMailboxBoundedShedsNotifications: a bounded shed-newest mailbox
+// drops excess publishes but keeps every control task.
+func TestMailboxBoundedShedsNotifications(t *testing.T) {
+	m := newMailbox(0, 2, flow.ShedNewest)
+	pub := wire.NewPublish(message.Notification{})
+	for i := 0; i < 5; i++ {
+		m.push(task{in: inbound{From: wire.BrokerHop("x"), Msg: pub}})
+	}
+	m.push(task{fn: func() {}}) // control: admitted over capacity
+	if got := m.len(); got != 3 {
+		t.Fatalf("len = %d, want 2 publishes + 1 closure", got)
+	}
+	s := m.flowStats()
+	if s.ShedNewest != 3 {
+		t.Errorf("ShedNewest = %d, want 3", s.ShedNewest)
+	}
+	if s.ControlOverflow != 1 {
+		t.Errorf("ControlOverflow = %d, want 1", s.ControlOverflow)
+	}
+}
+
+// TestMailboxBoundedClosureNeverBlocks: exec/Barrier closures must land
+// immediately even when a Block mailbox is full, or Stats and Barrier
+// would deadlock against a stalled consumer.
+func TestMailboxBoundedClosureNeverBlocks(t *testing.T) {
+	m := newMailbox(0, 1, flow.Block)
+	pub := wire.NewPublish(message.Notification{})
+	m.push(task{in: inbound{From: wire.BrokerHop("x"), Msg: pub}})
+	done := make(chan struct{})
+	go func() {
+		m.push(task{fn: func() {}})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("closure push blocked on a full mailbox")
+	}
+}
+
+// TestMailboxBoundedBurstPolicyPerMessage: a burst mixing publishes and
+// control through a full mailbox sheds only the publishes.
+func TestMailboxBoundedBurstPolicyPerMessage(t *testing.T) {
+	m := newMailbox(0, 1, flow.ShedNewest)
+	ms := []wire.Message{
+		wire.NewPublish(message.Notification{}),
+		wire.NewPublish(message.Notification{}), // shed: over capacity
+		wire.NewSubscribe(wire.Subscription{}),  // control: admitted
+	}
+	m.pushBurst(wire.BrokerHop("x"), ms)
+	batch, _ := m.popBatch()
+	if len(batch) != 2 {
+		t.Fatalf("admitted %d tasks, want 2", len(batch))
+	}
+	if batch[0].in.Msg.Type != wire.TypePublish || batch[1].in.Msg.Type != wire.TypeSubscribe {
+		t.Fatalf("wrong survivors: %v, %v", batch[0].in.Msg.Type, batch[1].in.Msg.Type)
 	}
 }

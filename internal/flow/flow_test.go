@@ -1,0 +1,418 @@
+package flow
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// item is the test payload: a producer id and a per-producer sequence
+// number, with an explicit control flag.
+type item struct {
+	producer int
+	seq      int
+	control  bool
+}
+
+func isControl(v item) bool { return v.control }
+
+// drainAll pops every queued item without blocking on an empty queue.
+func drainAll(t *testing.T, q *Queue[item]) []item {
+	t.Helper()
+	var out []item
+	for q.Len() > 0 {
+		batch, ok := q.PopBatch()
+		if !ok {
+			break
+		}
+		out = append(out, batch...)
+		q.Recycle(batch)
+	}
+	return out
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[item](Options{}, isControl)
+	for i := 0; i < 100; i++ {
+		if err := q.Push(item{seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainAll(t, q)
+	if len(got) != 100 {
+		t.Fatalf("drained %d items, want 100", len(got))
+	}
+	for i, v := range got {
+		if v.seq != i {
+			t.Fatalf("item %d has seq %d, want %d", i, v.seq, i)
+		}
+	}
+	s := q.Stats()
+	if s.Pushed != 100 || s.HighWater != 100 || s.Depth != 0 {
+		t.Errorf("stats = %+v, want pushed=100 highwater=100 depth=0", s)
+	}
+}
+
+func TestQueuePushBurstFIFO(t *testing.T) {
+	q := NewQueue[item](Options{}, isControl)
+	if err := q.PushBurst(50, func(i int) item { return item{seq: i} }); err != nil {
+		t.Fatal(err)
+	}
+	got := drainAll(t, q)
+	for i, v := range got {
+		if v.seq != i {
+			t.Fatalf("item %d has seq %d, want %d", i, v.seq, i)
+		}
+	}
+}
+
+func TestQueueMaxDrain(t *testing.T) {
+	q := NewQueue[item](Options{MaxDrain: 3}, isControl)
+	for i := 0; i < 8; i++ {
+		_ = q.Push(item{seq: i})
+	}
+	batch, ok := q.PopBatch()
+	if !ok || len(batch) != 3 {
+		t.Fatalf("first drain = %d items (ok=%v), want 3", len(batch), ok)
+	}
+	// A recycled split batch must not be able to append into the live
+	// remainder (3-index slice).
+	if cap(batch) != 3 {
+		t.Errorf("split batch cap = %d, want 3", cap(batch))
+	}
+	rest := drainAll(t, q)
+	if len(rest) != 5 {
+		t.Fatalf("remainder = %d items, want 5", len(rest))
+	}
+	if rest[0].seq != 3 || rest[4].seq != 7 {
+		t.Errorf("remainder out of order: %+v", rest)
+	}
+}
+
+func TestQueueShedNewest(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 3, Policy: ShedNewest}, isControl)
+	var shed int
+	for i := 0; i < 6; i++ {
+		if err := q.Push(item{seq: i}); err == ErrShed {
+			shed++
+		}
+	}
+	if shed != 3 {
+		t.Fatalf("shed %d pushes, want 3", shed)
+	}
+	got := drainAll(t, q)
+	if len(got) != 3 {
+		t.Fatalf("kept %d items, want 3", len(got))
+	}
+	for i, v := range got {
+		if v.seq != i { // tail drop keeps the oldest
+			t.Errorf("item %d has seq %d, want %d", i, v.seq, i)
+		}
+	}
+	s := q.Stats()
+	if s.ShedNewest != 3 || s.DroppedOldest != 0 || s.HighWater != 3 {
+		t.Errorf("stats = %+v, want shed=3 dropped=0 highwater=3", s)
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 3, Policy: DropOldest}, isControl)
+	for i := 0; i < 6; i++ {
+		if err := q.Push(item{seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainAll(t, q)
+	if len(got) != 3 {
+		t.Fatalf("kept %d items, want 3", len(got))
+	}
+	for i, v := range got {
+		if v.seq != i+3 { // head drop keeps the freshest
+			t.Errorf("item %d has seq %d, want %d", i, v.seq, i+3)
+		}
+	}
+	if s := q.Stats(); s.DroppedOldest != 3 || s.HighWater != 3 {
+		t.Errorf("stats = %+v, want droppedOldest=3 highwater=3", s)
+	}
+}
+
+// TestQueueDropOldestSkipsControl fills a queue so that control items sit
+// at the head: eviction must hop over them and drop the oldest *data*
+// item, preserving overall FIFO order of the survivors.
+func TestQueueDropOldestSkipsControl(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 4, Policy: DropOldest}, isControl)
+	_ = q.Push(item{seq: 0, control: true})
+	_ = q.Push(item{seq: 1, control: true})
+	_ = q.Push(item{seq: 2})
+	_ = q.Push(item{seq: 3})
+	_ = q.Push(item{seq: 4}) // evicts seq 2, not the control head
+	got := drainAll(t, q)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("kept %d items, want %d (%+v)", len(got), len(want), got)
+	}
+	for i, v := range got {
+		if v.seq != want[i] {
+			t.Errorf("item %d has seq %d, want %d", i, v.seq, want[i])
+		}
+	}
+	if !got[0].control || !got[1].control {
+		t.Error("control items were evicted")
+	}
+}
+
+// TestQueueDropOldestAllControl: with nothing evictable the newcomer is
+// admitted over capacity rather than lost.
+func TestQueueDropOldestAllControl(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 2, Policy: DropOldest}, isControl)
+	_ = q.Push(item{seq: 0, control: true})
+	_ = q.Push(item{seq: 1, control: true})
+	if err := q.Push(item{seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(t, q); len(got) != 3 {
+		t.Fatalf("kept %d items, want 3", len(got))
+	}
+}
+
+func TestQueueControlNeverShed(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 2, Policy: ShedNewest}, isControl)
+	_ = q.Push(item{seq: 0})
+	_ = q.Push(item{seq: 1})
+	if err := q.Push(item{seq: 2, control: true}); err != nil {
+		t.Fatalf("control push over capacity failed: %v", err)
+	}
+	got := drainAll(t, q)
+	if len(got) != 3 || !got[2].control {
+		t.Fatalf("control item missing: %+v", got)
+	}
+	if s := q.Stats(); s.ControlOverflow != 1 || s.HighWater != 3 {
+		t.Errorf("stats = %+v, want controlOverflow=1 highwater=3", s)
+	}
+}
+
+// TestQueueControlNeverBlocks: a control push into a full Block queue
+// must complete immediately (exec closures and routing updates cannot
+// afford to wait behind notification credit).
+func TestQueueControlNeverBlocks(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 1, Policy: Block}, isControl)
+	_ = q.Push(item{seq: 0})
+	done := make(chan struct{})
+	go func() {
+		_ = q.Push(item{seq: 1, control: true})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("control push blocked on a full queue")
+	}
+}
+
+// TestQueueBlockWatermark checks the credit cycle: a full queue stalls the
+// producer, and the stall resolves only after the consumer drains to the
+// low-water mark. Everything arrives, in order, with depth bounded.
+func TestQueueBlockWatermark(t *testing.T) {
+	const capacity, total = 4, 100
+	q := NewQueue[item](Options{Capacity: capacity, Policy: Block, LowWater: 2}, isControl)
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := q.Push(item{seq: i}); err != nil {
+				return
+			}
+		}
+		q.Close()
+	}()
+	var got []item
+	for {
+		batch, ok := q.PopBatch()
+		if !ok {
+			break
+		}
+		got = append(got, batch...)
+		q.Recycle(batch)
+	}
+	if len(got) != total {
+		t.Fatalf("received %d items, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v.seq != i {
+			t.Fatalf("item %d has seq %d, want %d", i, v.seq, i)
+		}
+	}
+	s := q.Stats()
+	if s.HighWater > capacity {
+		t.Errorf("high water %d exceeds capacity %d", s.HighWater, capacity)
+	}
+	if s.CreditStalls == 0 {
+		t.Error("expected credit stalls with a slow consumer")
+	}
+	if s.DroppedOldest != 0 || s.ShedNewest != 0 {
+		t.Errorf("Block policy lost items: %+v", s)
+	}
+}
+
+// TestQueueBlockConcurrentProducers: several producers through a small
+// Block window; per-producer FIFO must survive the stalls and every item
+// must arrive exactly once.
+func TestQueueBlockConcurrentProducers(t *testing.T) {
+	const producers, each = 4, 200
+	q := NewQueue[item](Options{Capacity: 8, Policy: Block}, isControl)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := q.Push(item{producer: p, seq: i}); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	next := make([]int, producers)
+	total := 0
+	for {
+		batch, ok := q.PopBatch()
+		if !ok {
+			break
+		}
+		for _, v := range batch {
+			if v.seq != next[v.producer] {
+				t.Fatalf("producer %d: got seq %d, want %d", v.producer, v.seq, next[v.producer])
+			}
+			next[v.producer]++
+			total++
+		}
+		q.Recycle(batch)
+	}
+	if total != producers*each {
+		t.Fatalf("received %d items, want %d", total, producers*each)
+	}
+	if s := q.Stats(); s.HighWater > 8 {
+		t.Errorf("high water %d exceeds capacity 8", s.HighWater)
+	}
+}
+
+func TestQueueCloseUnblocksProducer(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 1, Policy: Block}, isControl)
+	_ = q.Push(item{seq: 0})
+	errCh := make(chan error, 1)
+	go func() { errCh <- q.Push(item{seq: 1}) }()
+	time.Sleep(10 * time.Millisecond) // let the producer reach the stall
+	q.Close()
+	select {
+	case err := <-errCh:
+		if err != ErrClosed {
+			t.Errorf("stalled push returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the stalled producer")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[item](Options{}, isControl)
+	_ = q.Push(item{seq: 0})
+	_ = q.Push(item{seq: 1})
+	q.Close()
+	if err := q.Push(item{seq: 2}); err != ErrClosed {
+		t.Errorf("push after close = %v, want ErrClosed", err)
+	}
+	batch, ok := q.PopBatch()
+	if !ok || len(batch) != 2 {
+		t.Fatalf("drain after close = %d items (ok=%v), want 2", len(batch), ok)
+	}
+	if _, ok := q.PopBatch(); ok {
+		t.Error("drained queue still reports items after close")
+	}
+}
+
+func TestQueueRecycleReuse(t *testing.T) {
+	q := NewQueue[item](Options{}, isControl)
+	for i := 0; i < 16; i++ {
+		_ = q.Push(item{seq: i})
+	}
+	batch, _ := q.PopBatch()
+	c := cap(batch)
+	q.Recycle(batch)
+	for _, v := range batch[:cap(batch)][:len(batch)] {
+		if v != (item{}) {
+			t.Fatal("recycle left stale items in the kept array")
+		}
+	}
+	_ = q.Push(item{seq: 99})
+	batch2, _ := q.PopBatch()
+	if cap(batch2) != c {
+		t.Errorf("recycled array not reused: cap %d, want %d", cap(batch2), c)
+	}
+}
+
+func TestQueueRecycleCap(t *testing.T) {
+	q := NewQueue[item](Options{}, isControl)
+	big := make([]item, MaxRecycledCap+1)
+	q.Recycle(big)
+	_ = q.Push(item{seq: 0})
+	batch, _ := q.PopBatch()
+	if cap(batch) > MaxRecycledCap {
+		t.Errorf("oversized array was retained (cap %d)", cap(batch))
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{Block, DropOldest, ShedNewest} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := ParsePolicy(" Drop-Oldest "); err != nil || got != DropOldest {
+		t.Errorf("ParsePolicy is not case/space tolerant: %v, %v", got, err)
+	}
+	_, err := ParsePolicy("bogus")
+	if err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q should list %q", err, name)
+		}
+	}
+}
+
+// TestDropOldestSustainedEviction runs a DropOldest queue far past the
+// compaction threshold with the consumer absent: a long eviction run must
+// keep FIFO order, keep early control alive, and leave exactly the last
+// data items — exercising compactLocked, which stops the backing array
+// from growing linearly when evictions advance head without any pops.
+func TestDropOldestSustainedEviction(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 4, Policy: DropOldest}, isControl)
+	if err := q.Push(item{seq: -1, control: true}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if err := q.Push(item{seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainAll(t, q)
+	want := []item{{seq: -1, control: true}, {seq: n - 3}, {seq: n - 2}, {seq: n - 1}}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d items %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if s := q.Stats(); s.DroppedOldest != n-3 {
+		t.Fatalf("DroppedOldest = %d, want %d", s.DroppedOldest, n-3)
+	}
+}

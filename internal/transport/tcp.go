@@ -1,14 +1,15 @@
 package transport
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/flow"
 	"repro/internal/wire"
 )
 
@@ -17,62 +18,113 @@ import (
 // exchanges broker identities so each side knows which Hop its inbound
 // messages belong to.
 //
-// Writes go through a buffered writer flushed at message or batch
-// boundaries: a single Send costs one syscall instead of two (header +
-// payload), and SendBatch writes a whole burst with one flush.
+// Sends do not write the socket directly: they encode (or reuse a cached
+// frame) and enqueue onto a bounded frame ring — a flow.Queue — drained
+// by a writer goroutine that flushes each drained batch with one vectored
+// write (net.Buffers/writev), so a burst of N frames costs one syscall
+// and a slow socket never stalls the sender's run loop until the ring's
+// policy says so. The default ring Blocks at DefaultSendWindow frames,
+// preserving the old blocking-write backpressure while decoupling
+// syscalls from Send; WithSendWindow overrides capacity and policy.
+// Control frames (everything but publishes) bypass the policy, so
+// routing and relocation traffic is never shed by an overloaded ring.
 type TCPLink struct {
 	conn    net.Conn
 	peerHop wire.Hop
+	ring    *flow.Queue[tcpFrame]
 
-	writeMu sync.Mutex
-	w       *bufio.Writer // guarded by writeMu
-	enc     *[]byte       // pooled encode scratch for non-preencoded messages; guarded by writeMu
-	closeMu sync.Mutex
-	closed  bool
-	done    chan struct{}
+	mu        sync.Mutex
+	flushCond *sync.Cond // pending reaching 0, or a write error, or close
+	pending   int        // frames accepted but not yet written (or discarded)
+	werr      error      // first write error; poisons subsequent Sends
+	closed    bool
+
+	writerDone chan struct{}
+	done       chan struct{}
 }
 
 var _ Link = (*TCPLink)(nil)
 var _ BatchSender = (*TCPLink)(nil)
 var _ Flusher = (*TCPLink)(nil)
 var _ FrameEncoder = (*TCPLink)(nil)
+var _ flow.Reporter = (*TCPLink)(nil)
+
+// tcpFrame is one queued wire frame: the length prefix, the payload, and
+// the pooled encode buffer to return once the frame is written (nil for
+// cached frames, which are shared and immutable).
+type tcpFrame struct {
+	hdr     [4]byte
+	payload []byte
+	pooled  *[]byte
+	data    bool // droppable class (publish)
+}
+
+func frameIsControl(f tcpFrame) bool { return !f.data }
 
 const maxFrameSize = 16 << 20 // 16 MiB; far above any legitimate message
+
+// DefaultSendWindow is the default frame-ring capacity: deep enough that
+// batched fan-outs never stall on a healthy socket, small enough that a
+// dead peer pins a bounded number of frames.
+const DefaultSendWindow = 1024
 
 // clientHandshakePrefix marks a handshake identity as a client rather
 // than a broker, so the accepting side attaches the peer as a client.
 const clientHandshakePrefix = "client/"
 
+// TCPOption configures a TCPLink.
+type TCPOption func(*tcpConfig)
+
+type tcpConfig struct {
+	ring    flow.Options
+	ringSet bool
+}
+
+// WithSendWindow overrides the frame ring's capacity and overload policy
+// (Capacity 0 = unbounded; MaxDrain is ignored). The default is
+// {Capacity: DefaultSendWindow, Policy: Block}.
+func WithSendWindow(o flow.Options) TCPOption {
+	return func(c *tcpConfig) {
+		c.ring = o
+		c.ringSet = true
+	}
+}
+
 // DialTCP connects to a peer broker, performs the identity handshake, and
 // starts a reader goroutine delivering inbound messages to recv tagged
 // with the peer's identity.
-func DialTCP(addr string, self wire.BrokerID, recv Receiver) (*TCPLink, error) {
+func DialTCP(addr string, self wire.BrokerID, recv Receiver, opts ...TCPOption) (*TCPLink, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPLink(conn, string(self), recv)
+	return newTCPLink(conn, string(self), recv, opts)
 }
 
 // DialTCPClient connects a *client* to a broker over TCP: the handshake
 // identifies the peer as a client so the broker attaches it instead of
 // linking it into the overlay.
-func DialTCPClient(addr string, self wire.ClientID, recv Receiver) (*TCPLink, error) {
+func DialTCPClient(addr string, self wire.ClientID, recv Receiver, opts ...TCPOption) (*TCPLink, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPLink(conn, clientHandshakePrefix+string(self), recv)
+	return newTCPLink(conn, clientHandshakePrefix+string(self), recv, opts)
 }
 
 // AcceptTCP wraps an accepted connection, performs the handshake, and
 // starts the reader goroutine. Use Peer().IsClient() to tell whether the
 // remote end is a client or a broker.
-func AcceptTCP(conn net.Conn, self wire.BrokerID, recv Receiver) (*TCPLink, error) {
-	return newTCPLink(conn, string(self), recv)
+func AcceptTCP(conn net.Conn, self wire.BrokerID, recv Receiver, opts ...TCPOption) (*TCPLink, error) {
+	return newTCPLink(conn, string(self), recv, opts)
 }
 
-func newTCPLink(conn net.Conn, self string, recv Receiver) (*TCPLink, error) {
+func newTCPLink(conn net.Conn, self string, recv Receiver, opts []TCPOption) (*TCPLink, error) {
+	cfg := tcpConfig{ring: flow.Options{Capacity: DefaultSendWindow, Policy: flow.Block}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.ring.MaxDrain = 0 // the writer always drains wholesale
 	if err := writeFrame(conn, []byte(self)); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("transport: handshake send: %w", err)
@@ -87,11 +139,14 @@ func newTCPLink(conn net.Conn, self string, recv Receiver) (*TCPLink, error) {
 		hop = wire.ClientHop(wire.ClientID(rest))
 	}
 	l := &TCPLink{
-		conn:    conn,
-		peerHop: hop,
-		w:       bufio.NewWriter(conn),
-		done:    make(chan struct{}),
+		conn:       conn,
+		peerHop:    hop,
+		ring:       flow.NewQueue[tcpFrame](cfg.ring, frameIsControl),
+		writerDone: make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+	l.flushCond = sync.NewCond(&l.mu)
+	go l.writeLoop()
 	go l.readLoop(recv)
 	return l, nil
 }
@@ -99,99 +154,209 @@ func newTCPLink(conn net.Conn, self string, recv Receiver) (*TCPLink, error) {
 // Peer returns the remote broker's identity as learned in the handshake.
 func (l *TCPLink) Peer() wire.Hop { return l.peerHop }
 
-// Send implements Link. Frames are written under a mutex, preserving FIFO
-// order across concurrent senders, and flushed immediately.
+// Send implements Link: encode (or reuse the cached frame) and enqueue
+// for the writer goroutine. A full Block ring stalls here — the old
+// blocking-write backpressure, now at the ring instead of the socket.
 func (l *TCPLink) Send(m wire.Message) error {
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	if err := l.writeMsgLocked(m); err != nil {
-		return err
-	}
-	return l.flushLocked()
+	return l.enqueue(m)
 }
 
-// SendBatch implements BatchSender: the burst is buffered in full and
-// flushed once, replacing a syscall per message with one per batch.
+// SendBatch implements BatchSender. Frames are enqueued one by one — the
+// writer drains whatever has accumulated into a single vectored write, so
+// batching happens at the syscall boundary regardless. FIFO holds per
+// sending goroutine; concurrent senders' bursts may interleave, as their
+// Sends always could.
 func (l *TCPLink) SendBatch(ms []wire.Message) error {
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	for _, m := range ms {
-		if err := l.writeMsgLocked(m); err != nil {
+	for i := range ms {
+		if err := l.enqueue(ms[i]); err != nil {
 			return err
 		}
 	}
-	return l.flushLocked()
+	return nil
 }
 
-// Flush implements Flusher.
-func (l *TCPLink) Flush() error {
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	l.closeMu.Lock()
-	closed := l.closed
-	l.closeMu.Unlock()
-	if closed {
+func (l *TCPLink) enqueue(m wire.Message) error {
+	l.mu.Lock()
+	if l.closed || l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		if err == nil {
+			err = ErrLinkClosed
+		}
+		return err
+	}
+	// Reserve the flush slot before pushing so a concurrent Flush cannot
+	// observe pending == 0 between our push and its accounting.
+	l.pending++
+	l.mu.Unlock()
+
+	fr := tcpFrame{data: m.Type.Droppable()}
+	fr.payload = m.Frame
+	if fr.payload == nil {
+		buf := wire.GetEncodeBuf()
+		f, err := wire.AppendEncode((*buf)[:0], m)
+		if err != nil {
+			wire.PutEncodeBuf(buf)
+			l.unreserve()
+			return fmt.Errorf("transport: encode: %w", err)
+		}
+		*buf = f
+		fr.payload = f
+		fr.pooled = buf
+	}
+	binary.BigEndian.PutUint32(fr.hdr[:], uint32(len(fr.payload)))
+
+	switch err := l.ring.Push(fr); err {
+	case nil:
+		return nil
+	case flow.ErrShed:
+		// The ring's policy consumed the frame; the Send succeeded and
+		// the drop is accounted in FlowStats.
+		if fr.pooled != nil {
+			wire.PutEncodeBuf(fr.pooled)
+		}
+		l.unreserve()
+		return nil
+	default: // flow.ErrClosed
+		if fr.pooled != nil {
+			wire.PutEncodeBuf(fr.pooled)
+		}
+		l.unreserve()
+		l.mu.Lock()
+		werr := l.werr
+		l.mu.Unlock()
+		if werr != nil {
+			return werr
+		}
 		return ErrLinkClosed
 	}
-	return l.flushLocked()
 }
+
+// unreserve gives back a flush slot for a frame that never reached the
+// ring (encode failure, shed, closed ring).
+func (l *TCPLink) unreserve() {
+	l.mu.Lock()
+	l.pending--
+	if l.pending == 0 {
+		l.flushCond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// Flush implements Flusher: it blocks until every frame accepted before
+// the call is on the wire (or discarded by Close), returning the write
+// error that stopped the writer, if any.
+func (l *TCPLink) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.pending > 0 && !l.closed && l.werr == nil {
+		l.flushCond.Wait()
+	}
+	if l.werr != nil {
+		return l.werr
+	}
+	if l.closed {
+		return ErrLinkClosed
+	}
+	return nil
+}
+
+// FlowStats implements flow.Reporter: the frame ring's counters, for
+// slow-consumer detection (a peer that stops reading shows up as ring
+// depth, credit stalls, or drops here).
+func (l *TCPLink) FlowStats() flow.Stats { return l.ring.Stats() }
 
 // EncodesFrames implements FrameEncoder: senders that pre-encode fan-out
 // messages (wire.Preencode) save this link a per-hop serialization.
 func (l *TCPLink) EncodesFrames() {}
 
-// writeMsgLocked buffers one message. Callers hold writeMu. Messages that
-// carry a cached frame (pre-encoded fan-outs, decoded transit publishes)
-// are written as-is; everything else is serialized into the link's pooled
-// scratch buffer, which bufio copies, so the scratch is reused across the
-// batch and handed back to the pool at flush.
-func (l *TCPLink) writeMsgLocked(m wire.Message) error {
-	l.closeMu.Lock()
-	closed := l.closed
-	l.closeMu.Unlock()
-	if closed {
-		return ErrLinkClosed
-	}
-	frame := m.Frame
-	if frame == nil {
-		if l.enc == nil {
-			l.enc = wire.GetEncodeBuf()
+// writeLoop drains the frame ring and writes each drained batch with one
+// vectored write: N frames become one writev of 2N iovecs instead of N
+// buffered writes plus a flush. Pooled encode buffers are returned after
+// the write; a write error poisons the link (subsequent Sends fail) and
+// the rest of the ring is discarded.
+func (l *TCPLink) writeLoop() {
+	defer close(l.writerDone)
+	var scratch net.Buffers
+	for {
+		batch, ok := l.ring.PopBatch()
+		if !ok {
+			return
 		}
-		f, err := wire.AppendEncode((*l.enc)[:0], m)
+		bufs := scratch[:0]
+		for i := range batch {
+			bufs = append(bufs, batch[i].hdr[:], batch[i].payload)
+		}
+		scratch = bufs // WriteTo consumes bufs; keep the backing array
+		_, err := bufs.WriteTo(l.conn)
+		l.releaseBatch(batch, err)
 		if err != nil {
-			return fmt.Errorf("transport: encode: %w", err)
+			// The stream may be torn mid-frame; no point keeping the
+			// connection half-alive. Closing it unblocks the reader and
+			// makes the failure visible to the peer.
+			_ = l.conn.Close()
+			l.ring.Close()
+			l.discardRing()
+			return
 		}
-		*l.enc = f
-		frame = f
 	}
-	if err := writeFrame(l.w, frame); err != nil {
-		return fmt.Errorf("transport: send: %w", err)
-	}
-	return nil
 }
 
-func (l *TCPLink) flushLocked() error {
-	if l.enc != nil {
-		// Batch boundary: return the encode scratch. PutEncodeBuf drops
-		// oversized buffers, mirroring the mailbox's recycle policy.
-		wire.PutEncodeBuf(l.enc)
-		l.enc = nil
+// releaseBatch returns pooled buffers, recycles the ring array, credits
+// the flush accounting, and records the first write error.
+func (l *TCPLink) releaseBatch(batch []tcpFrame, err error) {
+	for i := range batch {
+		if batch[i].pooled != nil {
+			wire.PutEncodeBuf(batch[i].pooled)
+		}
 	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("transport: flush: %w", err)
+	n := len(batch)
+	l.ring.Recycle(batch)
+	l.mu.Lock()
+	l.pending -= n
+	if err != nil && l.werr == nil {
+		l.werr = fmt.Errorf("transport: write: %w", err)
 	}
-	return nil
+	l.flushCond.Broadcast()
+	l.mu.Unlock()
 }
 
-// Close implements Link and waits for the reader goroutine to exit.
+// discardRing drains whatever is left after a write error, returning
+// pooled buffers and releasing Flush waiters. The frames are lost — the
+// connection is already torn, there is no wire to reach.
+func (l *TCPLink) discardRing() {
+	for {
+		batch, ok := l.ring.PopBatch()
+		if !ok {
+			return
+		}
+		l.releaseBatch(batch, nil)
+	}
+}
+
+// closeDrainTimeout bounds how long Close waits for the writer to put
+// already-accepted frames on the wire before tearing the socket down.
+const closeDrainTimeout = 5 * time.Second
+
+// Close implements Link: it stops accepting frames, lets the writer
+// drain what was already accepted (an accepted Send reaches the wire
+// unless the connection fails — the pre-ring Send wrote synchronously,
+// and callers rely on send-then-Close being durable), then closes the
+// connection and waits for the reader to exit. A peer that has stopped
+// reading cannot wedge teardown: the write deadline fails the drain and
+// the remaining frames are discarded.
 func (l *TCPLink) Close() error {
-	l.closeMu.Lock()
+	l.mu.Lock()
 	if l.closed {
-		l.closeMu.Unlock()
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
-	l.closeMu.Unlock()
+	l.flushCond.Broadcast()
+	l.mu.Unlock()
+	l.ring.Close()
+	_ = l.conn.SetWriteDeadline(time.Now().Add(closeDrainTimeout))
+	<-l.writerDone
 	err := l.conn.Close()
 	<-l.done
 	return err

@@ -7,8 +7,10 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
@@ -38,7 +40,10 @@ var _ Receiver = ReceiverFunc(nil)
 // client-to-broker connection.
 type Link interface {
 	// Send transmits a message to the peer, preserving FIFO order with
-	// respect to prior Sends on this link.
+	// respect to prior Sends on this link. A Send consumed by the link's
+	// overload policy (send-window shedding) still returns nil: the
+	// message was accepted and disposed of, and the loss is accounted in
+	// the link's flow stats.
 	Send(m wire.Message) error
 	// Close tears the link down; subsequent Sends fail.
 	Close() error
@@ -52,10 +57,9 @@ type BatchSender interface {
 	SendBatch(ms []wire.Message) error
 }
 
-// Flusher is an optional Link capability for transports that buffer writes
-// (TCP): Flush pushes everything buffered onto the wire. Send and
-// SendBatch flush implicitly, so Flush is a safety net for callers that
-// bypass them.
+// Flusher is an optional Link capability for transports that buffer or
+// queue writes (TCP): Flush blocks until everything accepted so far is on
+// the wire, or returns the write error that stopped it.
 type Flusher interface {
 	Flush() error
 }
@@ -79,21 +83,25 @@ type BatchReceiver interface {
 var ErrLinkClosed = errors.New("transport: link closed")
 
 // ChanLink is an in-process link endpoint. Messages are handed to the
-// remote receiver either synchronously (zero latency) or through a delay
-// line that models link latency while preserving FIFO order.
+// remote receiver either synchronously (no latency, no window) or through
+// a pump: a flow-controlled queue drained by one goroutine that models
+// link latency and — when a send window is configured — bounds how far a
+// slow receiver can fall behind before the window's overload policy
+// engages. Control messages (everything but publishes) are exempt from
+// the window, so routing and relocation traffic is never shed.
 //
 // Close semantics: once Close returns, no further synchronous delivery
 // begins — Close waits for in-flight Sends to finish handing off, so a
 // racing Send either completes before Close returns or fails with
-// ErrLinkClosed. Messages already inside the delay line still drain (the
-// link models error-free FIFO delivery; bytes on the wire arrive). Close
-// must not be called from the delivery path of its own link.
+// ErrLinkClosed. Messages already inside the pump still drain (the link
+// models error-free FIFO delivery; bytes on the wire arrive). Close must
+// not be called from the delivery path of its own link.
 type ChanLink struct {
-	localHop  wire.Hop // how the remote side sees us
-	remote    Receiver
-	latency   time.Duration
-	counter   *metrics.Counter
-	delayLine *delayLine
+	localHop wire.Hop // how the remote side sees us
+	remote   Receiver
+	latency  time.Duration
+	counter  *metrics.Counter
+	pump     *linkPump
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals inflight reaching zero after close
@@ -103,6 +111,7 @@ type ChanLink struct {
 
 var _ Link = (*ChanLink)(nil)
 var _ BatchSender = (*ChanLink)(nil)
+var _ flow.Reporter = (*ChanLink)(nil)
 
 // PipeOption configures a Pipe.
 type PipeOption func(*pipeConfig)
@@ -111,6 +120,7 @@ type pipeConfig struct {
 	latencyAB time.Duration
 	latencyBA time.Duration
 	counter   *metrics.Counter
+	window    *flow.Options
 }
 
 // WithLatency sets a symmetric one-way latency for both directions.
@@ -135,6 +145,15 @@ func WithCounter(cnt *metrics.Counter) PipeOption {
 	return func(c *pipeConfig) { c.counter = cnt }
 }
 
+// WithWindow gives both directions of the pipe a bounded send window with
+// the given capacity and overload policy: a sender gets at most Capacity
+// notifications of headroom before the policy engages (Block stalls the
+// sender, DropOldest/ShedNewest shed). Deliveries decouple from Send onto
+// the pump goroutine, like a latency pipe's. MaxDrain is ignored.
+func WithWindow(o flow.Options) PipeOption {
+	return func(c *pipeConfig) { c.window = &o }
+}
+
 // Pipe connects two receivers with a pair of link endpoints. aHop is the
 // identity under which A's messages arrive at B, and vice versa.
 func Pipe(aHop, bHop wire.Hop, a, b Receiver, opts ...PipeOption) (fromA, fromB *ChanLink) {
@@ -146,11 +165,13 @@ func Pipe(aHop, bHop wire.Hop, a, b Receiver, opts ...PipeOption) (fromA, fromB 
 	lb := &ChanLink{localHop: bHop, remote: a, latency: cfg.latencyBA, counter: cfg.counter}
 	la.cond = sync.NewCond(&la.mu)
 	lb.cond = sync.NewCond(&lb.mu)
-	if cfg.latencyAB > 0 {
-		la.delayLine = newDelayLine()
+	if cfg.latencyAB > 0 || cfg.window != nil {
+		la.pump = newLinkPump(cfg.window)
+		go la.pumpRun()
 	}
-	if cfg.latencyBA > 0 {
-		lb.delayLine = newDelayLine()
+	if cfg.latencyBA > 0 || cfg.window != nil {
+		lb.pump = newLinkPump(cfg.window)
+		go lb.pumpRun()
 	}
 	return la, lb
 }
@@ -187,18 +208,23 @@ func (l *ChanLink) Send(m wire.Message) error {
 	if l.counter != nil {
 		l.counter.Inc(categorize(m))
 	}
-	in := Inbound{From: l.localHop, Msg: m}
-	if l.delayLine == nil {
-		l.remote.Receive(in)
+	if l.pump == nil {
+		l.remote.Receive(Inbound{From: l.localHop, Msg: m})
 		return nil
 	}
-	l.delayLine.enqueue(time.Now().Add(l.latency), func() { l.remote.Receive(in) })
+	err := l.pump.q.Push(timedMsg{due: l.due(), burst: l.pump.nextBurst(), m: m})
+	if err == flow.ErrClosed {
+		return ErrLinkClosed
+	}
+	// flow.ErrShed means the window's policy consumed the message; the
+	// Send succeeded and the drop is visible in FlowStats.
 	return nil
 }
 
 // SendBatch implements BatchSender: the messages cross the link as one
-// FIFO burst — a single receiver handoff at zero latency, a single delay
-// line entry otherwise.
+// FIFO burst — a single receiver handoff on the synchronous path, a
+// single pump enqueue otherwise. The window policy applies per message,
+// so control inside a burst survives shedding around it.
 func (l *ChanLink) SendBatch(ms []wire.Message) error {
 	if len(ms) == 0 {
 		return nil
@@ -212,16 +238,59 @@ func (l *ChanLink) SendBatch(ms []wire.Message) error {
 			l.counter.Inc(categorize(m))
 		}
 	}
-	if l.delayLine == nil {
+	if l.pump == nil {
 		deliverBurst(l.remote, l.localHop, ms)
 		return nil
 	}
-	// The caller may reuse ms once SendBatch returns; the delayed delivery
-	// needs its own copy.
-	cp := make([]wire.Message, len(ms))
-	copy(cp, ms)
-	l.delayLine.enqueue(time.Now().Add(l.latency), func() { deliverBurst(l.remote, l.localHop, cp) })
+	// The pump queue copies each message, so the caller is free to reuse
+	// ms once SendBatch returns.
+	due, burst := l.due(), l.pump.nextBurst()
+	err := l.pump.q.PushBurst(len(ms), func(i int) timedMsg {
+		return timedMsg{due: due, burst: burst, m: ms[i]}
+	})
+	if err == flow.ErrClosed {
+		return ErrLinkClosed
+	}
 	return nil
+}
+
+func (l *ChanLink) due() time.Time {
+	if l.latency <= 0 {
+		return time.Time{} // deliver as soon as the pump gets to it
+	}
+	return time.Now().Add(l.latency)
+}
+
+// FlowStats implements flow.Reporter: the send window's counters, or a
+// zero snapshot for a synchronous (pump-less) link.
+func (l *ChanLink) FlowStats() flow.Stats {
+	if l.pump == nil {
+		return flow.Stats{}
+	}
+	return l.pump.q.Stats()
+}
+
+// WaitIdle blocks until every message the link had accepted before the
+// call has been handed to the receiver (or evicted by the window
+// policy). Synchronous links deliver inside Send, so it returns
+// immediately. Meant for tests and graceful shutdown sequencing; it does
+// not stop new sends from arriving while it waits.
+func (l *ChanLink) WaitIdle() {
+	if l.pump == nil {
+		return
+	}
+	target := l.pump.q.Stats().Pushed
+	for {
+		s := l.pump.q.Stats()
+		if l.pump.delivered.Load()+s.DroppedOldest >= target {
+			return
+		}
+		select {
+		case <-l.pump.done:
+			return
+		case <-time.After(20 * time.Microsecond):
+		}
+	}
 }
 
 // deliverBurst hands a burst to the receiver, collapsing it into one
@@ -238,8 +307,9 @@ func deliverBurst(r Receiver, from wire.Hop, ms []wire.Message) {
 
 // Close implements Link. It waits for in-flight Sends to complete their
 // handoff, so no synchronous delivery begins after Close returns — every
-// Close call waits, so concurrent closers all get the guarantee
-// (delayLine.stop is likewise idempotent).
+// Close call waits, so concurrent closers all get the guarantee. Messages
+// already accepted by the pump still drain before its goroutine exits
+// (stopping it early would turn modeled latency into loss mid-test).
 func (l *ChanLink) Close() error {
 	l.mu.Lock()
 	l.closed = true
@@ -247,8 +317,9 @@ func (l *ChanLink) Close() error {
 		l.cond.Wait()
 	}
 	l.mu.Unlock()
-	if l.delayLine != nil {
-		l.delayLine.stop()
+	if l.pump != nil {
+		l.pump.q.Close()
+		<-l.pump.done
 	}
 	return nil
 }
@@ -266,68 +337,82 @@ func categorize(m wire.Message) metrics.Category {
 	}
 }
 
-// delayLine delivers enqueued actions in order after their due time,
-// modeling a FIFO link with latency. A single goroutine drains the queue;
-// stop terminates it after the queue empties or immediately when idle.
-type delayLine struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []delayed
-	stopped bool
-	done    chan struct{}
+// linkPump is the asynchronous delivery half of a ChanLink: a flow queue
+// of messages stamped with their due time, drained in order by one
+// goroutine. It subsumes the old delayLine (whose head-popping
+// `queue = queue[1:]` stranded the backing array head; the flow queue's
+// drain-batch swap reuses it) and adds the send window: with a bounded
+// queue, a receiver that stops consuming exerts backpressure — or sheds —
+// at this link instead of growing RAM without limit.
+type linkPump struct {
+	q        *flow.Queue[timedMsg]
+	done     chan struct{}
+	burstSeq atomic.Uint64
+
+	// delivered counts messages handed to the receiver, for WaitIdle:
+	// the pump is quiescent once delivered (plus window evictions)
+	// catches up with the queue's accepted-push count.
+	delivered atomic.Uint64
 }
 
-type delayed struct {
-	due time.Time
-	fn  func()
+// nextBurst stamps one Send or SendBatch: the pump delivers messages
+// sharing a stamp as one burst and never merges across stamps, so the
+// receiver sees the same burst boundaries the sender produced.
+func (p *linkPump) nextBurst() uint64 { return p.burstSeq.Add(1) }
+
+// timedMsg is one queued message with its delivery due time (zero: as
+// soon as the pump reaches it) and the burst it belongs to.
+type timedMsg struct {
+	due   time.Time
+	burst uint64
+	m     wire.Message
 }
 
-func newDelayLine() *delayLine {
-	d := &delayLine{done: make(chan struct{})}
-	d.cond = sync.NewCond(&d.mu)
-	go d.run()
-	return d
-}
+func timedIsControl(tm timedMsg) bool { return !tm.m.Type.Droppable() }
 
-func (d *delayLine) enqueue(due time.Time, fn func()) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.stopped {
-		return
+func newLinkPump(window *flow.Options) *linkPump {
+	var o flow.Options
+	if window != nil {
+		o = *window
+		o.MaxDrain = 0 // the pump always drains wholesale
 	}
-	d.queue = append(d.queue, delayed{due: due, fn: fn})
-	d.cond.Signal()
+	return &linkPump{
+		q:    flow.NewQueue[timedMsg](o, timedIsControl),
+		done: make(chan struct{}),
+	}
 }
 
-func (d *delayLine) run() {
-	defer close(d.done)
+// pumpRun drains the pump queue: it sleeps until the head message is due,
+// then delivers it together with the rest of its burst, preserving both
+// FIFO order and the sender's burst boundaries (a SendBatch arrives as
+// one ReceiveBurst, exactly as on the synchronous path).
+func (l *ChanLink) pumpRun() {
+	defer close(l.pump.done)
+	var burst []wire.Message
 	for {
-		d.mu.Lock()
-		for len(d.queue) == 0 && !d.stopped {
-			d.cond.Wait()
-		}
-		if d.stopped && len(d.queue) == 0 {
-			d.mu.Unlock()
+		batch, ok := l.pump.q.PopBatch()
+		if !ok {
 			return
 		}
-		item := d.queue[0]
-		d.queue = d.queue[1:]
-		d.mu.Unlock()
-
-		if wait := time.Until(item.due); wait > 0 {
-			time.Sleep(wait)
+		for i := 0; i < len(batch); {
+			if wait := time.Until(batch[i].due); wait > 0 {
+				time.Sleep(wait)
+			}
+			j := i + 1
+			for j < len(batch) && batch[j].burst == batch[i].burst {
+				j++
+			}
+			burst = burst[:0]
+			for k := i; k < j; k++ {
+				burst = append(burst, batch[k].m)
+			}
+			deliverBurst(l.remote, l.localHop, burst)
+			l.pump.delivered.Add(uint64(len(burst)))
+			i = j
 		}
-		item.fn()
+		l.pump.q.Recycle(batch)
+		if cap(burst) > flow.MaxRecycledCap {
+			burst = nil
+		}
 	}
-}
-
-// stop drains remaining items (delivering them without further delay would
-// break FIFO timing guarantees mid-test, so it lets the queue finish) and
-// terminates the goroutine.
-func (d *delayLine) stop() {
-	d.mu.Lock()
-	d.stopped = true
-	d.cond.Signal()
-	d.mu.Unlock()
-	<-d.done
 }

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/wire"
@@ -402,6 +404,51 @@ func TestTCPLinkSendBatch(t *testing.T) {
 	}
 }
 
+// TestTCPLinkSendThenCloseDurable: an accepted Send must reach the wire
+// even when the sender Closes immediately afterwards — the pattern of a
+// fire-and-forget producer (rebeca-client publishes then exits). Close
+// drains the ring before tearing the socket down.
+func TestTCPLinkSendThenCloseDurable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var serverSink sink
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = AcceptTCP(conn, "server", &serverSink)
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := cl.Send(pubMsg(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for serverSink.len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if serverSink.len() != n {
+		t.Fatalf("server got %d of %d frames sent before Close", serverSink.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := msgIndex(serverSink.at(i)); got != int64(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, got)
+		}
+	}
+}
+
 func TestTCPLinkCloseUnblocksReader(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -429,5 +476,344 @@ func TestTCPLinkCloseUnblocksReader(t *testing.T) {
 	}
 	if err := cl.Send(pubMsg(1)); err != ErrLinkClosed {
 		t.Errorf("send after close = %v", err)
+	}
+}
+
+// gatedSink blocks its first delivery until released, stalling the
+// link's pump goroutine the way a slow consumer would.
+type gatedSink struct {
+	sink
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGatedSink() *gatedSink {
+	return &gatedSink{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gatedSink) Receive(in Inbound) {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+	g.sink.Receive(in)
+}
+
+func waitSinkLen(t *testing.T, s interface{ len() int }, n int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for s.len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.len(); got != n {
+		t.Fatalf("received %d messages, want %d", got, n)
+	}
+}
+
+// TestPipeWindowShedNewest: with the consumer stalled, a full window
+// refuses newcomers (tail drop) and the survivors arrive in FIFO order.
+func TestPipeWindowShedNewest(t *testing.T) {
+	b := newGatedSink()
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, b,
+		WithWindow(flow.Options{Capacity: 2, Policy: flow.ShedNewest}))
+	defer la.Close()
+	if err := la.Send(pubMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started // the pump is now stalled inside delivery of msg 0
+	for i := int64(1); i <= 5; i++ {
+		if err := la.Send(pubMsg(i)); err != nil {
+			t.Fatalf("shed Send must still return nil, got %v", err)
+		}
+	}
+	close(b.release)
+	waitSinkLen(t, b, 3)
+	for i, want := range []int64{0, 1, 2} {
+		if got := msgIndex(b.at(i)); got != want {
+			t.Errorf("message %d = %d, want %d", i, got, want)
+		}
+	}
+	s := la.FlowStats()
+	if s.ShedNewest != 3 || s.HighWater > 2 {
+		t.Errorf("flow stats = %+v, want shedNewest=3 highWater<=2", s)
+	}
+}
+
+// TestPipeWindowDropOldest: head drop keeps the freshest window.
+func TestPipeWindowDropOldest(t *testing.T) {
+	b := newGatedSink()
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, b,
+		WithWindow(flow.Options{Capacity: 2, Policy: flow.DropOldest}))
+	defer la.Close()
+	if err := la.Send(pubMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	for i := int64(1); i <= 5; i++ {
+		if err := la.Send(pubMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(b.release)
+	waitSinkLen(t, b, 3)
+	for i, want := range []int64{0, 4, 5} {
+		if got := msgIndex(b.at(i)); got != want {
+			t.Errorf("message %d = %d, want %d", i, got, want)
+		}
+	}
+	if s := la.FlowStats(); s.DroppedOldest != 3 {
+		t.Errorf("flow stats = %+v, want droppedOldest=3", s)
+	}
+}
+
+// TestPipeWindowControlNeverShed: a control message (subscribe) crosses a
+// full window that is shedding notifications.
+func TestPipeWindowControlNeverShed(t *testing.T) {
+	b := newGatedSink()
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, b,
+		WithWindow(flow.Options{Capacity: 1, Policy: flow.ShedNewest}))
+	defer la.Close()
+	if err := la.Send(pubMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	_ = la.Send(pubMsg(1)) // fills the window
+	_ = la.Send(pubMsg(2)) // shed
+	if err := la.Send(wire.NewSubscribe(wire.Subscription{Client: "c", ID: "s"})); err != nil {
+		t.Fatal(err)
+	}
+	close(b.release)
+	waitSinkLen(t, b, 3)
+	if got := b.at(2).Msg.Type; got != wire.TypeSubscribe {
+		t.Errorf("last message = %v, want subscribe", got)
+	}
+	if s := la.FlowStats(); s.ControlOverflow != 1 || s.ShedNewest != 1 {
+		t.Errorf("flow stats = %+v, want controlOverflow=1 shedNewest=1", s)
+	}
+}
+
+// TestPipeWindowBlockBackpressure: a Block window stalls the sender
+// instead of dropping; everything arrives in order once the consumer
+// resumes, and the stall is visible in the flow stats.
+func TestPipeWindowBlockBackpressure(t *testing.T) {
+	const total = 9
+	b := newGatedSink()
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, b,
+		WithWindow(flow.Options{Capacity: 2, Policy: flow.Block}))
+	defer la.Close()
+	if err := la.Send(pubMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	go func() {
+		for i := int64(1); i < total; i++ {
+			if err := la.Send(pubMsg(i)); err != nil {
+				return
+			}
+		}
+	}()
+	// Wait until the sender goroutine is provably stalled on credit.
+	deadline := time.Now().Add(3 * time.Second)
+	for la.FlowStats().CreditStalls == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if la.FlowStats().CreditStalls == 0 {
+		t.Fatal("sender never stalled on a full Block window")
+	}
+	close(b.release)
+	waitSinkLen(t, b, total)
+	for i := 0; i < total; i++ {
+		if got := msgIndex(b.at(i)); got != int64(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, got)
+		}
+	}
+	s := la.FlowStats()
+	if s.HighWater > 2 || s.DroppedOldest != 0 || s.ShedNewest != 0 {
+		t.Errorf("flow stats = %+v, want lossless with highWater<=2", s)
+	}
+}
+
+// TestChanLinkFlowStatsWindowless: a plain pipe reports a zero snapshot.
+func TestChanLinkFlowStatsWindowless(t *testing.T) {
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, &sink{})
+	defer la.Close()
+	if s := la.FlowStats(); s != (flow.Stats{}) {
+		t.Errorf("windowless link reports %+v", s)
+	}
+}
+
+// TestTCPLinkFlushFailureMidBatch: the peer tears the connection down
+// while the client is streaming batches; the writer's vectored write
+// eventually fails, Flush surfaces the error, and the link stays
+// poisoned for later Sends.
+func TestTCPLinkFlushFailureMidBatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Hand-rolled handshake, then an immediate close: the client
+		// sees an established link whose peer dies mid-stream.
+		_, _ = readFrame(conn)
+		_ = writeFrame(conn, []byte("server"))
+		_ = conn.Close()
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	big := wire.NewPublish(message.New(map[string]message.Value{
+		"pad": message.String(strings.Repeat("x", 1<<16)),
+	}))
+	batch := []wire.Message{big, big, big, big, big, big, big, big}
+	var failure error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := cl.SendBatch(batch); err != nil {
+			failure = err
+			break
+		}
+		if err := cl.Flush(); err != nil {
+			failure = err
+			break
+		}
+	}
+	if failure == nil {
+		t.Fatal("no write failure surfaced after the peer closed")
+	}
+	if failure == ErrLinkClosed {
+		t.Fatalf("failure = ErrLinkClosed, want the underlying write error")
+	}
+	if err := cl.Send(pubMsg(1)); err == nil {
+		t.Error("Send after a write failure should report the poisoned link")
+	}
+}
+
+// TestTCPLinkCloseRacesSend mirrors the ChanLink close-race test for TCP:
+// senders race Close; afterwards Sends must fail, and each sender's
+// received messages must form a gapless FIFO prefix of what it sent
+// (frames discarded at Close are a suffix of the ring).
+func TestTCPLinkCloseRacesSend(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var serverSink sink
+		serverUp := make(chan *TCPLink, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			l, err := AcceptTCP(conn, "server", &serverSink)
+			if err != nil {
+				return
+			}
+			serverUp <- l
+		}()
+		cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv := <-serverUp
+
+		const senders = 3
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := int64(0); ; i++ {
+					if err := cl.Send(pubMsg(int64(s)*1_000_000 + i)); err != nil {
+						return
+					}
+				}
+			}(s)
+		}
+		time.Sleep(time.Duration(trial) * 500 * time.Microsecond)
+		if err := cl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Send(pubMsg(0)); err == nil {
+			t.Fatal("Send after Close returned nil")
+		}
+		wg.Wait()
+
+		// Wait for the server to finish reading the torn stream.
+		select {
+		case <-sv.Done():
+		case <-time.After(3 * time.Second):
+			t.Fatal("server reader did not observe the close")
+		}
+		next := make([]int64, senders)
+		for i := 0; i < serverSink.len(); i++ {
+			v := msgIndex(serverSink.at(i))
+			s, seq := v/1_000_000, v%1_000_000
+			if seq != next[s] {
+				t.Fatalf("trial %d: sender %d: received seq %d, want %d (reorder or gap)",
+					trial, s, seq, next[s])
+			}
+			next[s]++
+		}
+		_ = sv.Close()
+		_ = ln.Close()
+		serverSink.mu.Lock()
+		serverSink.got = nil
+		serverSink.mu.Unlock()
+	}
+}
+
+// TestTCPLinkSendWindowShed: with a peer that never reads, the socket and
+// then the bounded ring fill up, and a ShedNewest ring starts refusing
+// notifications instead of growing without limit.
+func TestTCPLinkSendWindowShed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stopRead := make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = readFrame(conn)
+		_ = writeFrame(conn, []byte("server"))
+		<-stopRead // never read frames; keep the connection open
+		_ = conn.Close()
+	}()
+	defer close(stopRead)
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{},
+		WithSendWindow(flow.Options{Capacity: 4, Policy: flow.ShedNewest}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	big := wire.NewPublish(message.New(map[string]message.Value{
+		"pad": message.String(strings.Repeat("x", 1<<18)),
+	}))
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.FlowStats().ShedNewest == 0 && time.Now().Before(deadline) {
+		if err := cl.Send(big); err != nil {
+			t.Fatalf("Send failed before the ring shed: %v", err)
+		}
+	}
+	s := cl.FlowStats()
+	if s.ShedNewest == 0 {
+		t.Fatal("ring never shed with an unread peer")
+	}
+	if s.HighWater > 4 {
+		t.Errorf("ring high water %d exceeds capacity 4", s.HighWater)
 	}
 }

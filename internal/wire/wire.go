@@ -129,6 +129,17 @@ func (t Type) IsAdmin() bool {
 	}
 }
 
+// Droppable reports whether a message of this type may be shed by an
+// overloaded bounded queue (flow policies DropOldest/ShedNewest). Only
+// publishes qualify: the system tolerates notification loss under
+// overload (it is explicit and accounted), but shedding routing updates
+// would desynchronize tables, shedding relocation traffic would break
+// the Section 4 handoff, and shedding deliveries would silently skip
+// sequence numbers at attached clients. Everything non-droppable is
+// control class for flow purposes: admitted even over capacity and never
+// stalled behind notification credit.
+func (t Type) Droppable() bool { return t == TypePublish }
+
 // Subscription describes a (possibly mobile, possibly location-dependent)
 // subscription as it propagates through the broker network.
 type Subscription struct {
