@@ -21,9 +21,12 @@ import (
 // overload behavior explicit instead: Block stalls link readers and
 // publishers at the mailbox (lossless backpressure, deadlock-free on
 // feed-forward flows), DropOldest/ShedNewest trade notification loss for
-// bounded memory. Control tasks — closures and every non-publish message
-// — are always admitted, whatever the policy: shedding them would
-// corrupt routing state, and blocking them would deadlock exec/Barrier.
+// bounded memory. Control tasks — closures and admin messages — are
+// always admitted, whatever the policy: shedding them would corrupt
+// routing state, and blocking them would deadlock exec/Barrier.
+// Deliveries (which a broker mailbox essentially never sees — they
+// terminate at clients) are lossless: never shed, but they stall the
+// pusher when the mailbox is full.
 type mailbox struct {
 	q *flow.Queue[task]
 }
@@ -36,10 +39,14 @@ type task struct {
 	fn func()
 }
 
-// taskIsControl classifies tasks for the flow queue: closures and all
-// non-droppable message types are control.
-func taskIsControl(t task) bool {
-	return t.fn != nil || !t.in.Msg.Type.Droppable()
+// taskClass classifies tasks for the flow queue: closures are control by
+// definition; messages take their wire admission class (publishes data,
+// deliveries lossless, the rest control).
+func taskClass(t task) flow.Class {
+	if t.fn != nil {
+		return flow.Control
+	}
+	return t.in.Msg.Type.FlowClass()
 }
 
 // newMailbox creates a mailbox. maxBatch caps how many tasks one popBatch
@@ -52,7 +59,7 @@ func newMailbox(maxBatch, capacity int, policy flow.Policy) *mailbox {
 		Capacity: capacity,
 		Policy:   policy,
 		MaxDrain: maxBatch,
-	}, taskIsControl)}
+	}, taskClass)}
 }
 
 // push enqueues a task. Pushing to a closed mailbox is a silent no-op

@@ -9,15 +9,19 @@
 // the producer with watermark hysteresis (credit-based flow control),
 // DropOldest evicts from the head, ShedNewest refuses the newcomer.
 //
-// Items are split into two classes by a caller-supplied classifier:
-// control items (routing updates, relocation traffic, closures, client
-// deliveries) are always admitted, even over capacity — shedding control
-// would corrupt routing state and break the relocation protocol's FIFO
-// argument, and blocking it could deadlock the control plane. Only data
-// items (notifications) are subject to the policy. The paper's system
-// model assumes error-free FIFO channels; a bounded queue keeps the FIFO
-// guarantee for everything it admits and makes the loss explicit and
-// accounted when a policy sheds.
+// Items are split into three classes by a caller-supplied classifier.
+// Control items (routing updates, relocation traffic, closures) are
+// always admitted, even over capacity — shedding control would corrupt
+// routing state and break the relocation protocol's FIFO argument, and
+// blocking it could deadlock the control plane. Lossless items (client
+// deliveries) are never dropped or shed — losing one would silently skip
+// a sequence number — but they do count against capacity and stall the
+// producer when the queue is full, whatever the policy, so a stalled
+// consumer pins bounded memory. Only data items (notifications) are
+// subject to the full policy. The paper's system model assumes
+// error-free FIFO channels; a bounded queue keeps the FIFO guarantee for
+// everything it admits and makes the loss explicit and accounted when a
+// policy sheds.
 package flow
 
 import (
@@ -80,6 +84,26 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("flow: unknown policy %q (valid: %s)", s, strings.Join(PolicyNames(), ", "))
 }
 
+// Class is the admission class of a queued item, assigned by the
+// queue's classifier.
+type Class uint8
+
+const (
+	// Data items are fully subject to the overload policy: Block stalls
+	// them, DropOldest may evict them, ShedNewest may refuse them.
+	Data Class = iota
+	// Lossless items are never dropped or shed, but they count against
+	// capacity and block the producer on a full queue under *every*
+	// policy (credit-stall accounting applies). Use for traffic whose
+	// loss would corrupt peer state silently — e.g. sequence-numbered
+	// client deliveries — while still bounding a stalled consumer.
+	Lossless
+	// Control items are admitted unconditionally, even over capacity
+	// (counted as ControlOverflow), and never evicted: the control plane
+	// must neither lose messages nor wait behind data credit.
+	Control
+)
+
 // Errors returned by Push.
 var (
 	// ErrShed reports that the ShedNewest policy refused the item; the
@@ -121,11 +145,13 @@ type Stats struct {
 	// Pushed counts items accepted into the queue (shed items are not
 	// pushed; evicted items were).
 	Pushed uint64
-	// CreditStalls counts Push calls that blocked waiting for credit
-	// (Block policy only).
+	// CreditStalls counts Push calls that blocked waiting for credit:
+	// data items under the Block policy, lossless items under every
+	// policy.
 	CreditStalls uint64
 	// DroppedOldest and ShedNewest count data items lost to the
-	// respective policies. Control items are never dropped or shed.
+	// respective policies. Control and lossless items are never dropped
+	// or shed.
 	DroppedOldest uint64
 	ShedNewest    uint64
 	// ControlOverflow counts control items admitted while the queue was
@@ -149,16 +175,17 @@ type Reporter interface {
 type Queue[T any] struct {
 	mu    sync.Mutex
 	rcond *sync.Cond // consumer waits for items
-	wcond *sync.Cond // Block producers wait for credit
+	wcond *sync.Cond // stalled producers wait for credit
 
-	opts   Options
-	isCtrl func(T) bool
-	track  bool // classify items (bounded queue with a classifier)
+	opts    Options
+	classOf func(T) Class
+	track   bool // classify items (bounded queue with a classifier)
+	onEvict func(T)
 
-	items []T    // pending items; items[head:] are live
-	ctrl  []bool // parallel class flags, maintained when track
-	head  int    // index of the first live item (advanced by DropOldest)
-	spare []T    // recycled backing array for the next items slice
+	items []T     // pending items; items[head:] are live
+	cls   []Class // parallel class tags, maintained when track
+	head  int     // index of the first live item (advanced by DropOldest)
+	spare []T     // recycled backing array for the next items slice
 
 	refill bool // Block: full queue seen, credit revoked until LowWater
 	closed bool
@@ -171,10 +198,10 @@ type Queue[T any] struct {
 	ctrlOverflow  uint64
 }
 
-// NewQueue creates a queue. isControl classifies items into the
-// always-admitted control class; nil means every item is data. The
-// classifier is consulted only when the queue is bounded.
-func NewQueue[T any](opts Options, isControl func(T) bool) *Queue[T] {
+// NewQueue creates a queue. classOf assigns each item its admission
+// class; nil means every item is Data. The classifier is consulted only
+// when the queue is bounded.
+func NewQueue[T any](opts Options, classOf func(T) Class) *Queue[T] {
 	if opts.Capacity > 0 {
 		if opts.LowWater <= 0 {
 			opts.LowWater = opts.Capacity / 2
@@ -184,29 +211,44 @@ func NewQueue[T any](opts Options, isControl func(T) bool) *Queue[T] {
 		}
 	}
 	q := &Queue[T]{
-		opts:   opts,
-		isCtrl: isControl,
-		track:  opts.Capacity > 0 && isControl != nil,
+		opts:    opts,
+		classOf: classOf,
+		track:   opts.Capacity > 0 && classOf != nil,
 	}
 	q.rcond = sync.NewCond(&q.mu)
 	q.wcond = sync.NewCond(&q.mu)
 	return q
 }
 
+// OnEvict registers fn, called once — with the queue's lock held — for
+// each data item the DropOldest policy evicts. It lets the owner
+// release per-item resources (pooled buffers, flush accounting) for
+// items that will never reach PopBatch. fn must be fast and must not
+// call back into the queue. Register before the first Push.
+func (q *Queue[T]) OnEvict(fn func(T)) {
+	q.mu.Lock()
+	q.onEvict = fn
+	q.mu.Unlock()
+}
+
 func (q *Queue[T]) depthLocked() int { return len(q.items) - q.head }
 
 // Push enqueues one item. Data items are subject to the capacity and
 // policy: Block may stall, DropOldest may evict an older data item,
-// ShedNewest may refuse with ErrShed. Control items are always admitted.
+// ShedNewest may refuse with ErrShed. Lossless items stall on a full
+// queue but are never dropped; control items are always admitted.
 // Returns ErrClosed after Close.
 func (q *Queue[T]) Push(v T) error {
-	ctrl := q.track && q.isCtrl(v)
+	cl := Data
+	if q.track {
+		cl = q.classOf(v)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if err := q.admitLocked(ctrl); err != nil {
+	if err := q.admitLocked(cl); err != nil {
 		return err
 	}
-	q.appendLocked(v, ctrl)
+	q.appendLocked(v, cl)
 	return nil
 }
 
@@ -224,22 +266,25 @@ func (q *Queue[T]) PushBurst(n int, at func(int) T) error {
 	defer q.mu.Unlock()
 	for i := 0; i < n; i++ {
 		v := at(i)
-		ctrl := q.track && q.isCtrl(v)
-		switch err := q.admitLocked(ctrl); err {
+		cl := Data
+		if q.track {
+			cl = q.classOf(v)
+		}
+		switch err := q.admitLocked(cl); err {
 		case nil:
 		case ErrShed:
 			continue
 		default:
 			return err
 		}
-		q.appendLocked(v, ctrl)
+		q.appendLocked(v, cl)
 	}
 	return nil
 }
 
 // admitLocked applies capacity and policy for one item; it may release
-// the lock while a Block producer waits for credit.
-func (q *Queue[T]) admitLocked(ctrl bool) error {
+// the lock while a stalled producer waits for credit.
+func (q *Queue[T]) admitLocked(cl Class) error {
 	if q.closed {
 		return ErrClosed
 	}
@@ -247,35 +292,23 @@ func (q *Queue[T]) admitLocked(ctrl bool) error {
 	if c == 0 {
 		return nil
 	}
-	if ctrl {
+	if cl == Control {
 		if q.depthLocked() >= c {
 			q.ctrlOverflow++
 		}
 		return nil
 	}
+	// Lossless items stall on a full queue under every policy: the drop
+	// policies must not touch them, so blocking is the only bounded
+	// admission left.
+	if cl == Lossless || q.opts.Policy == Block {
+		return q.waitCreditLocked()
+	}
 	switch q.opts.Policy {
-	case Block:
-		stalled := false
-		for !q.closed {
-			if !q.refill && q.depthLocked() < c {
-				break
-			}
-			if q.depthLocked() >= c {
-				q.refill = true
-			}
-			if !stalled {
-				stalled = true
-				q.creditStalls++
-			}
-			q.wcond.Wait()
-		}
-		if q.closed {
-			return ErrClosed
-		}
 	case DropOldest:
 		for q.depthLocked() >= c {
 			if !q.evictOldestLocked() {
-				break // nothing evictable: all queued items are control
+				break // nothing evictable: no data among the queued items
 			}
 			q.droppedOldest++
 		}
@@ -288,29 +321,57 @@ func (q *Queue[T]) admitLocked(ctrl bool) error {
 	return nil
 }
 
-// evictOldestLocked drops the oldest *data* item, skipping any control
-// prefix (control is never evicted). Reports false when the queue holds
-// no data at all.
+// waitCreditLocked stalls the producer until the queue drains to the
+// low-water mark (watermark hysteresis) or closes.
+func (q *Queue[T]) waitCreditLocked() error {
+	c := q.opts.Capacity
+	stalled := false
+	for !q.closed {
+		if !q.refill && q.depthLocked() < c {
+			break
+		}
+		if q.depthLocked() >= c {
+			q.refill = true
+		}
+		if !stalled {
+			stalled = true
+			q.creditStalls++
+		}
+		q.wcond.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// evictOldestLocked drops the oldest *data* item, skipping any
+// control/lossless prefix (neither is ever evicted). Reports false when
+// the queue holds no data at all.
 func (q *Queue[T]) evictOldestLocked() bool {
 	i := q.head
 	if q.track {
-		for i < len(q.items) && q.ctrl[i] {
+		for i < len(q.items) && q.cls[i] != Data {
 			i++
 		}
 		if i == len(q.items) {
 			return false
 		}
 	}
-	// Shift the (normally empty) control prefix one cell toward the
+	evicted := q.items[i]
+	// Shift the (normally empty) non-data prefix one cell toward the
 	// tail, overwriting the evicted data item; relative order within the
 	// prefix and against everything behind it is preserved.
 	if i > q.head {
 		copy(q.items[q.head+1:i+1], q.items[q.head:i])
-		copy(q.ctrl[q.head+1:i+1], q.ctrl[q.head:i])
+		copy(q.cls[q.head+1:i+1], q.cls[q.head:i])
 	}
 	var zero T
 	q.items[q.head] = zero // release the reference for the GC
 	q.head++
+	if q.onEvict != nil {
+		q.onEvict(evicted)
+	}
 	return true
 }
 
@@ -336,12 +397,12 @@ func (q *Queue[T]) compactLocked() {
 	}
 	q.items = append(dst[:0], live...)
 	if q.track {
-		q.ctrl = append(q.ctrl[:0:0], q.ctrl[q.head:]...)
+		q.cls = append(q.cls[:0:0], q.cls[q.head:]...)
 	}
 	q.head = 0
 }
 
-func (q *Queue[T]) appendLocked(v T, ctrl bool) {
+func (q *Queue[T]) appendLocked(v T, cl Class) {
 	if q.items == nil {
 		q.items, q.spare = q.spare, nil
 		q.head = 0
@@ -351,7 +412,7 @@ func (q *Queue[T]) appendLocked(v T, ctrl bool) {
 	}
 	q.items = append(q.items, v)
 	if q.track {
-		q.ctrl = append(q.ctrl, ctrl)
+		q.cls = append(q.cls, cl)
 	}
 	q.pushed++
 	d := q.depthLocked()
@@ -393,10 +454,10 @@ func (q *Queue[T]) PopBatch() (batch []T, ok bool) {
 		q.items = nil
 		q.head = 0
 		if q.track {
-			if cap(q.ctrl) > MaxRecycledCap {
-				q.ctrl = nil
+			if cap(q.cls) > MaxRecycledCap {
+				q.cls = nil
 			} else {
-				q.ctrl = q.ctrl[:0]
+				q.cls = q.cls[:0]
 			}
 		}
 	}

@@ -8,14 +8,14 @@ import (
 )
 
 // item is the test payload: a producer id and a per-producer sequence
-// number, with an explicit control flag.
+// number, with an explicit admission class.
 type item struct {
 	producer int
 	seq      int
-	control  bool
+	class    Class
 }
 
-func isControl(v item) bool { return v.control }
+func classify(v item) Class { return v.class }
 
 // drainAll pops every queued item without blocking on an empty queue.
 func drainAll(t *testing.T, q *Queue[item]) []item {
@@ -33,7 +33,7 @@ func drainAll(t *testing.T, q *Queue[item]) []item {
 }
 
 func TestQueueFIFO(t *testing.T) {
-	q := NewQueue[item](Options{}, isControl)
+	q := NewQueue[item](Options{}, classify)
 	for i := 0; i < 100; i++ {
 		if err := q.Push(item{seq: i}); err != nil {
 			t.Fatal(err)
@@ -55,7 +55,7 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueuePushBurstFIFO(t *testing.T) {
-	q := NewQueue[item](Options{}, isControl)
+	q := NewQueue[item](Options{}, classify)
 	if err := q.PushBurst(50, func(i int) item { return item{seq: i} }); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestQueuePushBurstFIFO(t *testing.T) {
 }
 
 func TestQueueMaxDrain(t *testing.T) {
-	q := NewQueue[item](Options{MaxDrain: 3}, isControl)
+	q := NewQueue[item](Options{MaxDrain: 3}, classify)
 	for i := 0; i < 8; i++ {
 		_ = q.Push(item{seq: i})
 	}
@@ -91,7 +91,7 @@ func TestQueueMaxDrain(t *testing.T) {
 }
 
 func TestQueueShedNewest(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 3, Policy: ShedNewest}, isControl)
+	q := NewQueue[item](Options{Capacity: 3, Policy: ShedNewest}, classify)
 	var shed int
 	for i := 0; i < 6; i++ {
 		if err := q.Push(item{seq: i}); err == ErrShed {
@@ -117,7 +117,7 @@ func TestQueueShedNewest(t *testing.T) {
 }
 
 func TestQueueDropOldest(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 3, Policy: DropOldest}, isControl)
+	q := NewQueue[item](Options{Capacity: 3, Policy: DropOldest}, classify)
 	for i := 0; i < 6; i++ {
 		if err := q.Push(item{seq: i}); err != nil {
 			t.Fatal(err)
@@ -141,9 +141,9 @@ func TestQueueDropOldest(t *testing.T) {
 // at the head: eviction must hop over them and drop the oldest *data*
 // item, preserving overall FIFO order of the survivors.
 func TestQueueDropOldestSkipsControl(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 4, Policy: DropOldest}, isControl)
-	_ = q.Push(item{seq: 0, control: true})
-	_ = q.Push(item{seq: 1, control: true})
+	q := NewQueue[item](Options{Capacity: 4, Policy: DropOldest}, classify)
+	_ = q.Push(item{seq: 0, class: Control})
+	_ = q.Push(item{seq: 1, class: Control})
 	_ = q.Push(item{seq: 2})
 	_ = q.Push(item{seq: 3})
 	_ = q.Push(item{seq: 4}) // evicts seq 2, not the control head
@@ -157,7 +157,7 @@ func TestQueueDropOldestSkipsControl(t *testing.T) {
 			t.Errorf("item %d has seq %d, want %d", i, v.seq, want[i])
 		}
 	}
-	if !got[0].control || !got[1].control {
+	if got[0].class != Control || got[1].class != Control {
 		t.Error("control items were evicted")
 	}
 }
@@ -165,9 +165,9 @@ func TestQueueDropOldestSkipsControl(t *testing.T) {
 // TestQueueDropOldestAllControl: with nothing evictable the newcomer is
 // admitted over capacity rather than lost.
 func TestQueueDropOldestAllControl(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 2, Policy: DropOldest}, isControl)
-	_ = q.Push(item{seq: 0, control: true})
-	_ = q.Push(item{seq: 1, control: true})
+	q := NewQueue[item](Options{Capacity: 2, Policy: DropOldest}, classify)
+	_ = q.Push(item{seq: 0, class: Control})
+	_ = q.Push(item{seq: 1, class: Control})
 	if err := q.Push(item{seq: 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +177,14 @@ func TestQueueDropOldestAllControl(t *testing.T) {
 }
 
 func TestQueueControlNeverShed(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 2, Policy: ShedNewest}, isControl)
+	q := NewQueue[item](Options{Capacity: 2, Policy: ShedNewest}, classify)
 	_ = q.Push(item{seq: 0})
 	_ = q.Push(item{seq: 1})
-	if err := q.Push(item{seq: 2, control: true}); err != nil {
+	if err := q.Push(item{seq: 2, class: Control}); err != nil {
 		t.Fatalf("control push over capacity failed: %v", err)
 	}
 	got := drainAll(t, q)
-	if len(got) != 3 || !got[2].control {
+	if len(got) != 3 || got[2].class != Control {
 		t.Fatalf("control item missing: %+v", got)
 	}
 	if s := q.Stats(); s.ControlOverflow != 1 || s.HighWater != 3 {
@@ -196,11 +196,11 @@ func TestQueueControlNeverShed(t *testing.T) {
 // must complete immediately (exec closures and routing updates cannot
 // afford to wait behind notification credit).
 func TestQueueControlNeverBlocks(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 1, Policy: Block}, isControl)
+	q := NewQueue[item](Options{Capacity: 1, Policy: Block}, classify)
 	_ = q.Push(item{seq: 0})
 	done := make(chan struct{})
 	go func() {
-		_ = q.Push(item{seq: 1, control: true})
+		_ = q.Push(item{seq: 1, class: Control})
 		close(done)
 	}()
 	select {
@@ -215,7 +215,7 @@ func TestQueueControlNeverBlocks(t *testing.T) {
 // low-water mark. Everything arrives, in order, with depth bounded.
 func TestQueueBlockWatermark(t *testing.T) {
 	const capacity, total = 4, 100
-	q := NewQueue[item](Options{Capacity: capacity, Policy: Block, LowWater: 2}, isControl)
+	q := NewQueue[item](Options{Capacity: capacity, Policy: Block, LowWater: 2}, classify)
 	go func() {
 		for i := 0; i < total; i++ {
 			if err := q.Push(item{seq: i}); err != nil {
@@ -258,7 +258,7 @@ func TestQueueBlockWatermark(t *testing.T) {
 // must arrive exactly once.
 func TestQueueBlockConcurrentProducers(t *testing.T) {
 	const producers, each = 4, 200
-	q := NewQueue[item](Options{Capacity: 8, Policy: Block}, isControl)
+	q := NewQueue[item](Options{Capacity: 8, Policy: Block}, classify)
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
@@ -301,7 +301,7 @@ func TestQueueBlockConcurrentProducers(t *testing.T) {
 }
 
 func TestQueueCloseUnblocksProducer(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 1, Policy: Block}, isControl)
+	q := NewQueue[item](Options{Capacity: 1, Policy: Block}, classify)
 	_ = q.Push(item{seq: 0})
 	errCh := make(chan error, 1)
 	go func() { errCh <- q.Push(item{seq: 1}) }()
@@ -318,7 +318,7 @@ func TestQueueCloseUnblocksProducer(t *testing.T) {
 }
 
 func TestQueueCloseDrains(t *testing.T) {
-	q := NewQueue[item](Options{}, isControl)
+	q := NewQueue[item](Options{}, classify)
 	_ = q.Push(item{seq: 0})
 	_ = q.Push(item{seq: 1})
 	q.Close()
@@ -335,7 +335,7 @@ func TestQueueCloseDrains(t *testing.T) {
 }
 
 func TestQueueRecycleReuse(t *testing.T) {
-	q := NewQueue[item](Options{}, isControl)
+	q := NewQueue[item](Options{}, classify)
 	for i := 0; i < 16; i++ {
 		_ = q.Push(item{seq: i})
 	}
@@ -355,7 +355,7 @@ func TestQueueRecycleReuse(t *testing.T) {
 }
 
 func TestQueueRecycleCap(t *testing.T) {
-	q := NewQueue[item](Options{}, isControl)
+	q := NewQueue[item](Options{}, classify)
 	big := make([]item, MaxRecycledCap+1)
 	q.Recycle(big)
 	_ = q.Push(item{seq: 0})
@@ -392,8 +392,8 @@ func TestParsePolicy(t *testing.T) {
 // data items — exercising compactLocked, which stops the backing array
 // from growing linearly when evictions advance head without any pops.
 func TestDropOldestSustainedEviction(t *testing.T) {
-	q := NewQueue[item](Options{Capacity: 4, Policy: DropOldest}, isControl)
-	if err := q.Push(item{seq: -1, control: true}); err != nil {
+	q := NewQueue[item](Options{Capacity: 4, Policy: DropOldest}, classify)
+	if err := q.Push(item{seq: -1, class: Control}); err != nil {
 		t.Fatal(err)
 	}
 	const n = 10_000
@@ -403,7 +403,7 @@ func TestDropOldestSustainedEviction(t *testing.T) {
 		}
 	}
 	got := drainAll(t, q)
-	want := []item{{seq: -1, control: true}, {seq: n - 3}, {seq: n - 2}, {seq: n - 1}}
+	want := []item{{seq: -1, class: Control}, {seq: n - 3}, {seq: n - 2}, {seq: n - 1}}
 	if len(got) != len(want) {
 		t.Fatalf("drained %d items %v, want %v", len(got), got, want)
 	}
@@ -414,5 +414,112 @@ func TestDropOldestSustainedEviction(t *testing.T) {
 	}
 	if s := q.Stats(); s.DroppedOldest != n-3 {
 		t.Fatalf("DroppedOldest = %d, want %d", s.DroppedOldest, n-3)
+	}
+}
+
+// TestQueueLosslessStallsUnderDropPolicies: lossless items must never be
+// dropped or shed — under the drop policies they stall the producer like
+// Block credit until the consumer drains, and every item arrives.
+func TestQueueLosslessStallsUnderDropPolicies(t *testing.T) {
+	for _, policy := range []Policy{DropOldest, ShedNewest} {
+		q := NewQueue[item](Options{Capacity: 2, Policy: policy, LowWater: 1}, classify)
+		const total = 20
+		pushErr := make(chan error, 1)
+		go func() {
+			for i := 0; i < total; i++ {
+				if err := q.Push(item{seq: i, class: Lossless}); err != nil {
+					pushErr <- err
+					return
+				}
+			}
+			q.Close()
+		}()
+		var got []item
+		for {
+			batch, ok := q.PopBatch()
+			if !ok {
+				break
+			}
+			got = append(got, batch...)
+			q.Recycle(batch)
+			time.Sleep(time.Millisecond) // keep the producer stalling
+		}
+		select {
+		case err := <-pushErr:
+			t.Fatalf("%v: lossless push failed: %v", policy, err)
+		default:
+		}
+		if len(got) != total {
+			t.Fatalf("%v: received %d items, want %d", policy, len(got), total)
+		}
+		for i, v := range got {
+			if v.seq != i {
+				t.Fatalf("%v: item %d has seq %d, want %d", policy, i, v.seq, i)
+			}
+		}
+		s := q.Stats()
+		if s.DroppedOldest != 0 || s.ShedNewest != 0 {
+			t.Errorf("%v: lossless items were lost: %+v", policy, s)
+		}
+		if s.CreditStalls == 0 {
+			t.Errorf("%v: expected credit stalls from the full queue", policy)
+		}
+		if s.HighWater > 2 {
+			t.Errorf("%v: high water %d exceeds capacity 2", policy, s.HighWater)
+		}
+	}
+}
+
+// TestQueueDropOldestSkipsLossless: eviction must hop over a lossless
+// head and drop the oldest *data* item.
+func TestQueueDropOldestSkipsLossless(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 3, Policy: DropOldest}, classify)
+	_ = q.Push(item{seq: 0, class: Lossless})
+	_ = q.Push(item{seq: 1})
+	_ = q.Push(item{seq: 2})
+	_ = q.Push(item{seq: 3}) // evicts seq 1, not the lossless head
+	got := drainAll(t, q)
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("kept %d items, want %d (%+v)", len(got), len(want), got)
+	}
+	for i, v := range got {
+		if v.seq != want[i] {
+			t.Errorf("item %d has seq %d, want %d", i, v.seq, want[i])
+		}
+	}
+	if got[0].class != Lossless {
+		t.Error("lossless item was evicted")
+	}
+}
+
+// TestQueueOnEvict: the eviction hook must observe every DropOldest
+// victim exactly once, in eviction (= FIFO) order, so owners can release
+// per-item resources for items that never reach PopBatch.
+func TestQueueOnEvict(t *testing.T) {
+	q := NewQueue[item](Options{Capacity: 3, Policy: DropOldest}, classify)
+	var evicted []item
+	q.OnEvict(func(v item) { evicted = append(evicted, v) })
+	for i := 0; i < 8; i++ {
+		if err := q.Push(item{seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(evicted) != 5 {
+		t.Fatalf("hook saw %d evictions, want 5", len(evicted))
+	}
+	for i, v := range evicted {
+		if v.seq != i {
+			t.Errorf("eviction %d has seq %d, want %d", i, v.seq, i)
+		}
+	}
+	if s := q.Stats(); s.DroppedOldest != uint64(len(evicted)) {
+		t.Errorf("DroppedOldest = %d, hook saw %d", s.DroppedOldest, len(evicted))
+	}
+	got := drainAll(t, q)
+	for i, v := range got {
+		if v.seq != i+5 {
+			t.Errorf("survivor %d has seq %d, want %d", i, v.seq, i+5)
+		}
 	}
 }

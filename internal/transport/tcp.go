@@ -26,8 +26,12 @@ import (
 // policy says so. The default ring Blocks at DefaultSendWindow frames,
 // preserving the old blocking-write backpressure while decoupling
 // syscalls from Send; WithSendWindow overrides capacity and policy.
-// Control frames (everything but publishes) bypass the policy, so
-// routing and relocation traffic is never shed by an overloaded ring.
+// Frames are admitted by wire.Type.FlowClass: publishes take the full
+// policy, deliveries are lossless (never dropped — that would skip
+// client sequence numbers — but they fill the ring and stall the sender
+// when it is full, so a stalled client pins at most a ring's worth of
+// frames), and control frames bypass the policy entirely, so routing
+// and relocation traffic is never shed by an overloaded ring.
 type TCPLink struct {
 	conn    net.Conn
 	peerHop wire.Hop
@@ -56,10 +60,10 @@ type tcpFrame struct {
 	hdr     [4]byte
 	payload []byte
 	pooled  *[]byte
-	data    bool // droppable class (publish)
+	cls     flow.Class // admission class of the message type
 }
 
-func frameIsControl(f tcpFrame) bool { return !f.data }
+func frameClass(f tcpFrame) flow.Class { return f.cls }
 
 const maxFrameSize = 16 << 20 // 16 MiB; far above any legitimate message
 
@@ -141,14 +145,27 @@ func newTCPLink(conn net.Conn, self string, recv Receiver, opts []TCPOption) (*T
 	l := &TCPLink{
 		conn:       conn,
 		peerHop:    hop,
-		ring:       flow.NewQueue[tcpFrame](cfg.ring, frameIsControl),
+		ring:       flow.NewQueue[tcpFrame](cfg.ring, frameClass),
 		writerDone: make(chan struct{}),
 		done:       make(chan struct{}),
 	}
 	l.flushCond = sync.NewCond(&l.mu)
+	l.ring.OnEvict(l.frameEvicted)
 	go l.writeLoop()
 	go l.readLoop(recv)
 	return l, nil
+}
+
+// frameEvicted releases a frame the ring's DropOldest policy discarded:
+// its pooled encode buffer goes back to the pool and its flush slot is
+// given back — the frame will never reach releaseBatch, and leaking the
+// slot would wedge every later Flush. Called with the ring's lock held;
+// l.mu nests under it (no path holds l.mu while calling into the ring).
+func (l *TCPLink) frameEvicted(f tcpFrame) {
+	if f.pooled != nil {
+		wire.PutEncodeBuf(f.pooled)
+	}
+	l.unreserve()
 }
 
 // Peer returns the remote broker's identity as learned in the handshake.
@@ -190,7 +207,7 @@ func (l *TCPLink) enqueue(m wire.Message) error {
 	l.pending++
 	l.mu.Unlock()
 
-	fr := tcpFrame{data: m.Type.Droppable()}
+	fr := tcpFrame{cls: m.Type.FlowClass()}
 	fr.payload = m.Frame
 	if fr.payload == nil {
 		buf := wire.GetEncodeBuf()
@@ -244,19 +261,19 @@ func (l *TCPLink) unreserve() {
 }
 
 // Flush implements Flusher: it blocks until every frame accepted before
-// the call is on the wire (or discarded by Close), returning the write
-// error that stopped the writer, if any.
+// the call is on the wire (or consumed by the ring's policy), returning
+// the write error that stopped the writer, if any. A clean Close does
+// not fail a Flush: Close drains the accepted frames (deadline-bounded),
+// so the wait resolves to nil once they are written, or to the write
+// error that discarded them.
 func (l *TCPLink) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for l.pending > 0 && !l.closed && l.werr == nil {
+	for l.pending > 0 && l.werr == nil {
 		l.flushCond.Wait()
 	}
 	if l.werr != nil {
 		return l.werr
-	}
-	if l.closed {
-		return ErrLinkClosed
 	}
 	return nil
 }

@@ -87,8 +87,10 @@ var ErrLinkClosed = errors.New("transport: link closed")
 // a pump: a flow-controlled queue drained by one goroutine that models
 // link latency and — when a send window is configured — bounds how far a
 // slow receiver can fall behind before the window's overload policy
-// engages. Control messages (everything but publishes) are exempt from
-// the window, so routing and relocation traffic is never shed.
+// engages. Messages are admitted by wire.Type.FlowClass: publishes take
+// the full policy, deliveries are lossless (never shed, but they stall
+// the sender on a full window), and control messages are exempt, so
+// routing and relocation traffic is never shed.
 //
 // Close semantics: once Close returns, no further synchronous delivery
 // begins — Close waits for in-flight Sends to finish handing off, so a
@@ -275,21 +277,27 @@ func (l *ChanLink) FlowStats() flow.Stats {
 // policy). Synchronous links deliver inside Send, so it returns
 // immediately. Meant for tests and graceful shutdown sequencing; it does
 // not stop new sends from arriving while it waits.
+//
+// It works by pushing a control-class sentinel through the pump queue:
+// control is never shed, evicted, or stalled, and delivery is FIFO, so
+// by the time the pump reaches the sentinel every earlier message has
+// been delivered or evicted — exact even while concurrent sends (and
+// concurrent window evictions) keep the counters moving.
 func (l *ChanLink) WaitIdle() {
 	if l.pump == nil {
 		return
 	}
-	target := l.pump.q.Stats().Pushed
-	for {
-		s := l.pump.q.Stats()
-		if l.pump.delivered.Load()+s.DroppedOldest >= target {
-			return
-		}
-		select {
-		case <-l.pump.done:
-			return
-		case <-time.After(20 * time.Microsecond):
-		}
+	marker := make(chan struct{})
+	err := l.pump.q.Push(timedMsg{burst: l.pump.nextBurst(), sentinel: marker})
+	if err != nil {
+		// Closed queue: the pump is draining its remainder; idle when it
+		// exits.
+		<-l.pump.done
+		return
+	}
+	select {
+	case <-marker:
+	case <-l.pump.done:
 	}
 }
 
@@ -348,11 +356,6 @@ type linkPump struct {
 	q        *flow.Queue[timedMsg]
 	done     chan struct{}
 	burstSeq atomic.Uint64
-
-	// delivered counts messages handed to the receiver, for WaitIdle:
-	// the pump is quiescent once delivered (plus window evictions)
-	// catches up with the queue's accepted-push count.
-	delivered atomic.Uint64
 }
 
 // nextBurst stamps one Send or SendBatch: the pump delivers messages
@@ -361,14 +364,22 @@ type linkPump struct {
 func (p *linkPump) nextBurst() uint64 { return p.burstSeq.Add(1) }
 
 // timedMsg is one queued message with its delivery due time (zero: as
-// soon as the pump reaches it) and the burst it belongs to.
+// soon as the pump reaches it) and the burst it belongs to. A timedMsg
+// with sentinel set carries no message: the pump closes the channel when
+// it reaches it instead of delivering (WaitIdle's quiesce marker).
 type timedMsg struct {
-	due   time.Time
-	burst uint64
-	m     wire.Message
+	due      time.Time
+	burst    uint64
+	m        wire.Message
+	sentinel chan struct{}
 }
 
-func timedIsControl(tm timedMsg) bool { return !tm.m.Type.Droppable() }
+func timedClass(tm timedMsg) flow.Class {
+	if tm.sentinel != nil {
+		return flow.Control
+	}
+	return tm.m.Type.FlowClass()
+}
 
 func newLinkPump(window *flow.Options) *linkPump {
 	var o flow.Options
@@ -377,7 +388,7 @@ func newLinkPump(window *flow.Options) *linkPump {
 		o.MaxDrain = 0 // the pump always drains wholesale
 	}
 	return &linkPump{
-		q:    flow.NewQueue[timedMsg](o, timedIsControl),
+		q:    flow.NewQueue[timedMsg](o, timedClass),
 		done: make(chan struct{}),
 	}
 }
@@ -395,6 +406,11 @@ func (l *ChanLink) pumpRun() {
 			return
 		}
 		for i := 0; i < len(batch); {
+			if batch[i].sentinel != nil {
+				close(batch[i].sentinel)
+				i++
+				continue
+			}
 			if wait := time.Until(batch[i].due); wait > 0 {
 				time.Sleep(wait)
 			}
@@ -407,7 +423,6 @@ func (l *ChanLink) pumpRun() {
 				burst = append(burst, batch[k].m)
 			}
 			deliverBurst(l.remote, l.localHop, burst)
-			l.pump.delivered.Add(uint64(len(burst)))
 			i = j
 		}
 		l.pump.q.Recycle(batch)

@@ -817,3 +817,252 @@ func TestTCPLinkSendWindowShed(t *testing.T) {
 		t.Errorf("ring high water %d exceeds capacity 4", s.HighWater)
 	}
 }
+
+// TestTCPLinkDropOldestEvictionReleasesFlush: frames evicted by a
+// DropOldest ring never reach the writer, so their flush slots (and
+// pooled encode buffers) must be released at eviction time — leaking
+// them would wedge every later Flush once the peer resumes.
+func TestTCPLinkDropOldestEvictionReleasesFlush(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resume := make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = readFrame(conn)
+		_ = writeFrame(conn, []byte("server"))
+		<-resume // stall: no reads while the client fills socket + ring
+		for {
+			if _, err := readFrame(conn); err != nil {
+				return
+			}
+		}
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{},
+		WithSendWindow(flow.Options{Capacity: 4, Policy: flow.DropOldest}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	big := wire.NewPublish(message.New(map[string]message.Value{
+		"pad": message.String(strings.Repeat("x", 1<<18)),
+	}))
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.FlowStats().DroppedOldest < 8 && time.Now().Before(deadline) {
+		if err := cl.Send(big); err != nil {
+			t.Fatalf("Send failed before the ring evicted: %v", err)
+		}
+	}
+	if cl.FlowStats().DroppedOldest < 8 {
+		t.Fatal("ring never evicted with an unread peer")
+	}
+	close(resume)
+	flushErr := make(chan error, 1)
+	go func() { flushErr <- cl.Flush() }()
+	select {
+	case err := <-flushErr:
+		if err != nil {
+			t.Fatalf("Flush after evictions = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush deadlocked: evicted frames leaked pending flush slots")
+	}
+}
+
+// TestTCPLinkFlushAfterCleanClose: a Flush racing (or following) a clean
+// Close must not report an error when every accepted frame made it to
+// the wire — send/flush/close is a durable sequence.
+func TestTCPLinkFlushAfterCleanClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var serverSink sink
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = AcceptTCP(conn, "server", &serverSink)
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 32; i++ {
+		if err := cl.Send(pubMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Errorf("Flush after clean Close = %v, want nil (all frames written)", err)
+	}
+	waitSinkLen(t, &serverSink, 32)
+}
+
+// TestTCPLinkDeliverLosslessBounded: Deliver frames on a broker→client
+// link must not bypass the send window (the old control classification
+// let a dead client grow the ring without bound) and must not be dropped
+// (a gap would skip client sequence numbers): with a stalled peer and a
+// DropOldest ring, the sender stalls on credit, the ring depth stays at
+// capacity, and after the peer resumes every delivery arrives in order.
+func TestTCPLinkDeliverLosslessBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resume := make(chan struct{})
+	seqs := make(chan uint64, 64)
+	go func() {
+		defer close(seqs)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = conn.(*net.TCPConn).SetReadBuffer(8 << 10)
+		_, _ = readFrame(conn)
+		_ = writeFrame(conn, []byte("server"))
+		<-resume
+		for {
+			frame, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			m, err := wire.Decode(frame)
+			if err != nil || m.Type != wire.TypeDeliver {
+				continue
+			}
+			seqs <- m.Deliver.Item.Seq
+		}
+	}()
+	const capacity, total = 2, 16
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{},
+		WithSendWindow(flow.Options{Capacity: capacity, Policy: flow.DropOldest}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cl.conn.(*net.TCPConn).SetWriteBuffer(8 << 10)
+
+	pad := message.New(map[string]message.Value{
+		"pad": message.String(strings.Repeat("x", 1<<16)),
+	})
+	sendDone := make(chan error, 1)
+	go func() {
+		for i := uint64(1); i <= total; i++ {
+			d := wire.NewDeliver(wire.Deliver{
+				Client: "c", ID: "s",
+				Item: wire.SeqNotification{Seq: i, Notif: pad},
+			})
+			if err := cl.Send(d); err != nil {
+				sendDone <- err
+				return
+			}
+		}
+		sendDone <- nil
+	}()
+
+	// The sender must stall on ring credit, not sail through an exempt
+	// control class.
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.FlowStats().CreditStalls == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s := cl.FlowStats()
+	if s.CreditStalls == 0 {
+		t.Fatal("Deliver sender never stalled: deliveries bypassed the send window")
+	}
+	if s.ControlOverflow != 0 {
+		t.Errorf("deliveries admitted over capacity as control: %+v", s)
+	}
+	if s.HighWater > capacity {
+		t.Errorf("ring high water %d exceeds capacity %d", s.HighWater, capacity)
+	}
+
+	close(resume)
+	if err := <-sendDone; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for seq := range seqs {
+		got = append(got, seq)
+	}
+	if len(got) != total {
+		t.Fatalf("peer received %d deliveries, want %d (lossless class must not drop)", len(got), total)
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("delivery %d has seq %d, want %d (sequence gap)", i, seq, i+1)
+		}
+	}
+	if s := cl.FlowStats(); s.DroppedOldest != 0 || s.ShedNewest != 0 {
+		t.Errorf("deliveries were dropped: %+v", s)
+	}
+}
+
+// TestChanLinkWaitIdleExact: WaitIdle must not return while a message
+// accepted before the call is still undelivered — even when concurrent
+// window evictions keep the drop counters moving — and must return once
+// everything pre-call has been delivered or evicted.
+func TestChanLinkWaitIdleExact(t *testing.T) {
+	b := newGatedSink()
+	la, _ := Pipe(wire.BrokerHop("A"), wire.BrokerHop("B"), &sink{}, b,
+		WithWindow(flow.Options{Capacity: 2, Policy: flow.DropOldest}))
+	if err := la.Send(pubMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started // pump stalled inside delivery of msg 0
+	for i := int64(1); i <= 5; i++ {
+		if err := la.Send(pubMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idle := make(chan struct{})
+	go func() { la.WaitIdle(); close(idle) }()
+	select {
+	case <-idle:
+		t.Fatal("WaitIdle returned while accepted messages were undelivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(b.release)
+	select {
+	case <-idle:
+	case <-time.After(3 * time.Second):
+		t.Fatal("WaitIdle did not return after the pump drained")
+	}
+	// Everything accepted before WaitIdle is now accounted: delivered
+	// {0, 4, 5}, evicted {1, 2, 3}.
+	if got := b.len(); got != 3 {
+		t.Fatalf("delivered %d messages, want 3", got)
+	}
+	for i, want := range []int64{0, 4, 5} {
+		if got := msgIndex(b.at(i)); got != want {
+			t.Errorf("message %d = %d, want %d", i, got, want)
+		}
+	}
+	if s := la.FlowStats(); s.DroppedOldest != 3 {
+		t.Errorf("flow stats = %+v, want droppedOldest=3", s)
+	}
+	if err := la.Close(); err != nil {
+		t.Fatal(err)
+	}
+	la.WaitIdle() // closed pump: must return, not hang
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/flow"
 	"repro/internal/location"
 	"repro/internal/message"
 )
@@ -129,15 +130,31 @@ func (t Type) IsAdmin() bool {
 	}
 }
 
+// FlowClass assigns the message type its bounded-queue admission class
+// (package flow). Publishes are Data — the only class an overloaded
+// queue may shed; notification loss is tolerated because it is explicit
+// and accounted. Deliveries are Lossless: shedding one would silently
+// skip a sequence number at an attached client, so they are never
+// dropped, but they do count against capacity and stall the sender on a
+// full queue under every policy — a stalled client therefore pins a
+// bounded number of frames at its link instead of growing it without
+// limit. Everything else is Control: admitted even over capacity and
+// never stalled, since shedding routing updates would desynchronize
+// tables and blocking relocation traffic would break the Section 4
+// handoff.
+func (t Type) FlowClass() flow.Class {
+	switch t {
+	case TypePublish:
+		return flow.Data
+	case TypeDeliver:
+		return flow.Lossless
+	default:
+		return flow.Control
+	}
+}
+
 // Droppable reports whether a message of this type may be shed by an
-// overloaded bounded queue (flow policies DropOldest/ShedNewest). Only
-// publishes qualify: the system tolerates notification loss under
-// overload (it is explicit and accounted), but shedding routing updates
-// would desynchronize tables, shedding relocation traffic would break
-// the Section 4 handoff, and shedding deliveries would silently skip
-// sequence numbers at attached clients. Everything non-droppable is
-// control class for flow purposes: admitted even over capacity and never
-// stalled behind notification credit.
+// overloaded bounded queue — shorthand for FlowClass() == flow.Data.
 func (t Type) Droppable() bool { return t == TypePublish }
 
 // Subscription describes a (possibly mobile, possibly location-dependent)
