@@ -184,6 +184,11 @@ func run(args []string) error {
 		case <-ticker.C:
 			subs, advs := b.TableSizes()
 			log.Printf("broker %s: %d subscription entries, %d advertisement entries", *id, subs, advs)
+			st := b.Stats()
+			log.Printf("broker %s: control plane: %d tracked, %d forwarded, admin sent %d sub / %d unsub, cover checks saved %d, merges active %d (covering %d subs), unmerges %d",
+				*id, st.Forwarder.TrackedFilters, st.Forwarder.ForwardedFilters,
+				st.ControlSubsSent, st.ControlUnsubsSent, st.CoverChecksSaved,
+				st.Forwarder.MergesActive, st.Forwarder.MergeCovered, st.Forwarder.Unmerges)
 		case s := <-sig:
 			log.Printf("broker %s: received %v, shutting down", *id, s)
 			return nil

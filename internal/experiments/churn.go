@@ -30,12 +30,14 @@ func (r ChurnResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chain of %d brokers, %d subscribers, %d relocations (seed %d)\n",
 		r.Config.Brokers, r.Config.Subscribers, r.Config.Moves, r.Config.Seed)
-	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s %14s\n",
-		"strategy", "initial", "churn", "total", "max-table", "cover-chk", "chk-saved")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s %14s %8s %8s %9s\n",
+		"strategy", "initial", "churn", "total", "max-table", "cover-chk", "chk-saved",
+		"merges", "m-cover", "unmerges")
 	for _, s := range r.PerStrat {
-		fmt.Fprintf(&b, "%-10s %10d %10d %10d %12d %12d %14d\n",
+		fmt.Fprintf(&b, "%-10s %10d %10d %10d %12d %12d %14d %8d %8d %9d\n",
 			s.Strategy, s.InitialMsgs, s.ChurnMsgs, s.AdminMsgs,
-			s.MaxTableFilters, s.CoverChecks, s.CoverChecksSaved)
+			s.MaxTableFilters, s.CoverChecks, s.CoverChecksSaved,
+			s.MergesActive, s.MergeCovered, s.Unmerges)
 	}
 	return b.String()
 }

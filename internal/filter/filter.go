@@ -60,6 +60,12 @@ func (f Filter) IsMatchAll() bool { return len(f.cs) == 0 }
 // Len returns the number of constraints.
 func (f Filter) Len() int { return len(f.cs) }
 
+// At returns the i-th constraint in canonical order without copying the
+// list (the routing index iterates constraints on its maintenance path).
+// The returned constraint shares the filter's backing storage; callers
+// must not mutate its Values slice.
+func (f Filter) At(i int) Constraint { return f.cs[i] }
+
 // Constraints returns a copy of the constraint list.
 func (f Filter) Constraints() []Constraint {
 	out := make([]Constraint, len(f.cs))

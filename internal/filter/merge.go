@@ -48,7 +48,7 @@ func Merge(f, g Filter) (Filter, bool) {
 	if len(fc) != 1 || len(gc) != 1 {
 		return Filter{}, false
 	}
-	merged, ok := mergeConstraints(fc[0], gc[0])
+	merged, ok := MergeConstraints(fc[0], gc[0])
 	if !ok {
 		return Filter{}, false
 	}
@@ -82,9 +82,14 @@ func constraintsEqual(a, b []Constraint) bool {
 	return true
 }
 
-// mergeConstraints combines two constraints on the same attribute into one
-// accepting exactly their union, when possible.
-func mergeConstraints(c, d Constraint) (Constraint, bool) {
+// MergeConstraints combines two constraints on the same attribute into one
+// accepting exactly their union, when possible: covers collapse to the
+// wider constraint, finite sets union into OpIn, overlapping or adjacent
+// intervals union into one interval (integer adjacency included), and a
+// negation merged with a matching equality yields OpExists. It is the
+// single-constraint core of Merge, exported for the routing package's
+// merging plane, which unions whole groups of constraints at a time.
+func MergeConstraints(c, d Constraint) (Constraint, bool) {
 	if c.Covers(d) {
 		return c, true
 	}

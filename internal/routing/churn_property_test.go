@@ -116,9 +116,6 @@ func TestForwarderIncrementalMatchesBatch(t *testing.T) {
 			}
 
 			steps := 400
-			if strat == Merging && testing.Short() {
-				steps = 100
-			}
 			for step := 0; step < steps; step++ {
 				f := pool[rng.Intn(len(pool))]
 				hop := hops[rng.Intn(len(hops))]
@@ -159,6 +156,62 @@ func TestForwarderIncrementalMatchesBatch(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMergePlaneUnmergeRestores pins the unmerge half of the merging
+// plane: removing the input that extended a merged filter must restore
+// exactly the pre-merge forwarded set — retract the merged filter,
+// re-subscribe the narrower survivor — and the merge counters must track
+// the transition.
+func TestMergePlaneUnmergeRestores(t *testing.T) {
+	hop := wire.BrokerHop("up")
+	fwd := NewForwarder(Merging)
+	a := mkFilter(`p in [0, 10]`)
+	b := mkFilter(`p in [11, 20]`)
+	other := mkFilter(`q = 1`)
+	merged := mkFilter(`p in [0, 20]`)
+
+	fwd.AddFilter(hop, a)
+	fwd.AddFilter(hop, other)
+	before := sortedIDs(fwd.Forwarded(hop))
+	if want := sortedIDs([]filter.Filter{a, other}); !reflect.DeepEqual(before, want) {
+		t.Fatalf("pre-merge forwarded = %v, want %v", before, want)
+	}
+
+	u := fwd.AddFilter(hop, b)
+	if got, want := idsOf(u.Subscribe), []string{merged.ID()}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge subscribe = %v, want %v", got, want)
+	}
+	if got, want := idsOf(u.Unsubscribe), []string{a.ID()}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge unsubscribe = %v, want %v", got, want)
+	}
+	s := fwd.Stats()
+	if s.MergesActive != 1 || s.MergeCovered != 2 || s.Unmerges != 0 {
+		t.Fatalf("mid-merge stats = %d active / %d covered / %d unmerges, want 1/2/0",
+			s.MergesActive, s.MergeCovered, s.Unmerges)
+	}
+
+	// A second reference to b and its removal must not disturb the merge.
+	fwd.AddFilter(hop, b)
+	if u := fwd.RemoveFilter(hop, b); !u.Empty() {
+		t.Fatalf("dropping one of two refs emitted traffic: %+v", u)
+	}
+
+	u = fwd.RemoveFilter(hop, b)
+	if got, want := idsOf(u.Subscribe), []string{a.ID()}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unmerge subscribe = %v, want %v", got, want)
+	}
+	if got, want := idsOf(u.Unsubscribe), []string{merged.ID()}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unmerge unsubscribe = %v, want %v", got, want)
+	}
+	if after := sortedIDs(fwd.Forwarded(hop)); !reflect.DeepEqual(after, before) {
+		t.Fatalf("unmerge did not restore pre-merge set: got %v, want %v", after, before)
+	}
+	s = fwd.Stats()
+	if s.MergesActive != 0 || s.MergeCovered != 0 || s.Unmerges != 1 {
+		t.Fatalf("post-unmerge stats = %d active / %d covered / %d unmerges, want 0/0/1",
+			s.MergesActive, s.MergeCovered, s.Unmerges)
 	}
 }
 

@@ -16,35 +16,73 @@ import (
 // so the per-notification cost is driven by the number of satisfied
 // predicates, not by the number of table entries.
 //
+// Storage is struct-of-arrays, sized for 10⁶ entries: rows live in a paged
+// vector indexed by int32 slot, hops and owner identities are interned
+// once into append-only side tables, and every posting is an 8-byte
+// slot+generation pair. There are no per-entry heap nodes and no rendered
+// key strings; row identity is a 64-bit content hash resolved through an
+// open-addressed identity table.
+//
 // Posting lists by operator class:
 //
-//   - equality (=, in):      hash buckets keyed by the operand value
-//   - ordered (<, <=, >, >=, range): sorted interval lists, one per value kind
-//   - string prefix:         buckets keyed by the prefix's first byte
+//   - equality (=, in):      open-addressed buckets keyed by operand value
+//   - ordered (<, <=, >, >=, range): sorted static runs with max-upper-bound
+//     segment trees (see ivlist.go), O(log n + k) per probe
+//   - string prefix:         per-length hash lookup (see prefixTable)
 //   - exists:                a flat list, satisfied by attribute presence
 //   - everything else (!=, suffix, contains): a per-attribute scan list
 //     evaluated directly against the attribute value
 //
-// The index is maintained incrementally by insert/remove and is not
-// concurrency-safe on its own; Table's lock covers it. Match scratch state
-// (the counting arrays) is pooled so concurrent readers do not contend.
-//
-// The per-attribute indexes are kept in a slice sorted by attribute name
-// rather than a map: notifications carry their attributes as a canonical
-// sorted slice, so the match path intersects the two ordered sequences
-// with a sorted merge (or a binary-search probe of the smaller side into
-// the larger when the sizes are lopsided) instead of hashing every
-// attribute name. Insert/remove pay an O(attrs) slice shift, which is
-// control-plane cost.
+// Removal is logical-first: freeing a row bumps its generation, which
+// invalidates its postings everywhere at once; posting storage is
+// reclaimed by per-container amortized compaction. The index is maintained
+// incrementally by insertEntry/removeSlot and is not concurrency-safe on
+// its own; Table's lock covers it. Snapshots are shallow struct copies
+// under the copy-on-write epoch protocol of pvec.go — see share().
 type matchIndex struct {
-	slots    []*idxEntry // slot id -> entry; nil when free
-	totals   []int32     // slot id -> constraint total (parallel to slots)
-	free     []int32     // free slot ids
-	matchAll []*idxEntry // entries with empty filters: match everything
-	attrs    []attrRef   // per-attribute indexes, sorted by name
-	postings int         // live posting-list entries, for IndexStats
+	// epoch is the copy-on-write ownership stamp: bumped by share(), so
+	// the first write to any container after a snapshot copies what the
+	// snapshot can see. Starts at 1 so zero-valued stamps are never owned.
+	epoch    uint64
+	rows     pvec[row]
+	free     cowslice[int32]
+	matchAll postlist
+	attrs    cowslice[attrRef] // per-attribute indexes, sorted by name
+	postings int               // live posting-list entries (one per constraint)
+	liveRows int
 
-	pool sync.Pool // *scratch
+	// Mutation-plane state: written in place under the table lock and
+	// never read on the match path, so snapshots carry stale copies of
+	// these fields harmlessly.
+	ident   identTable
+	hops    []hopInfo // append-only hop intern table
+	hopIDs  map[wire.Hop]int32
+	idents  []identKey // append-only owner intern table
+	identID map[identKey]int32
+
+	pool *sync.Pool // *scratch; shared with snapshots (pools must not be copied)
+}
+
+// row is one table entry in SoA form: ~80 B plus its postings, versus the
+// pointer-heavy idxEntry + cached key strings of the old layout. The
+// counting fields lead so the match hot path touches the first cache line.
+type row struct {
+	hash    uint64 // entryIdentHash of the entry
+	hopID   int32  // intern id; -1 marks a freed row
+	identID int32
+	total   int32 // constraint count
+	gen     uint32
+	f       filter.Filter
+}
+
+type hopInfo struct {
+	hop wire.Hop
+	key string // hop.String(), rendered once: hop-ordered outputs sort by it
+}
+
+type identKey struct {
+	c wire.ClientID
+	s wire.SubID
 }
 
 // attrRef pairs an indexed attribute name with its posting lists; the
@@ -54,186 +92,252 @@ type attrRef struct {
 	ai   *attrIndex
 }
 
-// idxEntry is a table row plus everything precomputed at insert time: its
-// identity key, its hop's rendered key (so no method on the hot path calls
-// Hop.String()), its slot in the counting arrays, and its constraint list.
-type idxEntry struct {
-	e      Entry
-	key    string // Entry.key(), computed once at insert
-	hopKey string // Entry.Hop.String(), computed once at insert
-	slot   int32
-	cs     []filter.Constraint
-}
-
 type attrIndex struct {
-	eq        map[message.Value][]int32
-	exists    []int32
-	intervals map[message.Kind]*intervalList
-	prefixes  map[byte][]prefixPosting
-	anyString []int32 // empty-prefix constraints: every string value matches
-	scan      []scanPosting
-}
-
-type prefixPosting struct {
-	slot   int32
-	prefix string
-}
-
-type scanPosting struct {
-	slot int32
-	c    filter.Constraint
-}
-
-// interval is one ordered constraint as a (possibly half-open) value
-// interval. An invalid bound means unbounded on that side.
-type interval struct {
-	slot         int32
-	lo, hi       message.Value
-	loInc, hiInc bool
-}
-
-// intervalList keeps intervals of a single value kind sorted by lower
-// bound (unbounded-below first), so a probe can stop at the first interval
-// whose lower bound exceeds the value.
-type intervalList struct {
-	ivs []interval
+	stamp     uint64 // copy-on-write ownership stamp (see attrW)
+	live      int32  // live constraints under this attribute
+	eq        valTable
+	prefixes  prefixTable
+	exists    postlist
+	anyString postlist // empty-prefix constraints: every string value matches
+	scan      scanlist
+	ivI       ivlist[int64]
+	ivF       ivlist[float64]
+	ivS       ivlist[string]
 }
 
 func newMatchIndex() *matchIndex {
-	return &matchIndex{}
+	return &matchIndex{
+		epoch:   1,
+		hopIDs:  make(map[wire.Hop]int32),
+		identID: make(map[identKey]int32),
+		pool:    &sync.Pool{},
+	}
+}
+
+// share returns an immutable view of the index for a snapshot: a shallow
+// struct copy, after which the live index's epoch moves on so its next
+// write to any shared page or slice copies it first. O(1) plus the struct
+// copy, independent of table size.
+func (x *matchIndex) share() *matchIndex {
+	c := *x
+	x.epoch++
+	return &c
+}
+
+// rowLive reports whether a posting still references a live row: freeing a
+// row bumps its generation, invalidating every posting created for it.
+func (x *matchIndex) rowLive(sg slotGen) bool {
+	return x.rows.at(sg.slot).gen == sg.gen
+}
+
+func (x *matchIndex) fillEntry(slot int32, e *Entry) {
+	r := x.rows.at(slot)
+	id := x.idents[r.identID]
+	e.Filter = r.f
+	e.Hop = x.hops[r.hopID].hop
+	e.Client = id.c
+	e.SubID = id.s
+}
+
+func (x *matchIndex) entryAt(slot int32) Entry {
+	var e Entry
+	x.fillEntry(slot, &e)
+	return e
+}
+
+func (x *matchIndex) forEachLiveSlot(fn func(slot int32, r *row)) {
+	for i := 0; i < x.rows.len(); i++ {
+		r := x.rows.at(int32(i))
+		if r.hopID >= 0 {
+			fn(int32(i), r)
+		}
+	}
 }
 
 // findAttr binary-searches the sorted attribute list for name, returning
 // its index, or the insertion point and false.
 func (x *matchIndex) findAttr(name string) (int, bool) {
-	lo, hi := 0, len(x.attrs)
+	attrs := x.attrs.s
+	lo, hi := 0, len(attrs)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if x.attrs[mid].name < name {
+		if attrs[mid].name < name {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo, lo < len(x.attrs) && x.attrs[lo].name == name
+	return lo, lo < len(attrs) && attrs[lo].name == name
 }
 
-// clone returns a structural copy of the index for an immutable snapshot:
-// every mutable container (slot arrays, posting lists, maps) is copied,
-// while the idxEntry rows themselves are shared — they are never mutated
-// after their insert into the live index assigns their slot. The clone's
-// scratch pool starts fresh (sync.Pool must not be copied).
-func (x *matchIndex) clone() *matchIndex {
-	c := &matchIndex{
-		slots:    append([]*idxEntry(nil), x.slots...),
-		totals:   append([]int32(nil), x.totals...),
-		free:     append([]int32(nil), x.free...),
-		matchAll: append([]*idxEntry(nil), x.matchAll...),
-		attrs:    make([]attrRef, len(x.attrs)),
-		postings: x.postings,
+// attrW returns the attribute index at position i ready for mutation,
+// cloning its top-level struct if a snapshot may share it (the inner
+// containers copy-on-write themselves).
+func (x *matchIndex) attrW(i int) *attrIndex {
+	as := x.attrs.own(x.epoch)
+	ai := (*as)[i].ai
+	if ai.stamp != x.epoch {
+		c := *ai
+		c.stamp = x.epoch
+		(*as)[i].ai = &c
+		ai = (*as)[i].ai
 	}
-	for i, ar := range x.attrs {
-		c.attrs[i] = attrRef{name: ar.name, ai: ar.ai.clone()}
-	}
-	return c
+	return ai
 }
 
-func (ai *attrIndex) clone() *attrIndex {
-	c := &attrIndex{
-		exists:    append([]int32(nil), ai.exists...),
-		anyString: append([]int32(nil), ai.anyString...),
-		scan:      append([]scanPosting(nil), ai.scan...),
+func (x *matchIndex) internHop(h wire.Hop) int32 {
+	if id, ok := x.hopIDs[h]; ok {
+		return id
 	}
-	if ai.eq != nil {
-		c.eq = make(map[message.Value][]int32, len(ai.eq))
-		for v, ps := range ai.eq {
-			c.eq[v] = append([]int32(nil), ps...)
+	id := int32(len(x.hops))
+	x.hops = append(x.hops, hopInfo{hop: h, key: h.String()})
+	x.hopIDs[h] = id
+	return id
+}
+
+func (x *matchIndex) internIdent(c wire.ClientID, s wire.SubID) int32 {
+	k := identKey{c: c, s: s}
+	if id, ok := x.identID[k]; ok {
+		return id
+	}
+	id := int32(len(x.idents))
+	x.idents = append(x.idents, k)
+	x.identID[k] = id
+	return id
+}
+
+// lookupSlot finds the row holding exactly this entry, or -1.
+func (x *matchIndex) lookupSlot(e Entry, hash uint64) int32 {
+	return x.ident.lookup(hash, func(slot int32) bool {
+		r := x.rows.at(slot)
+		if r.hash != hash || r.hopID < 0 || x.hops[r.hopID].hop != e.Hop {
+			return false
 		}
-	}
-	if ai.intervals != nil {
-		c.intervals = make(map[message.Kind]*intervalList, len(ai.intervals))
-		for k, il := range ai.intervals {
-			c.intervals[k] = &intervalList{ivs: append([]interval(nil), il.ivs...)}
+		if id := x.idents[r.identID]; id.c != e.Client || id.s != e.SubID {
+			return false
 		}
-	}
-	if ai.prefixes != nil {
-		c.prefixes = make(map[byte][]prefixPosting, len(ai.prefixes))
-		for b, ps := range ai.prefixes {
-			c.prefixes[b] = append([]prefixPosting(nil), ps...)
-		}
-	}
-	return c
+		return identFilterEqual(r.f, e.Filter)
+	})
 }
 
 // ---------------------------------------------------------------------------
 // Maintenance: insert / remove.
 // ---------------------------------------------------------------------------
 
-func (x *matchIndex) insert(ie *idxEntry) {
+// insertEntry adds the entry, reporting whether it was not already present.
+func (x *matchIndex) insertEntry(e Entry) bool {
+	h := entryIdentHash(e)
+	if x.lookupSlot(e, h) >= 0 {
+		return false
+	}
+	hopID := x.internHop(e.Hop)
+	identID := x.internIdent(e.Client, e.SubID)
 	var slot int32
-	if n := len(x.free); n > 0 {
-		slot = x.free[n-1]
-		x.free = x.free[:n-1]
-		x.slots[slot] = ie
-		x.totals[slot] = int32(len(ie.cs))
+	if fs := x.free.own(x.epoch); len(*fs) > 0 {
+		slot = (*fs)[len(*fs)-1]
+		*fs = (*fs)[:len(*fs)-1]
 	} else {
-		slot = int32(len(x.slots))
-		x.slots = append(x.slots, ie)
-		x.totals = append(x.totals, int32(len(ie.cs)))
+		slot = x.rows.grow(x.epoch)
 	}
-	ie.slot = slot
-	if len(ie.cs) == 0 {
-		x.matchAll = append(x.matchAll, ie)
-		return
-	}
-	for _, c := range ie.cs {
-		i, ok := x.findAttr(c.Attr)
-		if !ok {
-			x.attrs = append(x.attrs, attrRef{})
-			copy(x.attrs[i+1:], x.attrs[i:])
-			x.attrs[i] = attrRef{name: c.Attr, ai: &attrIndex{}}
+	r := x.rows.w(slot, x.epoch)
+	gen := r.gen // survives free/reuse; postings carry it
+	*r = row{hash: h, hopID: hopID, identID: identID, total: int32(e.Filter.Len()), gen: gen, f: e.Filter}
+	x.liveRows++
+	sg := slotGen{slot: slot, gen: gen}
+	if e.Filter.Len() == 0 {
+		x.matchAll.add(x, sg)
+	} else {
+		for ci := 0; ci < e.Filter.Len(); ci++ {
+			c := e.Filter.At(ci)
+			i, ok := x.findAttr(c.Attr)
+			if !ok {
+				as := x.attrs.own(x.epoch)
+				*as = append(*as, attrRef{})
+				copy((*as)[i+1:], (*as)[i:])
+				(*as)[i] = attrRef{name: c.Attr, ai: &attrIndex{stamp: x.epoch}}
+			}
+			ai := x.attrW(i)
+			ai.live++
+			ai.insert(x, sg, c)
+			x.postings++
 		}
-		x.attrs[i].ai.insert(slot, c)
-		x.postings++
 	}
+	x.ident.insert(x, h, slot)
+	return true
 }
 
-func (x *matchIndex) remove(ie *idxEntry) {
-	if len(ie.cs) == 0 {
-		for i, e := range x.matchAll {
-			if e == ie {
-				x.matchAll = append(x.matchAll[:i], x.matchAll[i+1:]...)
-				break
+// removeEntry deletes the exact entry, reporting whether it was present.
+func (x *matchIndex) removeEntry(e Entry) bool {
+	slot := x.lookupSlot(e, entryIdentHash(e))
+	if slot < 0 {
+		return false
+	}
+	x.removeSlot(slot)
+	return true
+}
+
+// removeSlot frees a live row: the generation bump first (so compactions
+// running during posting removal already see the row as dead), then the
+// per-constraint accounting, then the slot goes back on the free list.
+func (x *matchIndex) removeSlot(slot int32) {
+	rd := x.rows.at(slot)
+	f := rd.f
+	hash := rd.hash
+	x.ident.remove(hash, slot)
+	rw := x.rows.w(slot, x.epoch)
+	rw.gen++
+	rw.hopID = -1
+	rw.identID = -1
+	rw.total = 0
+	rw.hash = 0
+	rw.f = filter.Filter{} // release the filter's backing storage
+	x.liveRows--
+	if f.Len() == 0 {
+		x.matchAll.removeLazy(x)
+	} else {
+		for ci := 0; ci < f.Len(); ci++ {
+			c := f.At(ci)
+			if i, ok := x.findAttr(c.Attr); ok {
+				ai := x.attrW(i)
+				ai.live--
+				ai.remove(x, c)
+				x.postings--
+				if ai.live == 0 {
+					as := x.attrs.own(x.epoch)
+					*as = append((*as)[:i], (*as)[i+1:]...)
+				}
 			}
 		}
 	}
-	for _, c := range ie.cs {
-		if i, ok := x.findAttr(c.Attr); ok {
-			ai := x.attrs[i].ai
-			ai.remove(ie.slot, c)
-			x.postings--
-			if ai.empty() {
-				x.attrs = append(x.attrs[:i], x.attrs[i+1:]...)
-			}
-		}
-	}
-	x.slots[ie.slot] = nil
-	x.totals[ie.slot] = 0
-	x.free = append(x.free, ie.slot)
+	fs := x.free.own(x.epoch)
+	*fs = append(*fs, slot)
+}
+
+// rebuild constructs a compact index over the live rows (fresh slots, no
+// free-list holes, posting garbage dropped). Used by the snapshot policy
+// when churn has left the row vector more than half holes; the rebuilt
+// index replaces the live one.
+func (x *matchIndex) rebuild() *matchIndex {
+	nx := newMatchIndex()
+	var e Entry
+	x.forEachLiveSlot(func(slot int32, _ *row) {
+		x.fillEntry(slot, &e)
+		nx.insertEntry(e)
+	})
+	return nx
 }
 
 // isNaNValue reports whether v is a float NaN. NaN operands need special
 // routing: NaN is never Equal to anything (so an eq posting would be dead
-// weight — and worse, NaN != NaN makes it an unremovable map key), and
-// Value.Compare treats NaN as equal to everything, which breaks the sorted
-// interval list's order.
+// weight), and Value.Compare treats NaN as equal to everything, which the
+// native-ordered interval runs cannot represent.
 func isNaNValue(v message.Value) bool {
 	return v.Kind() == message.KindFloat && v.FloatVal() != v.FloatVal()
 }
 
 // orderedBoundNaN reports whether an ordered constraint carries a NaN
 // bound; such constraints are evaluated on the scan list instead of the
-// interval list so they keep Constraint.Matches' exact semantics.
+// interval runs so they keep Constraint.Matches' exact semantics.
 func orderedBoundNaN(c filter.Constraint) bool {
 	if c.Op == filter.OpRange {
 		return isNaNValue(c.Lo) || isNaNValue(c.Hi)
@@ -263,198 +367,224 @@ func eachIndexableInMember(c filter.Constraint, fn func(v message.Value)) {
 	}
 }
 
-func (ai *attrIndex) insert(slot int32, c filter.Constraint) {
+// orderedKind returns the interval-run kind an ordered constraint indexes
+// under, or KindInvalid when it must fall back to the scan list (non-
+// orderable operand kinds, or a range whose bounds disagree on kind — the
+// scan list reproduces Constraint.Matches exactly for those).
+func orderedKind(c filter.Constraint) message.Kind {
+	if c.Op == filter.OpRange {
+		k := c.Lo.Kind()
+		if k != c.Hi.Kind() {
+			return message.KindInvalid
+		}
+		switch k {
+		case message.KindInt, message.KindFloat, message.KindString:
+			return k
+		}
+		return message.KindInvalid
+	}
+	switch k := c.Value.Kind(); k {
+	case message.KindInt, message.KindFloat, message.KindString:
+		return k
+	}
+	return message.KindInvalid
+}
+
+// ordFlagsBounds extracts the interval form of an ordered constraint.
+func ordFlags(c filter.Constraint) uint8 {
+	switch c.Op {
+	case filter.OpLT:
+		return ivHasHi
+	case filter.OpLE:
+		return ivHasHi | ivHiInc
+	case filter.OpGT:
+		return ivHasLo
+	case filter.OpGE:
+		return ivHasLo | ivLoInc
+	default: // OpRange
+		return ivHasLo | ivLoInc | ivHasHi | ivHiInc
+	}
+}
+
+func ordBounds(c filter.Constraint) (lo, hi message.Value) {
+	if c.Op == filter.OpRange {
+		return c.Lo, c.Hi
+	}
+	switch c.Op {
+	case filter.OpLT, filter.OpLE:
+		return message.Value{}, c.Value
+	default: // OpGT, OpGE
+		return c.Value, message.Value{}
+	}
+}
+
+func (ai *attrIndex) insert(x *matchIndex, sg slotGen, c filter.Constraint) {
 	switch c.Op {
 	case filter.OpEQ:
 		if isNaNValue(c.Value) {
 			return // never matches; no posting keeps the entry incompletable
 		}
-		if ai.eq == nil {
-			ai.eq = make(map[message.Value][]int32)
-		}
-		ai.eq[c.Value] = append(ai.eq[c.Value], slot)
+		bits, str := eqPayload(c.Value)
+		ai.eq.add(x, c.Value.Kind(), bits, str, sg)
 	case filter.OpIn:
 		// One posting per distinct set member; a notification value equals
 		// at most one member, so the constraint still counts at most once.
 		eachIndexableInMember(c, func(v message.Value) {
-			if ai.eq == nil {
-				ai.eq = make(map[message.Value][]int32)
-			}
-			ai.eq[v] = append(ai.eq[v], slot)
+			bits, str := eqPayload(v)
+			ai.eq.add(x, v.Kind(), bits, str, sg)
 		})
 	case filter.OpExists:
-		ai.exists = append(ai.exists, slot)
+		ai.exists.add(x, sg)
 	case filter.OpLT, filter.OpLE, filter.OpGT, filter.OpGE, filter.OpRange:
 		if orderedBoundNaN(c) {
-			ai.scan = append(ai.scan, scanPosting{slot: slot, c: c})
+			ai.scan.add(x, sg, c)
 			return
 		}
-		iv, kind := constraintInterval(slot, c)
-		if ai.intervals == nil {
-			ai.intervals = make(map[message.Kind]*intervalList)
+		lo, hi := ordBounds(c)
+		switch orderedKind(c) {
+		case message.KindInt:
+			ai.ivI.insert(x, ivEntry[int64]{lo: lo.IntVal(), hi: hi.IntVal(), flags: ordFlags(c), sg: sg})
+		case message.KindFloat:
+			ai.ivF.insert(x, ivEntry[float64]{lo: lo.FloatVal(), hi: hi.FloatVal(), flags: ordFlags(c), sg: sg})
+		case message.KindString:
+			ai.ivS.insert(x, ivEntry[string]{lo: lo.Str(), hi: hi.Str(), flags: ordFlags(c), sg: sg})
+		default:
+			ai.scan.add(x, sg, c)
 		}
-		il := ai.intervals[kind]
-		if il == nil {
-			il = &intervalList{}
-			ai.intervals[kind] = il
-		}
-		il.insert(iv)
 	case filter.OpPrefix:
 		p := c.Value.Str()
 		if p == "" {
-			ai.anyString = append(ai.anyString, slot)
+			ai.anyString.add(x, sg)
 		} else {
-			if ai.prefixes == nil {
-				ai.prefixes = make(map[byte][]prefixPosting)
-			}
-			ai.prefixes[p[0]] = append(ai.prefixes[p[0]], prefixPosting{slot: slot, prefix: p})
+			ai.prefixes.add(x, p, sg)
 		}
 	default:
 		// !=, suffix, contains, and malformed operators: evaluated directly.
-		ai.scan = append(ai.scan, scanPosting{slot: slot, c: c})
+		ai.scan.add(x, sg, c)
 	}
 }
 
-func (ai *attrIndex) remove(slot int32, c filter.Constraint) {
+// remove mirrors insert's routing so every container's live/dead
+// accounting matches what insert registered. The row generation was
+// already bumped, so this is bookkeeping plus amortized compaction.
+func (ai *attrIndex) remove(x *matchIndex, c filter.Constraint) {
 	switch c.Op {
 	case filter.OpEQ:
 		if isNaNValue(c.Value) {
 			return // mirrored skip: insert registered nothing
 		}
-		ai.eq[c.Value] = removeSlot(ai.eq[c.Value], slot)
-		if len(ai.eq[c.Value]) == 0 {
-			delete(ai.eq, c.Value)
-		}
+		ai.eq.removeLazy(x)
 	case filter.OpIn:
-		eachIndexableInMember(c, func(v message.Value) {
-			ai.eq[v] = removeSlot(ai.eq[v], slot)
-			if len(ai.eq[v]) == 0 {
-				delete(ai.eq, v)
-			}
+		eachIndexableInMember(c, func(message.Value) {
+			ai.eq.removeLazy(x)
 		})
 	case filter.OpExists:
-		ai.exists = removeSlot(ai.exists, slot)
+		ai.exists.removeLazy(x)
 	case filter.OpLT, filter.OpLE, filter.OpGT, filter.OpGE, filter.OpRange:
 		if orderedBoundNaN(c) {
-			ai.removeScan(slot)
+			ai.scan.removeLazy(x)
 			return
 		}
-		_, kind := constraintInterval(slot, c)
-		if il := ai.intervals[kind]; il != nil {
-			il.remove(slot)
-			if len(il.ivs) == 0 {
-				delete(ai.intervals, kind)
-			}
+		switch orderedKind(c) {
+		case message.KindInt:
+			ai.ivI.removeLazy(x)
+		case message.KindFloat:
+			ai.ivF.removeLazy(x)
+		case message.KindString:
+			ai.ivS.removeLazy(x)
+		default:
+			ai.scan.removeLazy(x)
 		}
 	case filter.OpPrefix:
-		p := c.Value.Str()
-		if p == "" {
-			ai.anyString = removeSlot(ai.anyString, slot)
+		if p := c.Value.Str(); p == "" {
+			ai.anyString.removeLazy(x)
 		} else {
-			b := p[0]
-			for i, pp := range ai.prefixes[b] {
-				if pp.slot == slot && pp.prefix == p {
-					ai.prefixes[b] = append(ai.prefixes[b][:i], ai.prefixes[b][i+1:]...)
-					break
-				}
-			}
-			if len(ai.prefixes[b]) == 0 {
-				delete(ai.prefixes, b)
-			}
+			ai.prefixes.remove(x, p)
 		}
 	default:
-		ai.removeScan(slot)
+		ai.scan.removeLazy(x)
 	}
 }
 
-// removeScan deletes one scan posting of the slot. Matching by slot alone
-// is sufficient — and necessary, because Constraint.Equal is false for NaN
-// operands: constraints are only removed as part of removing their whole
-// entry, so every posting of the slot is taken out across that loop and it
-// does not matter which constraint each call deletes.
-func (ai *attrIndex) removeScan(slot int32) {
-	for i, sp := range ai.scan {
-		if sp.slot == slot {
-			ai.scan = append(ai.scan[:i], ai.scan[i+1:]...)
-			return
+// ---------------------------------------------------------------------------
+// Flat posting lists (exists, any-string, match-all, scan).
+// ---------------------------------------------------------------------------
+
+// postlist is a flat slotGen list with lazy deletion: removals only count,
+// generation checks reject stale postings at probe time, and compaction
+// rewrites the list once dead postings dominate.
+type postlist struct {
+	s    cowslice[slotGen]
+	dead int32
+}
+
+func (p *postlist) add(x *matchIndex, sg slotGen) {
+	ps := p.s.own(x.epoch)
+	*ps = append(*ps, sg)
+}
+
+func (p *postlist) liveCount() int {
+	return len(p.s.s) - int(p.dead)
+}
+
+func (p *postlist) removeLazy(x *matchIndex) {
+	p.dead++
+	if int(p.dead) > p.liveCount() && p.dead > 8 {
+		ps := p.s.own(x.epoch)
+		kept := (*ps)[:0]
+		for _, sg := range *ps {
+			if x.rowLive(sg) {
+				kept = append(kept, sg)
+			}
+		}
+		*ps = kept
+		p.dead = 0
+	}
+}
+
+func (p *postlist) probe(s *scratch, x *matchIndex) {
+	for _, sg := range p.s.s {
+		s.bump(sg, x)
+	}
+}
+
+type scanPosting struct {
+	c  filter.Constraint
+	sg slotGen
+}
+
+type scanlist struct {
+	s    cowslice[scanPosting]
+	dead int32
+}
+
+func (p *scanlist) add(x *matchIndex, sg slotGen, c filter.Constraint) {
+	ps := p.s.own(x.epoch)
+	*ps = append(*ps, scanPosting{c: c, sg: sg})
+}
+
+func (p *scanlist) removeLazy(x *matchIndex) {
+	p.dead++
+	if int(p.dead) > len(p.s.s)-int(p.dead) && p.dead > 8 {
+		ps := p.s.own(x.epoch)
+		kept := (*ps)[:0]
+		for _, sp := range *ps {
+			if x.rowLive(sp.sg) {
+				kept = append(kept, sp)
+			}
+		}
+		*ps = kept
+		p.dead = 0
+	}
+}
+
+func (p *scanlist) probe(v message.Value, s *scratch, x *matchIndex) {
+	for i := range p.s.s {
+		sp := &p.s.s[i]
+		if sp.c.MatchesValue(v) {
+			s.bump(sp.sg, x)
 		}
 	}
-}
-
-func (ai *attrIndex) empty() bool {
-	return len(ai.eq) == 0 && len(ai.exists) == 0 && len(ai.intervals) == 0 &&
-		len(ai.prefixes) == 0 && len(ai.anyString) == 0 && len(ai.scan) == 0
-}
-
-func removeSlot(ps []int32, slot int32) []int32 {
-	for i, s := range ps {
-		if s == slot {
-			return append(ps[:i], ps[i+1:]...)
-		}
-	}
-	return ps
-}
-
-// constraintInterval translates an ordered constraint into an interval and
-// the value kind whose list it belongs to. Probing only the list of the
-// notification value's kind reproduces Constraint.Matches' kind-mismatch
-// rejection for free.
-func constraintInterval(slot int32, c filter.Constraint) (interval, message.Kind) {
-	iv := interval{slot: slot}
-	switch c.Op {
-	case filter.OpLT:
-		iv.hi = c.Value
-	case filter.OpLE:
-		iv.hi, iv.hiInc = c.Value, true
-	case filter.OpGT:
-		iv.lo = c.Value
-	case filter.OpGE:
-		iv.lo, iv.loInc = c.Value, true
-	case filter.OpRange:
-		iv.lo, iv.loInc = c.Lo, true
-		iv.hi, iv.hiInc = c.Hi, true
-		return iv, c.Lo.Kind()
-	}
-	return iv, c.Value.Kind()
-}
-
-func (il *intervalList) insert(iv interval) {
-	lo, hi := 0, len(il.ivs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cmpLowerBound(il.ivs[mid], iv) <= 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	il.ivs = append(il.ivs, interval{})
-	copy(il.ivs[lo+1:], il.ivs[lo:])
-	il.ivs[lo] = iv
-}
-
-func (il *intervalList) remove(slot int32) {
-	for i, iv := range il.ivs {
-		if iv.slot == slot {
-			il.ivs = append(il.ivs[:i], il.ivs[i+1:]...)
-			return
-		}
-	}
-}
-
-// cmpLowerBound orders intervals by lower bound, unbounded-below first.
-// Bounds within one list share a kind, so Compare cannot fail.
-func cmpLowerBound(a, b interval) int {
-	switch {
-	case !a.lo.IsValid() && !b.lo.IsValid():
-		return 0
-	case !a.lo.IsValid():
-		return -1
-	case !b.lo.IsValid():
-		return 1
-	}
-	c, _ := a.lo.Compare(b.lo)
-	return c
 }
 
 // ---------------------------------------------------------------------------
@@ -468,8 +598,8 @@ type scratch struct {
 	counts  []int32
 	stamp   []uint32
 	epoch   uint32
-	matched []*idxEntry
-	hopSeen map[wire.Hop]struct{}
+	matched []int32 // row slots
+	hopSeen map[int32]struct{}
 	hopOut  []hopRef
 }
 
@@ -481,9 +611,9 @@ type hopRef struct {
 func (x *matchIndex) getScratch() *scratch {
 	s, _ := x.pool.Get().(*scratch)
 	if s == nil {
-		s = &scratch{hopSeen: make(map[wire.Hop]struct{})}
+		s = &scratch{hopSeen: make(map[int32]struct{})}
 	}
-	if n := len(x.slots); len(s.counts) < n {
+	if n := x.rows.len(); len(s.counts) < n {
 		s.counts = make([]int32, n)
 		s.stamp = make([]uint32, n)
 	}
@@ -498,21 +628,26 @@ func (x *matchIndex) getScratch() *scratch {
 
 func (x *matchIndex) putScratch(s *scratch) { x.pool.Put(s) }
 
-func (s *scratch) bump(slot int32, x *matchIndex) {
+func (s *scratch) bump(sg slotGen, x *matchIndex) {
+	r := x.rows.at(sg.slot)
+	if r.gen != sg.gen {
+		return // posting of a removed row; reclaimed by compaction later
+	}
+	slot := sg.slot
 	if s.stamp[slot] != s.epoch {
 		s.stamp[slot] = s.epoch
 		s.counts[slot] = 1
 	} else {
 		s.counts[slot]++
 	}
-	if s.counts[slot] == x.totals[slot] {
-		s.matched = append(s.matched, x.slots[slot])
+	if s.counts[slot] == r.total {
+		s.matched = append(s.matched, slot)
 	}
 }
 
-// match appends every entry whose filter accepts n to s.matched and returns
-// it. The result aliases scratch state and is only valid until the scratch
-// is released.
+// match appends the slot of every entry whose filter accepts n to
+// s.matched and returns it. The result aliases scratch state and is only
+// valid until the scratch is released.
 //
 // Both the notification's attributes and the index's attribute list are
 // sorted by name, so their intersection is found by a sorted merge: one
@@ -520,9 +655,14 @@ func (s *scratch) bump(slot int32, x *matchIndex) {
 // dwarfs the other, binary-searching each element of the small side into
 // the large one is cheaper than walking the large side, so the walk
 // switches shape on a size ratio.
-func (x *matchIndex) match(n message.Notification, s *scratch) []*idxEntry {
-	s.matched = append(s.matched, x.matchAll...)
-	la, ln := len(x.attrs), n.Len()
+func (x *matchIndex) match(n message.Notification, s *scratch) []int32 {
+	for _, sg := range x.matchAll.s.s {
+		if x.rowLive(sg) {
+			s.matched = append(s.matched, sg.slot)
+		}
+	}
+	attrs := x.attrs.s
+	la, ln := len(attrs), n.Len()
 	switch {
 	case la == 0 || ln == 0:
 	case la <= 8*ln && ln <= 8*la:
@@ -530,12 +670,12 @@ func (x *matchIndex) match(n message.Notification, s *scratch) []*idxEntry {
 		for i < la && j < ln {
 			a := n.At(j)
 			switch {
-			case x.attrs[i].name < a.Name:
+			case attrs[i].name < a.Name:
 				i++
-			case x.attrs[i].name > a.Name:
+			case attrs[i].name > a.Name:
 				j++
 			default:
-				x.attrs[i].ai.probe(a.Value, s, x)
+				attrs[i].ai.probe(a.Value, s, x)
 				i++
 				j++
 			}
@@ -544,13 +684,13 @@ func (x *matchIndex) match(n message.Notification, s *scratch) []*idxEntry {
 		for j := 0; j < ln; j++ {
 			a := n.At(j)
 			if i, ok := x.findAttr(a.Name); ok {
-				x.attrs[i].ai.probe(a.Value, s, x)
+				attrs[i].ai.probe(a.Value, s, x)
 			}
 		}
 	default:
-		for i := range x.attrs {
-			if v, ok := n.Get(x.attrs[i].name); ok {
-				x.attrs[i].ai.probe(v, s, x)
+		for i := range attrs {
+			if v, ok := n.Get(attrs[i].name); ok {
+				attrs[i].ai.probe(v, s, x)
 			}
 		}
 	}
@@ -558,60 +698,105 @@ func (x *matchIndex) match(n message.Notification, s *scratch) []*idxEntry {
 }
 
 func (ai *attrIndex) probe(v message.Value, s *scratch, x *matchIndex) {
-	for _, slot := range ai.exists {
-		s.bump(slot, x)
+	ai.exists.probe(s, x)
+	nan := isNaNValue(v)
+	if !nan && ai.eq.live > 0 {
+		bits, str := eqPayload(v)
+		ai.eq.probe(v.Kind(), bits, str, s, x)
 	}
-	if ai.eq != nil {
-		for _, slot := range ai.eq[v] {
-			s.bump(slot, x)
+	switch v.Kind() {
+	case message.KindInt:
+		ai.ivI.probe(v.IntVal(), s, x)
+	case message.KindFloat:
+		if nan {
+			// Value.Compare orders NaN equal to everything, so NaN is
+			// admitted exactly by the inclusive bounds.
+			ai.ivF.probeInclusive(s, x)
+		} else {
+			ai.ivF.probe(v.FloatVal(), s, x)
+		}
+	case message.KindString:
+		str := v.Str()
+		ai.ivS.probe(str, s, x)
+		ai.anyString.probe(s, x)
+		if str != "" {
+			ai.prefixes.probe(str, s, x)
 		}
 	}
-	if ai.intervals != nil {
-		if il := ai.intervals[v.Kind()]; il != nil {
-			il.probe(v, s, x)
-		}
-	}
-	if v.Kind() == message.KindString {
-		for _, slot := range ai.anyString {
-			s.bump(slot, x)
-		}
-		if str := v.Str(); str != "" && ai.prefixes != nil {
-			for _, pp := range ai.prefixes[str[0]] {
-				if len(str) >= len(pp.prefix) && str[:len(pp.prefix)] == pp.prefix {
-					s.bump(pp.slot, x)
-				}
-			}
-		}
-	}
-	for _, sp := range ai.scan {
-		if sp.c.MatchesValue(v) {
-			s.bump(sp.slot, x)
-		}
-	}
+	ai.scan.probe(v, s, x)
 }
 
-func (il *intervalList) probe(v message.Value, s *scratch, x *matchIndex) {
-	for i := range il.ivs {
-		iv := &il.ivs[i]
-		if iv.lo.IsValid() {
-			c, err := v.Compare(iv.lo)
-			if err != nil {
-				return
-			}
-			if c < 0 {
-				return // sorted by lower bound: no later interval admits v
-			}
-			if c == 0 && !iv.loInc {
-				continue
+// ---------------------------------------------------------------------------
+// Canonical ordering of matched rows.
+// ---------------------------------------------------------------------------
+
+// cmpSlots orders row slots by (identity hash, content) — the canonical
+// deterministic order shared with cmpEntryCanonical on plain entries.
+func (x *matchIndex) cmpSlots(a, b int32) int {
+	ra, rb := x.rows.at(a), x.rows.at(b)
+	if ra.hash != rb.hash {
+		if ra.hash < rb.hash {
+			return -1
+		}
+		return 1
+	}
+	return cmpEntryContent(x.entryAt(a), x.entryAt(b))
+}
+
+// sortSlots sorts slots in canonical order without allocating (a closure
+// handed to slices.SortFunc would escape on the publish hot path).
+func (x *matchIndex) sortSlots(sl []int32) {
+	if len(sl) < 16 {
+		for i := 1; i < len(sl); i++ {
+			for j := i; j > 0 && x.cmpSlots(sl[j], sl[j-1]) < 0; j-- {
+				sl[j], sl[j-1] = sl[j-1], sl[j]
 			}
 		}
-		if iv.hi.IsValid() {
-			c, err := v.Compare(iv.hi)
-			if err != nil || c > 0 || (c == 0 && !iv.hiInc) {
-				continue
-			}
+		return
+	}
+	mid := sl[len(sl)/2]
+	lt, i, gt := 0, 0, len(sl)
+	for i < gt {
+		c := x.cmpSlots(sl[i], mid)
+		switch {
+		case c < 0:
+			sl[lt], sl[i] = sl[i], sl[lt]
+			lt++
+			i++
+		case c > 0:
+			gt--
+			sl[gt], sl[i] = sl[i], sl[gt]
+		default:
+			i++
 		}
-		s.bump(iv.slot, x)
+	}
+	x.sortSlots(sl[:lt])
+	x.sortSlots(sl[gt:])
+}
+
+// eachMatching is the shared visit-in-canonical-order matcher behind
+// Table.EachMatchingEntry (under the table's read lock) and
+// Snapshot.EachMatchingEntry (lock-free on the immutable copy). The Entry
+// pointer handed to visit is reused across calls and only valid during
+// each call.
+func (x *matchIndex) eachMatching(n message.Notification, from wire.Hop, visit func(*Entry)) {
+	s := x.getScratch()
+	defer x.putScratch(s)
+	matched := x.match(n, s)
+	kept := matched[:0]
+	for _, slot := range matched {
+		if x.hops[x.rows.at(slot).hopID].hop != from {
+			kept = append(kept, slot)
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
+	x.sortSlots(kept)
+	var e Entry
+	for _, slot := range kept {
+		x.fillEntry(slot, &e)
+		visit(&e)
 	}
 }
 

@@ -1,0 +1,342 @@
+package routing
+
+import (
+	"slices"
+	"sort"
+)
+
+// Sublinear interval store for ordered constraints (<, <=, >, >=, range).
+//
+// The old index kept one flat slice of intervals sorted by lower bound and
+// probed it linearly up to the first lower bound above the value — O(k +
+// entries with lo ≤ v), which degenerates to a full scan for workloads
+// whose lower bounds sit left of the probe value. At 10⁶ intervals that is
+// the match path's dominant cost.
+//
+// ivlist replaces it with the logarithmic method (Bentley–Saxe) over
+// static sorted runs:
+//
+//   - inserts buffer in a small pending slice (linear probe, bounded by
+//     ivPendCap);
+//   - a full buffer is sorted into a new immutable run, which greedily
+//     merges with any existing run of comparable size, keeping O(log n)
+//     runs with geometrically increasing sizes at amortized O(log n)
+//     insert cost;
+//   - each run stores its intervals as flat parallel slices sorted by
+//     lower bound plus a max-upper-bound segment tree, so one probe costs
+//     O(log n + matches): binary search bounds the prefix with lo ≤ v, and
+//     the tree descent skips every subtree whose maximum upper bound is
+//     below v.
+//
+// Deletes are logical: the row-generation check at bump time invalidates
+// postings of removed rows, and run merges/compactions drop them
+// physically. Runs are immutable once built, so snapshots share them by
+// pointer; only the run directory and the pending buffer need the
+// copy-on-write stamps.
+type ivOrd interface {
+	~int64 | ~float64 | ~string
+}
+
+const (
+	ivHasLo uint8 = 1 << iota
+	ivLoInc
+	ivHasHi
+	ivHiInc
+)
+
+// ivPendCap bounds the linearly-probed pending buffer and sets the base
+// run size for the logarithmic method.
+const ivPendCap = 128
+
+type ivEntry[T ivOrd] struct {
+	lo, hi T
+	flags  uint8
+	sg     slotGen
+}
+
+func (e *ivEntry[T]) match(v T) bool {
+	if e.flags&ivHasLo != 0 && (e.lo > v || (e.lo == v && e.flags&ivLoInc == 0)) {
+		return false
+	}
+	if e.flags&ivHasHi != 0 && (e.hi < v || (e.hi == v && e.flags&ivHiInc == 0)) {
+		return false
+	}
+	return true
+}
+
+// matchInclusive is the probe rule for float NaN values, which
+// Value.Compare orders equal to everything: a bound admits NaN exactly
+// when it is inclusive (or absent). Kept identical to the linear
+// reference semantics of Constraint.Matches.
+func (e *ivEntry[T]) matchInclusive() bool {
+	if e.flags&ivHasLo != 0 && e.flags&ivLoInc == 0 {
+		return false
+	}
+	if e.flags&ivHasHi != 0 && e.flags&ivHiInc == 0 {
+		return false
+	}
+	return true
+}
+
+// ivRun is one immutable sorted run: parallel slices ordered by
+// (has-lower-bound, lower bound), with a 1-indexed max segment tree over
+// the upper bounds ("no upper bound" dominates every value). The
+// no-upper-bound flag lives in a bitset beside the plain max array: a
+// {max, inf} node struct would pad to double the tree's footprint for
+// the numeric kinds.
+type ivRun[T ivOrd] struct {
+	lo, hi []T
+	flags  []uint8
+	sg     []slotGen
+	tree   []T      // max upper bound per node
+	inf    []uint64 // bitset: subtree holds an interval without an upper bound
+	treeW  int
+}
+
+func (r *ivRun[T]) infBit(i int) bool { return r.inf[i>>6]&(1<<(i&63)) != 0 }
+
+type ivlist[T ivOrd] struct {
+	runs cowslice[*ivRun[T]] // kept sorted by size, largest first
+	pend cowslice[ivEntry[T]]
+	live int
+	dead int // logically deleted entries still present in runs/pend
+}
+
+func ivEntryLess[T ivOrd](a, b ivEntry[T]) bool {
+	al, bl := a.flags&ivHasLo != 0, b.flags&ivHasLo != 0
+	if al != bl {
+		return !al // unbounded-below sorts first
+	}
+	return al && a.lo < b.lo
+}
+
+func buildRun[T ivOrd](ents []ivEntry[T]) *ivRun[T] {
+	n := len(ents)
+	r := &ivRun[T]{
+		lo:    make([]T, n),
+		hi:    make([]T, n),
+		flags: make([]uint8, n),
+		sg:    make([]slotGen, n),
+	}
+	for i, e := range ents {
+		r.lo[i], r.hi[i], r.flags[i], r.sg[i] = e.lo, e.hi, e.flags, e.sg
+	}
+	r.buildTree()
+	return r
+}
+
+func (r *ivRun[T]) buildTree() {
+	n := len(r.sg)
+	w := 1
+	for w < n {
+		w *= 2
+	}
+	r.treeW = w
+	r.tree = make([]T, 2*w)
+	r.inf = make([]uint64, (2*w+63)/64)
+	for i := 0; i < n; i++ {
+		r.tree[w+i] = r.hi[i]
+		if r.flags[i]&ivHasHi == 0 {
+			r.inf[(w+i)>>6] |= 1 << ((w + i) & 63)
+		}
+	}
+	for i := w - 1; i >= 1; i-- {
+		if r.infBit(2*i) || r.infBit(2*i+1) {
+			r.inf[i>>6] |= 1 << (i & 63)
+		}
+		if r.tree[2*i+1] > r.tree[2*i] {
+			r.tree[i] = r.tree[2*i+1]
+		} else {
+			r.tree[i] = r.tree[2*i]
+		}
+	}
+}
+
+func (r *ivRun[T]) entry(i int) ivEntry[T] {
+	return ivEntry[T]{lo: r.lo[i], hi: r.hi[i], flags: r.flags[i], sg: r.sg[i]}
+}
+
+func (r *ivRun[T]) probe(v T, s *scratch, x *matchIndex) {
+	// Prefix of candidates: every interval whose lower bound admits v sits
+	// before the first entry with lo > v (unbounded-below entries first).
+	ub := sort.Search(len(r.sg), func(i int) bool {
+		return r.flags[i]&ivHasLo != 0 && r.lo[i] > v
+	})
+	if ub > 0 {
+		r.descend(1, 0, r.treeW, ub, v, s, x)
+	}
+}
+
+// descend reports every interval in [0, ub) whose upper bound admits v,
+// pruning subtrees whose maximum upper bound is below v.
+func (r *ivRun[T]) descend(node, nlo, nhi, ub int, v T, s *scratch, x *matchIndex) {
+	if nlo >= ub {
+		return
+	}
+	if !r.infBit(node) && r.tree[node] < v {
+		return
+	}
+	if nhi-nlo == 1 {
+		e := r.entry(nlo)
+		if e.match(v) {
+			s.bump(e.sg, x)
+		}
+		return
+	}
+	mid := (nlo + nhi) / 2
+	r.descend(2*node, nlo, mid, ub, v, s, x)
+	if ub > mid {
+		r.descend(2*node+1, mid, nhi, ub, v, s, x)
+	}
+}
+
+func (l *ivlist[T]) insert(x *matchIndex, e ivEntry[T]) {
+	pd := l.pend.own(x.epoch)
+	*pd = append(*pd, e)
+	l.live++
+	if len(*pd) >= ivPendCap {
+		l.promote(x)
+	}
+}
+
+// removeLazy records a deletion; the row-generation bump invalidates the
+// posting wherever it sits. A full compaction reclaims space when dead
+// entries outnumber live ones.
+func (l *ivlist[T]) removeLazy(x *matchIndex) {
+	l.live--
+	l.dead++
+	if l.dead > l.live && l.dead > 32 {
+		l.compact(x)
+	}
+}
+
+// promote turns the pending buffer into a run and merges runs of
+// comparable size (the logarithmic method's amortization step).
+func (l *ivlist[T]) promote(x *matchIndex) {
+	pd := l.pend.own(x.epoch)
+	ents := make([]ivEntry[T], 0, len(*pd))
+	for i := range *pd {
+		if x.rowLive((*pd)[i].sg) {
+			ents = append(ents, (*pd)[i])
+		}
+	}
+	l.dead -= len(*pd) - len(ents)
+	*pd = (*pd)[:0]
+	if len(ents) == 0 {
+		return
+	}
+	slices.SortFunc(ents, func(a, b ivEntry[T]) int {
+		if ivEntryLess(a, b) {
+			return -1
+		}
+		if ivEntryLess(b, a) {
+			return 1
+		}
+		return 0
+	})
+	run := buildRun(ents)
+	rs := l.runs.own(x.epoch)
+	for len(*rs) > 0 && len((*rs)[len(*rs)-1].sg) <= 2*len(run.sg) {
+		run = l.mergeRuns(x, (*rs)[len(*rs)-1], run)
+		*rs = (*rs)[:len(*rs)-1]
+	}
+	if len(run.sg) > 0 {
+		*rs = append(*rs, run)
+		slices.SortFunc(*rs, func(a, b *ivRun[T]) int { return len(b.sg) - len(a.sg) })
+	}
+}
+
+// mergeRuns linearly merges two sorted runs, dropping generation-stale
+// entries (the physical half of lazy deletion).
+func (l *ivlist[T]) mergeRuns(x *matchIndex, a, b *ivRun[T]) *ivRun[T] {
+	ents := make([]ivEntry[T], 0, len(a.sg)+len(b.sg))
+	i, j := 0, 0
+	for i < len(a.sg) || j < len(b.sg) {
+		var e ivEntry[T]
+		switch {
+		case j >= len(b.sg):
+			e = a.entry(i)
+			i++
+		case i >= len(a.sg):
+			e = b.entry(j)
+			j++
+		case ivEntryLess(b.entry(j), a.entry(i)):
+			e = b.entry(j)
+			j++
+		default:
+			e = a.entry(i)
+			i++
+		}
+		if x.rowLive(e.sg) {
+			ents = append(ents, e)
+		}
+	}
+	l.dead -= len(a.sg) + len(b.sg) - len(ents)
+	return buildRun(ents)
+}
+
+// compact merges everything (runs and pending) into a single run.
+func (l *ivlist[T]) compact(x *matchIndex) {
+	rs := l.runs.own(x.epoch)
+	pd := l.pend.own(x.epoch)
+	var ents []ivEntry[T]
+	for _, r := range *rs {
+		for i := range r.sg {
+			if x.rowLive(r.sg[i]) {
+				ents = append(ents, r.entry(i))
+			}
+		}
+	}
+	for i := range *pd {
+		if x.rowLive((*pd)[i].sg) {
+			ents = append(ents, (*pd)[i])
+		}
+	}
+	*rs = (*rs)[:0]
+	*pd = (*pd)[:0]
+	l.dead = 0
+	l.live = len(ents)
+	if len(ents) == 0 {
+		return
+	}
+	slices.SortFunc(ents, func(a, b ivEntry[T]) int {
+		if ivEntryLess(a, b) {
+			return -1
+		}
+		if ivEntryLess(b, a) {
+			return 1
+		}
+		return 0
+	})
+	*rs = append(*rs, buildRun(ents))
+}
+
+func (l *ivlist[T]) probe(v T, s *scratch, x *matchIndex) {
+	for _, r := range l.runs.s {
+		r.probe(v, s, x)
+	}
+	for i := range l.pend.s {
+		e := &l.pend.s[i]
+		if e.match(v) {
+			s.bump(e.sg, x)
+		}
+	}
+}
+
+// probeInclusive implements the NaN probe value path (see matchInclusive).
+func (l *ivlist[T]) probeInclusive(s *scratch, x *matchIndex) {
+	for _, r := range l.runs.s {
+		for i := range r.sg {
+			e := r.entry(i)
+			if e.matchInclusive() {
+				s.bump(e.sg, x)
+			}
+		}
+	}
+	for i := range l.pend.s {
+		e := &l.pend.s[i]
+		if e.matchInclusive() {
+			s.bump(e.sg, x)
+		}
+	}
+}

@@ -5,13 +5,13 @@ import (
 	"repro/internal/wire"
 )
 
-// Snapshot is an immutable, point-in-time copy of a Table's match state.
+// Snapshot is an immutable, point-in-time view of a Table's match state.
 // Any number of goroutines may match against a snapshot concurrently and
 // lock-free: nothing in it is ever mutated after construction (the
-// per-match counting scratch comes from the snapshot's own pool). The
-// broker's parallel publish pipeline hands one snapshot to its matching
-// workers per publish run; control messages that mutate the table
-// invalidate the cached snapshot, so the next run observes a fresh one.
+// per-match counting scratch comes from a shared pool). The broker's
+// parallel publish pipeline hands one snapshot to its matching workers per
+// publish run; control messages that mutate the table invalidate the
+// cached snapshot, so the next run observes a fresh one.
 type Snapshot struct {
 	gen     uint64 // table generation the snapshot was built at
 	idx     *matchIndex
@@ -30,7 +30,7 @@ func (sn *Snapshot) Len() int { return sn.entries }
 
 // EachMatchingEntry calls visit for every captured entry whose filter
 // matches the notification, excluding entries pointing back at from — the
-// same rows in the same deterministic (entry-key) order as
+// same rows in the same deterministic (canonical) order as
 // Table.EachMatchingEntry at the moment the snapshot was taken. It is safe
 // to call from any number of goroutines concurrently. The entry pointer is
 // only valid during the call; visit must not retain or modify it.
@@ -51,9 +51,10 @@ type SnapshotStats struct {
 	// Gen counts table mutations (each one invalidates the cached
 	// snapshot; the next Snapshot call swaps in a fresh pointer).
 	Gen uint64
-	// Builds counts snapshot constructions: Clones structural copies of
-	// the live index, Rebuilds compacting from-scratch constructions.
-	// Builds == Clones + Rebuilds.
+	// Builds counts snapshot constructions: Clones are O(1) shared views
+	// of the live index (the copy-on-write epoch fence makes subsequent
+	// mutations copy what the snapshot can see), Rebuilds compacting
+	// from-scratch constructions. Builds == Clones + Rebuilds.
 	Builds, Clones, Rebuilds uint64
 }
 
@@ -63,14 +64,17 @@ type SnapshotStats struct {
 // pays for at most one snapshot build (lazy copy-on-write — the "write"
 // only marks the cache stale, the copy happens at the next read).
 //
-// Build policy (rebuild vs clone): a clone is a structural copy of the
-// live index — cheap, no filter re-analysis, but it inherits the live
-// index's slot-array fragmentation (free slots left by removed entries).
-// A rebuild re-inserts every entry into a fresh index, compacting the
-// counting arrays back to the live entry count. Clone is the default;
-// rebuild kicks in when churn has left the slot array more than half
-// holes, so long-lived snapshots of a high-churn table do not drag
-// ever-growing scratch arrays behind them.
+// Build policy (rebuild vs clone): a clone shares the live index's pages
+// behind the copy-on-write epoch fence — O(1), no structural copy; the
+// mutations that follow pay one page copy per page they touch. That makes
+// clones cheap at any size, but a clone inherits the live index's
+// fragmentation (free slots and lazily-deleted postings left by removed
+// entries). A rebuild re-inserts every live entry into a fresh index,
+// compacting the row vector back to the live entry count; the rebuilt
+// index also replaces the live one, so the compaction pays off for every
+// later snapshot rather than being repeated per snapshot. Clone is the
+// default; rebuild kicks in when churn has left the row vector more than
+// half holes.
 func (t *Table) Snapshot() *Snapshot {
 	if sn := t.snap.Load(); sn != nil {
 		return sn
@@ -81,15 +85,13 @@ func (t *Table) Snapshot() *Snapshot {
 		// Another goroutine built it between our fast path and the lock.
 		return sn
 	}
-	var idx *matchIndex
-	if 2*len(t.idx.free) > len(t.idx.slots) {
-		idx = rebuildIndex(t.entries)
+	if 2*len(t.idx.free.s) > t.idx.rows.len() {
+		t.idx = t.idx.rebuild()
 		t.snapRebuilds++
 	} else {
-		idx = t.idx.clone()
 		t.snapClones++
 	}
-	sn := &Snapshot{gen: t.gen, idx: idx, entries: len(t.entries)}
+	sn := &Snapshot{gen: t.gen, idx: t.idx.share(), entries: t.idx.liveRows}
 	t.snap.Store(sn)
 	return sn
 }
@@ -107,22 +109,10 @@ func (t *Table) SnapshotStats() SnapshotStats {
 }
 
 // invalidateSnapshot bumps the mutation generation and drops the cached
-// snapshot. Callers hold t.mu. Outstanding snapshots stay valid — they
-// share immutable structure only — but the next Snapshot call builds a
-// fresh one (the atomic pointer swap of the copy-on-write scheme).
+// snapshot. Callers hold t.mu. Outstanding snapshots stay valid — the
+// epoch fence makes later mutations copy-on-write anything they share —
+// but the next Snapshot call builds a fresh one.
 func (t *Table) invalidateSnapshot() {
 	t.gen++
 	t.snap.Store(nil)
-}
-
-// rebuildIndex constructs a compact index over the table's entries. Fresh
-// idxEntry shells are used because insert assigns slots (the live rows'
-// slot fields belong to the live index); the immutable pieces — entry,
-// precomputed keys, constraint list — are shared.
-func rebuildIndex(entries map[string]*idxEntry) *matchIndex {
-	idx := newMatchIndex()
-	for _, ie := range entries {
-		idx.insert(&idxEntry{e: ie.e, key: ie.key, hopKey: ie.hopKey, cs: ie.cs})
-	}
-	return idx
 }

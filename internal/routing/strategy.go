@@ -98,7 +98,14 @@ func (s Strategy) Reduce(fs []filter.Filter) []filter.Filter {
 	case Covering:
 		return removeCovered(dedupIdentical(fs))
 	case Merging:
-		return removeCovered(filter.MergeAll(removeCovered(dedupIdentical(fs))))
+		// Group-local perfect merging (see mergeplane.go): every filter
+		// belongs to exactly one merge group, each group emits its base
+		// plus the canonical union of the members' merge-attribute
+		// constraints, and covering minimizes the emissions. Unlike the
+		// old global greedy fixpoint this is a deterministic function of
+		// the input *set* with purely local update cost, which is what
+		// makes the incremental mergePlane exact.
+		return removeCovered(groupMerge(dedupIdentical(fs)))
 	default:
 		return dedupIdentical(fs)
 	}
@@ -173,12 +180,13 @@ func (u Update) Empty() bool { return len(u.Subscribe) == 0 && len(u.Unsubscribe
 // administrative traffic that Figure 9 counts.
 //
 // The primary API is the delta one — AddFilter/RemoveFilter apply a
-// single routing-entry change at a cost proportional to the change
-// (Flooding and Simple/Identity in O(1), Covering through the
-// signature-bucketed CoverIndex) — while Recompute remains as the batch
-// oracle: Merging's perfect-merge fixpoint is recomputed from the tracked
-// inputs on every delta, and link churn uses Recompute to reseed or
-// repair a neighbor's state from an authoritative input list.
+// single routing-entry change at a cost proportional to the change:
+// Flooding and Simple/Identity in O(1), Covering through the
+// signature-bucketed CoverIndex, and Merging through refcounted merge
+// groups (mergeplane.go) that recompute only the group the changed filter
+// belongs to. Recompute remains as the batch oracle: link churn uses it
+// to reseed or repair a neighbor's state from an authoritative input
+// list, and the equivalence tests compare the delta path against it.
 type Forwarder struct {
 	strategy Strategy
 
@@ -212,10 +220,11 @@ func NewForwarder(s Strategy) *Forwarder {
 // Strategy returns the forwarder's strategy.
 func (f *Forwarder) Strategy() Strategy { return f.strategy }
 
-// Incremental reports whether the delta API avoids batch recomputation:
-// true for every strategy except Merging, whose perfect-merge fixpoint
-// has no known cheap incremental form.
-func (f *Forwarder) Incremental() bool { return f.strategy != Merging }
+// Incremental reports whether the delta API avoids batch recomputation.
+// Since the merging plane rework it is true for every strategy: Merging's
+// group-local formulation confines each delta to one refcounted merge
+// group instead of re-running a global fixpoint.
+func (f *Forwarder) Incremental() bool { return true }
 
 // AddFilter records one more routing-table entry carrying fl among the
 // inputs for the neighbor and returns the administrative diff it causes.
@@ -356,8 +365,8 @@ func (f *Forwarder) DropHop(hop wire.Hop) {
 // cover work the incremental path avoided.
 type ForwarderStats struct {
 	// Strategy is the forwarder's routing strategy; Incremental reports
-	// whether its delta API avoids batch recomputation (false only for
-	// Merging).
+	// whether its delta API avoids batch recomputation (true for all
+	// strategies since the merging plane rework).
 	Strategy    Strategy
 	Incremental bool
 	// Hops is the number of neighbors with tracked state; TrackedFilters
@@ -368,6 +377,13 @@ type ForwarderStats struct {
 	// indexes; CoverChecksSaved counts candidate pairs the signature
 	// buckets dismissed without one.
 	CoverChecks, CoverChecksSaved uint64
+	// MergesActive counts merge groups currently suppressing at least one
+	// input behind a broader merged filter, MergeCovered the inputs so
+	// suppressed, and Unmerges the cumulative removals that forced a
+	// merged filter to be re-expanded into narrower ones. All three stay
+	// zero for strategies below Merging.
+	MergesActive, MergeCovered int
+	Unmerges                   uint64
 }
 
 // Stats returns a snapshot of the forwarder's counters.
@@ -376,7 +392,7 @@ func (f *Forwarder) Stats() ForwarderStats {
 	defer f.mu.Unlock()
 	s := ForwarderStats{
 		Strategy:    f.strategy,
-		Incremental: f.strategy != Merging,
+		Incremental: true,
 		Hops:        len(f.planes),
 	}
 	for _, p := range f.planes {
@@ -384,6 +400,12 @@ func (f *Forwarder) Stats() ForwarderStats {
 		checks, saved := p.stats()
 		s.CoverChecks += checks
 		s.CoverChecksSaved += saved
+		if mp, ok := p.(*mergePlane); ok {
+			active, covered, unmerges := mp.mergeStats()
+			s.MergesActive += active
+			s.MergeCovered += covered
+			s.Unmerges += unmerges
+		}
 	}
 	for _, m := range f.forwarded {
 		s.ForwardedFilters += len(m)
@@ -404,7 +426,7 @@ func newPlane(s Strategy) plane {
 	case Covering:
 		return &coverPlane{idx: NewCoverIndex()}
 	case Merging:
-		return &mergePlane{refPlane: newRefPlane()}
+		return newMergePlane()
 	default: // Simple, Identity
 		return &dedupPlane{refPlane: newRefPlane()}
 	}
@@ -464,8 +486,8 @@ func (p *refPlane) reset(inputs []filter.Filter) {
 	}
 }
 
-// distinct returns the tracked filters sorted by ID (the canonical input
-// order, which makes Merging's greedy fixpoint deterministic).
+// distinct returns the tracked filters sorted by ID, the canonical
+// forward order.
 func (p *refPlane) distinct() []filter.Filter {
 	out := make([]filter.Filter, 0, len(p.fs))
 	for _, f := range p.fs {
@@ -517,27 +539,6 @@ func (p *coverPlane) desired() []filter.Filter { return p.idx.Forwarded() }
 func (p *coverPlane) size() int                { return p.idx.Len() }
 func (p *coverPlane) stats() (uint64, uint64)  { return p.idx.checks, p.idx.saved }
 
-// mergePlane implements Merging: deltas maintain the tracked input
-// multiset, but the desired set is recomputed through the full
-// Reduce fixpoint each time — the documented batch fallback, since a
-// perfect merge can entangle arbitrarily many inputs and has no cheap
-// inverse.
-type mergePlane struct{ refPlane }
-
-func (p *mergePlane) add(f filter.Filter) (CoverDelta, bool) {
-	if !p.track(f) {
-		// The distinct input set is unchanged, so the fixpoint is too:
-		// report an (incremental) empty delta instead of recomputing.
-		return CoverDelta{}, true
-	}
-	return CoverDelta{}, false
-}
-
-func (p *mergePlane) remove(f filter.Filter) (CoverDelta, bool) {
-	if !p.untrack(f) {
-		return CoverDelta{}, true
-	}
-	return CoverDelta{}, false
-}
-
-func (p *mergePlane) desired() []filter.Filter { return Merging.Reduce(p.distinct()) }
+// mergePlane (Merging) lives in mergeplane.go: refcounted merge groups
+// with group-local recomputation and a private CoverIndex over the
+// emissions.

@@ -41,8 +41,9 @@ type Entry struct {
 // subscription.
 func (e Entry) IsClientEntry() bool { return e.Client != "" }
 
-// key returns a unique identity for the entry within a table. Tables cache
-// it per row at insert time; it is only recomputed for lookup arguments.
+// key renders a unique identity string for the entry. The index itself
+// identifies rows by content hash (see valtab.go) — this rendering
+// survives for tests and diagnostics.
 func (e Entry) key() string {
 	var b strings.Builder
 	b.WriteString(e.Filter.ID())
@@ -56,11 +57,12 @@ func (e Entry) key() string {
 }
 
 // Table is a concurrency-safe routing table backed by a predicate-counting
-// match index.
+// match index. The index owns all entry storage (SoA rows, interned hops
+// and owners, content-hash identity — see index.go); the table adds
+// locking and the copy-on-write snapshot plane.
 type Table struct {
-	mu      sync.RWMutex
-	entries map[string]*idxEntry
-	idx     *matchIndex
+	mu  sync.RWMutex
+	idx *matchIndex
 
 	// Copy-on-write snapshot state (see snapshot.go): snap caches the
 	// last built immutable snapshot, gen counts mutations, and the
@@ -73,28 +75,16 @@ type Table struct {
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{
-		entries: make(map[string]*idxEntry),
-		idx:     newMatchIndex(),
-	}
+	return &Table{idx: newMatchIndex()}
 }
 
 // Add inserts an entry, reporting whether it was not already present.
 func (t *Table) Add(e Entry) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	k := e.key()
-	if _, ok := t.entries[k]; ok {
+	if !t.idx.insertEntry(e) {
 		return false
 	}
-	ie := &idxEntry{
-		e:      e,
-		key:    k,
-		hopKey: e.Hop.String(),
-		cs:     e.Filter.Constraints(),
-	}
-	t.entries[k] = ie
-	t.idx.insert(ie)
 	t.invalidateSnapshot()
 	return true
 }
@@ -103,13 +93,9 @@ func (t *Table) Add(e Entry) bool {
 func (t *Table) Remove(e Entry) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	k := e.key()
-	ie, ok := t.entries[k]
-	if !ok {
+	if !t.idx.removeEntry(e) {
 		return false
 	}
-	delete(t.entries, k)
-	t.idx.remove(ie)
 	t.invalidateSnapshot()
 	return true
 }
@@ -118,23 +104,26 @@ func (t *Table) Remove(e Entry) bool {
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.entries)
+	return t.idx.liveRows
 }
 
-// All returns a snapshot of every entry in a deterministic order.
+// All returns a snapshot of every entry in the canonical deterministic
+// order.
 func (t *Table) All() []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	keys := make([]string, 0, len(t.entries))
-	for k := range t.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Entry, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, t.entries[k].e)
-	}
+	out := make([]Entry, 0, t.idx.liveRows)
+	t.idx.forEachLiveSlot(func(slot int32, _ *row) {
+		out = append(out, t.idx.entryAt(slot))
+	})
+	sortEntriesCanonical(out)
 	return out
+}
+
+// sortEntriesCanonical orders entries by the shared canonical comparator
+// (identity hash, then content) used by every enumeration API.
+func sortEntriesCanonical(es []Entry) {
+	slices.SortFunc(es, cmpEntryCanonical)
 }
 
 // MatchingHops returns the deduplicated hops whose filters match the
@@ -143,18 +132,24 @@ func (t *Table) All() []Entry {
 func (t *Table) MatchingHops(n message.Notification, from wire.Hop) []wire.Hop {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := t.idx.getScratch()
-	defer t.idx.putScratch(s)
+	return t.idx.matchingHops(n, from)
+}
+
+func (x *matchIndex) matchingHops(n message.Notification, from wire.Hop) []wire.Hop {
+	s := x.getScratch()
+	defer x.putScratch(s)
 	s.hopOut = s.hopOut[:0]
-	for _, ie := range t.idx.match(n, s) {
-		if ie.e.Hop == from {
+	for _, slot := range x.match(n, s) {
+		hid := x.rows.at(slot).hopID
+		hi := x.hops[hid]
+		if hi.hop == from {
 			continue
 		}
-		if _, dup := s.hopSeen[ie.e.Hop]; dup {
+		if _, dup := s.hopSeen[hid]; dup {
 			continue
 		}
-		s.hopSeen[ie.e.Hop] = struct{}{}
-		s.hopOut = append(s.hopOut, hopRef{key: ie.hopKey, hop: ie.e.Hop})
+		s.hopSeen[hid] = struct{}{}
+		s.hopOut = append(s.hopOut, hopRef{key: hi.key, hop: hi.hop})
 	}
 	clear(s.hopSeen)
 	if len(s.hopOut) == 0 {
@@ -195,33 +190,6 @@ func (t *Table) EachMatchingEntry(n message.Notification, from wire.Hop, visit f
 	t.idx.eachMatching(n, from, visit)
 }
 
-// eachMatching is the shared visit-in-entry-key-order matcher behind
-// Table.EachMatchingEntry (under the table's read lock) and
-// Snapshot.EachMatchingEntry (lock-free on the immutable copy).
-func (x *matchIndex) eachMatching(n message.Notification, from wire.Hop, visit func(*Entry)) {
-	s := x.getScratch()
-	defer x.putScratch(s)
-	matched := x.match(n, s)
-	kept := matched[:0]
-	for _, ie := range matched {
-		if ie.e.Hop != from {
-			kept = append(kept, ie)
-		}
-	}
-	if len(kept) == 0 {
-		return
-	}
-	// slices.SortFunc instead of sort.Sort: the interface conversion in
-	// sort.Sort heap-allocates per call, which would be the only
-	// allocation on this path.
-	slices.SortFunc(kept, cmpEntryKey)
-	for _, ie := range kept {
-		visit(&ie.e)
-	}
-}
-
-func cmpEntryKey(a, b *idxEntry) int { return strings.Compare(a.key, b.key) }
-
 // MatchingHopsLinear is the pre-index reference implementation of
 // MatchingHops: a full scan evaluating every filter. It is retained for the
 // parity property test and as the baseline of the BenchmarkMatchIndex*
@@ -231,38 +199,39 @@ func (t *Table) MatchingHopsLinear(n message.Notification, from wire.Hop) []wire
 	defer t.mu.RUnlock()
 	seen := make(map[string]bool)
 	var out []wire.Hop
-	for _, ie := range t.entries {
-		if ie.e.Hop == from {
-			continue
+	t.idx.forEachLiveSlot(func(slot int32, r *row) {
+		e := t.idx.entryAt(slot)
+		if e.Hop == from {
+			return
 		}
-		hk := ie.e.Hop.String()
+		hk := t.idx.hops[r.hopID].key
 		if seen[hk] {
-			continue
+			return
 		}
-		if ie.e.Filter.Matches(n) {
+		if e.Filter.Matches(n) {
 			seen[hk] = true
-			out = append(out, ie.e.Hop)
+			out = append(out, e.Hop)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 
 // MatchingEntriesLinear is the pre-index reference implementation of
-// MatchingEntries, retained for parity testing and benchmarking.
+// MatchingEntries, retained for parity testing and benchmarking. It sorts
+// with the same canonical comparator as the index path so results compare
+// structurally equal.
 func (t *Table) MatchingEntriesLinear(n message.Notification, from wire.Hop) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []Entry
-	for _, ie := range t.entries {
-		if ie.e.Hop == from {
-			continue
+	t.idx.forEachLiveSlot(func(slot int32, _ *row) {
+		e := t.idx.entryAt(slot)
+		if e.Hop != from && e.Filter.Matches(n) {
+			out = append(out, e)
 		}
-		if ie.e.Filter.Matches(n) {
-			out = append(out, ie.e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	})
+	sortEntriesCanonical(out)
 	return out
 }
 
@@ -271,13 +240,18 @@ func (t *Table) MatchingEntriesLinear(n message.Notification, from wire.Hop) []E
 func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var sel []*idxEntry
-	for _, ie := range t.entries {
-		if ie.e.Client == c && ie.e.SubID == id {
-			sel = append(sel, ie)
-		}
+	iid, ok := t.idx.identID[identKey{c: c, s: id}]
+	if !ok {
+		return nil
 	}
-	return sortedEntries(sel)
+	var out []Entry
+	t.idx.forEachLiveSlot(func(slot int32, r *row) {
+		if r.identID == iid {
+			out = append(out, t.idx.entryAt(slot))
+		}
+	})
+	sortEntriesCanonical(out)
+	return out
 }
 
 // RemoveClient deletes all entries owned by the given client subscription
@@ -285,18 +259,11 @@ func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
 func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var sel []*idxEntry
-	for k, ie := range t.entries {
-		if ie.e.Client == c && ie.e.SubID == id {
-			sel = append(sel, ie)
-			delete(t.entries, k)
-			t.idx.remove(ie)
-		}
+	iid, ok := t.idx.identID[identKey{c: c, s: id}]
+	if !ok {
+		return nil
 	}
-	if len(sel) > 0 {
-		t.invalidateSnapshot()
-	}
-	return sortedEntries(sel)
+	return t.removeSelected(func(r *row) bool { return r.identID == iid })
 }
 
 // RemoveHop deletes all entries pointing along the given hop and returns
@@ -304,18 +271,32 @@ func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 func (t *Table) RemoveHop(h wire.Hop) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var sel []*idxEntry
-	for k, ie := range t.entries {
-		if ie.e.Hop == h {
-			sel = append(sel, ie)
-			delete(t.entries, k)
-			t.idx.remove(ie)
-		}
+	hid, ok := t.idx.hopIDs[h]
+	if !ok {
+		return nil
 	}
-	if len(sel) > 0 {
+	return t.removeSelected(func(r *row) bool { return r.hopID == hid })
+}
+
+// removeSelected deletes every live row the predicate selects, returning
+// the removed entries in canonical order. Callers hold the write lock.
+func (t *Table) removeSelected(sel func(r *row) bool) []Entry {
+	var slots []int32
+	var out []Entry
+	t.idx.forEachLiveSlot(func(slot int32, r *row) {
+		if sel(r) {
+			slots = append(slots, slot)
+			out = append(out, t.idx.entryAt(slot))
+		}
+	})
+	for _, slot := range slots {
+		t.idx.removeSlot(slot)
+	}
+	if len(slots) > 0 {
 		t.invalidateSnapshot()
 	}
-	return sortedEntries(sel)
+	sortEntriesCanonical(out)
+	return out
 }
 
 // EntriesNotFrom returns the filters of all entries whose hop differs from
@@ -323,25 +304,17 @@ func (t *Table) RemoveHop(h wire.Hop) []Entry {
 func (t *Table) EntriesNotFrom(h wire.Hop) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var sel []*idxEntry
-	for _, ie := range t.entries {
-		if ie.e.Hop != h {
-			sel = append(sel, ie)
+	hid, ok := t.idx.hopIDs[h]
+	if !ok {
+		hid = -1 // hop never interned: nothing points along it
+	}
+	var out []Entry
+	t.idx.forEachLiveSlot(func(slot int32, r *row) {
+		if r.hopID != hid {
+			out = append(out, t.idx.entryAt(slot))
 		}
-	}
-	return sortedEntries(sel)
-}
-
-// sortedEntries orders rows by their cached keys and extracts the entries.
-func sortedEntries(sel []*idxEntry) []Entry {
-	if len(sel) == 0 {
-		return nil
-	}
-	slices.SortFunc(sel, cmpEntryKey)
-	out := make([]Entry, len(sel))
-	for i, ie := range sel {
-		out[i] = ie.e
-	}
+	})
+	sortEntriesCanonical(out)
 	return out
 }
 
@@ -351,12 +324,17 @@ func sortedEntries(sel []*idxEntry) []Entry {
 func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, ie := range t.entries {
-		if ie.e.Hop == h && ie.e.Filter.Overlaps(f) {
-			return true
-		}
+	hid, ok := t.idx.hopIDs[h]
+	if !ok {
+		return false
 	}
-	return false
+	overlaps := false
+	t.idx.forEachLiveSlot(func(slot int32, r *row) {
+		if !overlaps && r.hopID == hid && r.f.Overlaps(f) {
+			overlaps = true
+		}
+	})
+	return overlaps
 }
 
 // HopsOverlapping returns the hops having at least one entry overlapping
@@ -364,20 +342,21 @@ func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
 func (t *Table) HopsOverlapping(f filter.Filter, from wire.Hop) []wire.Hop {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	seen := make(map[wire.Hop]struct{})
+	seen := make(map[int32]struct{})
 	var refs []hopRef
-	for _, ie := range t.entries {
-		if ie.e.Hop == from {
-			continue
+	t.idx.forEachLiveSlot(func(slot int32, r *row) {
+		hi := t.idx.hops[r.hopID]
+		if hi.hop == from {
+			return
 		}
-		if _, dup := seen[ie.e.Hop]; dup {
-			continue
+		if _, dup := seen[r.hopID]; dup {
+			return
 		}
-		if ie.e.Filter.Overlaps(f) {
-			seen[ie.e.Hop] = struct{}{}
-			refs = append(refs, hopRef{key: ie.hopKey, hop: ie.e.Hop})
+		if r.f.Overlaps(f) {
+			seen[r.hopID] = struct{}{}
+			refs = append(refs, hopRef{key: hi.key, hop: hi.hop})
 		}
-	}
+	})
 	if len(refs) == 0 {
 		return nil
 	}
@@ -394,9 +373,9 @@ func (t *Table) IndexStats() IndexStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return IndexStats{
-		Entries:  len(t.entries),
-		Attrs:    len(t.idx.attrs),
+		Entries:  t.idx.liveRows,
+		Attrs:    len(t.idx.attrs.s),
 		Postings: t.idx.postings,
-		MatchAll: len(t.idx.matchAll),
+		MatchAll: t.idx.matchAll.liveCount(),
 	}
 }

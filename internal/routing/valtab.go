@@ -1,0 +1,608 @@
+package routing
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+)
+
+// Content hashing and identity for the SoA match index.
+//
+// The old index identified rows by rendered key strings (Filter.ID() +
+// Hop.String() + client/sub), which costs one long heap string per row —
+// unaffordable at 10⁶ entries. The SoA index instead identifies rows by a
+// 64-bit content hash plus structural equality, with two distinct value
+// equivalences:
+//
+//   - identity equivalence (duplicate detection, Remove lookup) follows the
+//     Value.Key() string semantics: every NaN is one identity ("NaN"),
+//     while -0.0 and +0.0 are distinct ("-0" vs "0").
+//   - match equivalence (equality posting buckets) follows Value.Equal:
+//     -0.0 == +0.0 share a bucket, NaN equals nothing and is never posted.
+//
+// Both are expressed as a (kind, bits, str) triple so they can key the
+// open-addressed tables below without string rendering.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// canonicalNaNBits is the single bit pattern all NaNs normalize to under
+// identity equivalence (mirrors Value.Key rendering every NaN as "NaN").
+var canonicalNaNBits = math.Float64bits(math.NaN())
+
+func hashStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func hashU64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+func hashU8(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+// identPayload maps a value to its identity-equivalence payload.
+func identPayload(v message.Value) (bits uint64, str string) {
+	switch v.Kind() {
+	case message.KindString:
+		return 0, v.Str()
+	case message.KindInt:
+		return uint64(v.IntVal()), ""
+	case message.KindFloat:
+		f := v.FloatVal()
+		if f != f {
+			return canonicalNaNBits, ""
+		}
+		return math.Float64bits(f), ""
+	case message.KindBool:
+		if v.BoolVal() {
+			return 1, ""
+		}
+		return 0, ""
+	}
+	return 0, ""
+}
+
+// eqPayload maps a value to its match-equivalence payload. NaN values must
+// not be posted at all (callers guard with isNaNValue).
+func eqPayload(v message.Value) (bits uint64, str string) {
+	switch v.Kind() {
+	case message.KindString:
+		return 0, v.Str()
+	case message.KindInt:
+		return uint64(v.IntVal()), ""
+	case message.KindFloat:
+		f := v.FloatVal()
+		if f == 0 {
+			f = 0 // collapse -0.0 into +0.0: Value.Equal treats them equal
+		}
+		return math.Float64bits(f), ""
+	case message.KindBool:
+		if v.BoolVal() {
+			return 1, ""
+		}
+		return 0, ""
+	}
+	return 0, ""
+}
+
+func hashValueIdent(h uint64, v message.Value) uint64 {
+	bits, str := identPayload(v)
+	h = hashU8(h, byte(v.Kind()))
+	h = hashU64(h, bits)
+	return hashStr(h, str)
+}
+
+func identValueEqual(a, b message.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	ab, as := identPayload(a)
+	bb, bs := identPayload(b)
+	return ab == bb && as == bs
+}
+
+// cmpValueIdent is a deterministic total order consistent with identity
+// equivalence (used for canonical row ordering, not numeric semantics).
+func cmpValueIdent(a, b message.Value) int {
+	if ak, bk := a.Kind(), b.Kind(); ak != bk {
+		if ak < bk {
+			return -1
+		}
+		return 1
+	}
+	ab, as := identPayload(a)
+	bb, bs := identPayload(b)
+	if ab != bb {
+		if ab < bb {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(as, bs)
+}
+
+func hashConstraintIdent(h uint64, c filter.Constraint) uint64 {
+	h = hashStr(h, c.Attr)
+	h = hashU8(h, byte(c.Op))
+	h = hashValueIdent(h, c.Value)
+	h = hashValueIdent(h, c.Lo)
+	h = hashValueIdent(h, c.Hi)
+	h = hashU64(h, uint64(len(c.Values)))
+	for _, v := range c.Values {
+		h = hashValueIdent(h, v)
+	}
+	return h
+}
+
+func identConstraintEqual(a, b filter.Constraint) bool {
+	if a.Attr != b.Attr || a.Op != b.Op || len(a.Values) != len(b.Values) {
+		return false
+	}
+	if !identValueEqual(a.Value, b.Value) || !identValueEqual(a.Lo, b.Lo) || !identValueEqual(a.Hi, b.Hi) {
+		return false
+	}
+	for i := range a.Values {
+		if !identValueEqual(a.Values[i], b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func cmpConstraintIdent(a, b filter.Constraint) int {
+	if c := strings.Compare(a.Attr, b.Attr); c != 0 {
+		return c
+	}
+	if a.Op != b.Op {
+		if a.Op < b.Op {
+			return -1
+		}
+		return 1
+	}
+	if c := cmpValueIdent(a.Value, b.Value); c != 0 {
+		return c
+	}
+	if c := cmpValueIdent(a.Lo, b.Lo); c != 0 {
+		return c
+	}
+	if c := cmpValueIdent(a.Hi, b.Hi); c != 0 {
+		return c
+	}
+	if la, lb := len(a.Values), len(b.Values); la != lb {
+		if la < lb {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.Values {
+		if c := cmpValueIdent(a.Values[i], b.Values[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func hashFilterIdent(h uint64, f filter.Filter) uint64 {
+	n := f.Len()
+	h = hashU64(h, uint64(n))
+	for i := 0; i < n; i++ {
+		h = hashConstraintIdent(h, f.At(i))
+	}
+	return h
+}
+
+func identFilterEqual(a, b filter.Filter) bool {
+	n := a.Len()
+	if n != b.Len() {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if !identConstraintEqual(a.At(i), b.At(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func cmpFilterIdent(a, b filter.Filter) int {
+	na, nb := a.Len(), b.Len()
+	n := min(na, nb)
+	for i := 0; i < n; i++ {
+		if c := cmpConstraintIdent(a.At(i), b.At(i)); c != 0 {
+			return c
+		}
+	}
+	if na != nb {
+		if na < nb {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// entryIdentHash hashes an entry's full identity (filter, hop, owner); it
+// is a pure function of content, so equal entries hash equal across
+// processes and rebuilds.
+func entryIdentHash(e Entry) uint64 {
+	h := hashFilterIdent(fnvOffset64, e.Filter)
+	h = hashStr(h, string(e.Hop.Broker))
+	h = hashU8(h, '#')
+	h = hashStr(h, string(e.Hop.Client))
+	h = hashU8(h, '#')
+	h = hashStr(h, string(e.Client))
+	h = hashU8(h, '/')
+	return hashStr(h, string(e.SubID))
+}
+
+// cmpEntryContent is the canonical tie-break order for rows whose hashes
+// collide: filter, then hop, then owner. Combined with the hash it yields
+// the deterministic row order every matching and enumeration API sorts by;
+// the *Linear reference implementations use the same comparator so parity
+// tests can compare results structurally.
+func cmpEntryContent(a, b Entry) int {
+	if c := cmpFilterIdent(a.Filter, b.Filter); c != 0 {
+		return c
+	}
+	if c := strings.Compare(string(a.Hop.Broker), string(b.Hop.Broker)); c != 0 {
+		return c
+	}
+	if c := strings.Compare(string(a.Hop.Client), string(b.Hop.Client)); c != 0 {
+		return c
+	}
+	if c := strings.Compare(string(a.Client), string(b.Client)); c != 0 {
+		return c
+	}
+	return strings.Compare(string(a.SubID), string(b.SubID))
+}
+
+// cmpEntryCanonical orders entries by (identity hash, content) — the
+// canonical deterministic order of every Table/Snapshot enumeration.
+func cmpEntryCanonical(a, b Entry) int {
+	ha, hb := entryIdentHash(a), entryIdentHash(b)
+	if ha != hb {
+		if ha < hb {
+			return -1
+		}
+		return 1
+	}
+	return cmpEntryContent(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// slotGen: a generation-stamped row reference.
+// ---------------------------------------------------------------------------
+
+// slotGen references a row slot at a specific generation. Posting lists
+// store slotGens and never remove them eagerly: freeing a row bumps its
+// generation, so stale postings fail the gen check at probe time and are
+// physically dropped by the next amortized compaction. (The 32-bit
+// generation wraps after 2³² reuses of one slot — beyond any realistic
+// churn between compactions.)
+type slotGen struct {
+	slot int32
+	gen  uint32
+}
+
+// ---------------------------------------------------------------------------
+// valTable: open-addressed value → posting-chain table.
+// ---------------------------------------------------------------------------
+
+// valTable buckets postings by a (kind, bits, str) value key: equality
+// postings keyed by match-equivalent operand, and prefix postings keyed by
+// the prefix string. The first posting is stored inline in the bucket (the
+// common case is one subscription per distinct value); further postings
+// chain through a node arena. Buckets are only reclaimed by rehash-compact,
+// triggered when lazily-deleted postings outnumber live ones.
+type valTable struct {
+	slots pvec[vtSlot]
+	arena pvec[vtNode]
+	used  int32 // occupied buckets
+	live  int32 // live postings
+	dead  int32 // postings invalidated by row-generation bumps
+}
+
+// vtSlot is one bucket: 40 bytes, the dominant per-distinct-value cost of
+// the index at scale. The key hash is not stored — lookups recompute it
+// once per probe anyway, occupied slots compare the key directly, and
+// rehash re-derives it — and occupancy is encoded in the kind (a real key
+// always has a valid value kind, so KindInvalid marks an empty bucket).
+type vtSlot struct {
+	bits  uint64
+	str   string
+	first slotGen
+	more  int32        // chain head into arena; -1 terminates
+	kind  message.Kind // KindInvalid: empty bucket
+}
+
+type vtNode struct {
+	sg   slotGen
+	next int32
+}
+
+func hashValKey(kind message.Kind, bits uint64, str string) uint64 {
+	h := hashU8(fnvOffset64, byte(kind))
+	h = hashU64(h, bits)
+	return hashStr(h, str)
+}
+
+func (t *valTable) cap() int32 { return int32(t.slots.len()) }
+
+// lookup returns the bucket index holding the key, or -1.
+func (t *valTable) lookup(hash uint64, kind message.Kind, bits uint64, str string) int32 {
+	c := t.cap()
+	if c == 0 {
+		return -1
+	}
+	mask := c - 1
+	for i := int32(hash) & mask; ; i = (i + 1) & mask {
+		sl := t.slots.at(i)
+		if sl.kind == message.KindInvalid {
+			return -1
+		}
+		if sl.kind == kind && sl.bits == bits && sl.str == str {
+			return i
+		}
+	}
+}
+
+func (t *valTable) add(x *matchIndex, kind message.Kind, bits uint64, str string, sg slotGen) {
+	if t.cap() == 0 {
+		t.rehash(x, 8)
+	} else if (t.used+1)*4 > t.cap()*3 {
+		t.rehash(x, t.cap()*2)
+	}
+	hash := hashValKey(kind, bits, str)
+	mask := t.cap() - 1
+	for i := int32(hash) & mask; ; i = (i + 1) & mask {
+		sl := t.slots.at(i)
+		if sl.kind == message.KindInvalid {
+			w := t.slots.w(i, x.epoch)
+			*w = vtSlot{bits: bits, str: str, first: sg, more: -1, kind: kind}
+			t.used++
+			break
+		}
+		if sl.kind == kind && sl.bits == bits && sl.str == str {
+			ni := t.arena.grow(x.epoch)
+			*t.arena.w(ni, x.epoch) = vtNode{sg: sg, next: sl.more}
+			t.slots.w(i, x.epoch).more = ni
+			break
+		}
+	}
+	t.live++
+}
+
+// removeLazy records a posting deletion; the row-generation bump does the
+// real invalidation. Compaction runs when dead postings dominate.
+func (t *valTable) removeLazy(x *matchIndex) {
+	t.live--
+	t.dead++
+	if t.dead > t.live && t.dead > 32 {
+		t.compact(x)
+	}
+}
+
+func (t *valTable) compact(x *matchIndex) {
+	c := int32(8)
+	for c*3 < t.live*4 {
+		c *= 2
+	}
+	t.rehash(x, c)
+}
+
+// rehash rebuilds the table at the given power-of-two capacity, dropping
+// generation-stale postings and the buckets they leave empty.
+func (t *valTable) rehash(x *matchIndex, newCap int32) {
+	old := *t
+	t.slots = pvec[vtSlot]{}
+	t.arena = pvec[vtNode]{}
+	t.used, t.live, t.dead = 0, 0, 0
+	for i := int32(0); i < newCap; i++ {
+		t.slots.grow(x.epoch)
+	}
+	for i := int32(0); i < old.cap(); i++ {
+		sl := old.slots.at(i)
+		if sl.kind == message.KindInvalid {
+			continue
+		}
+		if x.rowLive(sl.first) {
+			t.add(x, sl.kind, sl.bits, sl.str, sl.first)
+		}
+		for ni := sl.more; ni >= 0; {
+			nd := old.arena.at(ni)
+			if x.rowLive(nd.sg) {
+				t.add(x, sl.kind, sl.bits, sl.str, nd.sg)
+			}
+			ni = nd.next
+		}
+	}
+}
+
+// probe bumps every live posting under the key.
+func (t *valTable) probe(kind message.Kind, bits uint64, str string, s *scratch, x *matchIndex) {
+	i := t.lookup(hashValKey(kind, bits, str), kind, bits, str)
+	if i < 0 {
+		return
+	}
+	sl := t.slots.at(i)
+	s.bump(sl.first, x)
+	for ni := sl.more; ni >= 0; {
+		nd := t.arena.at(ni)
+		s.bump(nd.sg, x)
+		ni = nd.next
+	}
+}
+
+// ---------------------------------------------------------------------------
+// prefixTable: per-length prefix lookup.
+// ---------------------------------------------------------------------------
+
+// prefixTable indexes string-prefix constraints: postings are bucketed by
+// the exact prefix string in a valTable, and a sorted directory of the
+// distinct prefix lengths drives the probe — for each registered length L ≤
+// len(v), one hash lookup of v[:L]. Probe cost is O(distinct lengths), not
+// O(postings sharing a first byte) as in the old per-byte bucket scan.
+type prefixTable struct {
+	tab  valTable
+	lens cowslice[prefixLen]
+}
+
+type prefixLen struct {
+	n     int32
+	count int32 // live prefixes of this length
+}
+
+func (p *prefixTable) add(x *matchIndex, prefix string, sg slotGen) {
+	p.tab.add(x, message.KindString, uint64(len(prefix)), prefix, sg)
+	ls := p.lens.own(x.epoch)
+	n := int32(len(prefix))
+	i := 0
+	for i < len(*ls) && (*ls)[i].n < n {
+		i++
+	}
+	if i < len(*ls) && (*ls)[i].n == n {
+		(*ls)[i].count++
+		return
+	}
+	*ls = append(*ls, prefixLen{})
+	copy((*ls)[i+1:], (*ls)[i:])
+	(*ls)[i] = prefixLen{n: n, count: 1}
+}
+
+func (p *prefixTable) remove(x *matchIndex, prefix string) {
+	p.tab.removeLazy(x)
+	ls := p.lens.own(x.epoch)
+	n := int32(len(prefix))
+	for i := range *ls {
+		if (*ls)[i].n == n {
+			(*ls)[i].count--
+			if (*ls)[i].count == 0 {
+				*ls = append((*ls)[:i], (*ls)[i+1:]...)
+			}
+			return
+		}
+	}
+}
+
+func (p *prefixTable) probe(v string, s *scratch, x *matchIndex) {
+	for _, pl := range p.lens.s {
+		if int(pl.n) > len(v) {
+			return // lengths sorted ascending: no longer prefix can match
+		}
+		pre := v[:pl.n]
+		p.tab.probe(message.KindString, uint64(pl.n), pre, s, x)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// identTable: entry-identity hash table (mutation plane only).
+// ---------------------------------------------------------------------------
+
+// identTable maps entry identity hashes to row slots for duplicate
+// detection and exact Remove. It lives on the mutation plane: snapshots
+// never read it, so it is mutated in place (no copy-on-write) under the
+// table lock.
+//
+// A bucket is just the row slot — 4 bytes, not a (hash, slot) pair. The
+// identity hash already lives in the row itself, so lookups read it
+// through the slot (every slot in the table references a live row:
+// removeSlot unlinks the table entry before scrubbing the row) and grow
+// re-derives it the same way. At two buckets per row this halves and then
+// halves again what a 10⁶-entry table spends on duplicate detection.
+type identTable struct {
+	slots []int32 // row slot; idEmpty / idTomb are sentinels
+	used  int     // live + tombstones
+	live  int
+}
+
+const (
+	idEmpty int32 = -1
+	idTomb  int32 = -2
+)
+
+// lookup finds the row slot of the entry with the given identity hash for
+// which eq returns true, or -1. eq must verify the hash along with the
+// content (the table no longer pre-filters collisions).
+func (t *identTable) lookup(hash uint64, eq func(slot int32) bool) int32 {
+	if len(t.slots) == 0 {
+		return -1
+	}
+	mask := len(t.slots) - 1
+	for i := int(hash) & mask; ; i = (i + 1) & mask {
+		switch sl := t.slots[i]; {
+		case sl == idEmpty:
+			return -1
+		case sl == idTomb:
+		case eq(sl):
+			return sl
+		}
+	}
+}
+
+func (t *identTable) insert(x *matchIndex, hash uint64, slot int32) {
+	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
+		t.grow(x)
+	}
+	mask := len(t.slots) - 1
+	for i := int(hash) & mask; ; i = (i + 1) & mask {
+		if t.slots[i] == idEmpty || t.slots[i] == idTomb {
+			t.slots[i] = slot
+			t.used++
+			t.live++
+			return
+		}
+	}
+}
+
+func (t *identTable) remove(hash uint64, slot int32) {
+	if len(t.slots) == 0 {
+		return
+	}
+	mask := len(t.slots) - 1
+	for i := int(hash) & mask; ; i = (i + 1) & mask {
+		sl := t.slots[i]
+		if sl == idEmpty {
+			return
+		}
+		if sl == slot {
+			t.slots[i] = idTomb
+			t.live--
+			return
+		}
+	}
+}
+
+func (t *identTable) grow(x *matchIndex) {
+	n := 8
+	for n*3 < (t.live+1)*4 {
+		n *= 2
+	}
+	old := t.slots
+	t.slots = make([]int32, n)
+	for i := range t.slots {
+		t.slots[i] = idEmpty
+	}
+	t.used, t.live = 0, 0
+	for _, sl := range old {
+		if sl >= 0 {
+			t.insert(x, x.rows.at(sl).hash, sl)
+		}
+	}
+}

@@ -75,6 +75,13 @@ type ChurnResult struct {
 	// forwarders: pairwise cover tests performed vs. dismissed by the
 	// signature buckets.
 	CoverChecks, CoverChecksSaved uint64
+	// MergesActive, MergeCovered, and Unmerges are summed over all
+	// brokers' forwarders at the end of the run: merge groups currently
+	// suppressing inputs behind a merged filter, inputs so suppressed,
+	// and cumulative re-expansions of merged filters on unsubscribe (all
+	// zero for strategies below Merging).
+	MergesActive, MergeCovered int
+	Unmerges                   uint64
 }
 
 // churnBroker is one node of the modeled chain: its forwarder plus the
@@ -240,6 +247,9 @@ func runChurnStrategy(cfg ChurnConfig, strat routing.Strategy) ChurnResult {
 		fs := cb.fwd.Stats()
 		res.CoverChecks += fs.CoverChecks
 		res.CoverChecksSaved += fs.CoverChecksSaved
+		res.MergesActive += fs.MergesActive
+		res.MergeCovered += fs.MergeCovered
+		res.Unmerges += fs.Unmerges
 	}
 	return res
 }

@@ -57,9 +57,28 @@ func TestChurnStrategyOrdering(t *testing.T) {
 	if m, c := byStrat[routing.Merging].MaxTableFilters, byStrat[routing.Covering].MaxTableFilters; m > c {
 		t.Errorf("merging table (%d) must not exceed covering's (%d)", m, c)
 	}
+	// The incremental merging plane must not spend more admin traffic
+	// than covering: merged interval unions absorb churn that covering
+	// forwards (the Figure 9 ordering for the merging strategy).
+	if merging > covering {
+		t.Errorf("merging admin msgs (%d) must not exceed covering's (%d)", merging, covering)
+	}
 	// The incremental covering plane must have saved pairwise work.
 	if byStrat[routing.Covering].CoverChecksSaved == 0 {
 		t.Error("covering saved no cover checks; signature buckets inactive")
+	}
+	// Merging must actually have merged — and unmerged — on this workload.
+	mr := byStrat[routing.Merging]
+	if mr.MergesActive == 0 || mr.MergeCovered == 0 {
+		t.Errorf("merging plane inactive: %d groups covering %d subs", mr.MergesActive, mr.MergeCovered)
+	}
+	if mr.Unmerges == 0 {
+		t.Error("relocation churn produced no unmerges; remove path never re-expanded a merge")
+	}
+	for _, s := range []routing.Strategy{routing.Flooding, routing.Simple, routing.Identity, routing.Covering} {
+		if r := byStrat[s]; r.MergesActive != 0 || r.MergeCovered != 0 || r.Unmerges != 0 {
+			t.Errorf("%s reports merge activity: %+v", s, r)
+		}
 	}
 }
 
