@@ -1,15 +1,18 @@
 // Command rebeca-broker runs a single broker over TCP, forming a
 // distributed overlay with peers. Brokers listen for peer connections and
-// optionally dial existing peers; the overlay must be built as a tree
-// (dial each new broker to exactly one existing broker).
+// either dial peers given explicitly with -peer (the overlay must be
+// built as a tree: dial each new broker to exactly one existing broker)
+// or join through a shared registry file with -registry, which also
+// re-attaches them when their upstream peer dies.
 //
 // Usage:
 //
 //	rebeca-broker -id b1 -listen :7001
 //	rebeca-broker -id b2 -listen :7002 -peer localhost:7001
-//	rebeca-broker -id b3 -listen :7003 -peer localhost:7001 -strategy merging
+//	rebeca-broker -id b3 -listen :7003 -registry members.txt
 //
-// The daemon prints routing-table sizes every -stats interval until
+// See OPERATIONS.md for the full flag reference and tuning guide. The
+// daemon prints routing-table sizes every -stats interval until
 // interrupted.
 package main
 
@@ -22,11 +25,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/flow"
+	"repro/internal/registry"
 	"repro/internal/routing"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -39,90 +44,130 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// brokerFlags holds every command-line option. The struct exists so the
+// flag set can be constructed without running the daemon — the
+// OPERATIONS.md drift guard walks it with VisitAll.
+type brokerFlags struct {
+	id            string
+	listen        string
+	peers         string
+	registryPath  string
+	heartbeat     time.Duration
+	strategyName  string
+	statsEvery    time.Duration
+	workers       int
+	maxBatch      int
+	mailboxCap    int
+	mailboxPolicy string
+	sendWindow    int
+	sendPolicy    string
+}
+
+// newFlagSet declares the rebeca-broker flags on a fresh FlagSet.
+func newFlagSet() (*flag.FlagSet, *brokerFlags) {
+	cfg := &brokerFlags{}
 	fs := flag.NewFlagSet("rebeca-broker", flag.ContinueOnError)
-	id := fs.String("id", "", "broker id (required)")
-	listen := fs.String("listen", ":7001", "TCP listen address")
-	peers := fs.String("peer", "", "comma-separated peer addresses to dial")
-	strategyName := fs.String("strategy", "covering",
+	fs.StringVar(&cfg.id, "id", "", "broker id (required)")
+	fs.StringVar(&cfg.listen, "listen", ":7001", "TCP listen address")
+	fs.StringVar(&cfg.peers, "peer", "", "comma-separated peer addresses to dial")
+	fs.StringVar(&cfg.registryPath, "registry", "",
+		"membership file (one '<id> <addr>' per line); join the overlay through it instead of -peer")
+	fs.DurationVar(&cfg.heartbeat, "heartbeat", 2*time.Second,
+		"registry heartbeat and rejoin-retry interval (with -registry)")
+	fs.StringVar(&cfg.strategyName, "strategy", "covering",
 		"routing strategy: "+strings.Join(routing.StrategyNames(), ", ")+" (case-insensitive)")
-	statsEvery := fs.Duration("stats", 30*time.Second, "stats print interval")
-	workers := fs.Int("workers", 1,
+	fs.DurationVar(&cfg.statsEvery, "stats", 30*time.Second, "stats print interval")
+	fs.IntVar(&cfg.workers, "workers", 1,
 		"publish-matching parallelism (1 = serial pipeline)")
-	maxBatch := fs.Int("maxbatch", 0,
+	fs.IntVar(&cfg.maxBatch, "maxbatch", 0,
 		"max tasks drained from the mailbox per batch (0 = unlimited, 1 = one message per lock)")
-	mailboxCap := fs.Int("mailbox-cap", 0,
+	fs.IntVar(&cfg.mailboxCap, "mailbox-cap", 0,
 		"mailbox capacity in tasks (0 = unbounded)")
-	mailboxPolicy := fs.String("mailbox-policy", flow.ShedNewest.String(),
+	fs.StringVar(&cfg.mailboxPolicy, "mailbox-policy", flow.ShedNewest.String(),
 		"bounded-mailbox overload policy: "+strings.Join(flow.PolicyNames(), ", "))
-	sendWindow := fs.Int("send-window", transport.DefaultSendWindow,
+	fs.IntVar(&cfg.sendWindow, "send-window", transport.DefaultSendWindow,
 		"per-peer TCP send window in frames")
-	sendPolicy := fs.String("send-policy", flow.Block.String(),
+	fs.StringVar(&cfg.sendPolicy, "send-policy", flow.Block.String(),
 		"send-window overload policy: "+strings.Join(flow.PolicyNames(), ", "))
+	return fs, cfg
+}
+
+func run(args []string) error {
+	fs, cfg := newFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *id == "" {
+	if cfg.id == "" {
 		return errors.New("-id is required")
 	}
-	strategy, err := routing.ParseStrategy(*strategyName)
+	if cfg.peers != "" && cfg.registryPath != "" {
+		return errors.New("-peer and -registry are mutually exclusive")
+	}
+	strategy, err := routing.ParseStrategy(cfg.strategyName)
 	if err != nil {
 		return err
 	}
-	if *maxBatch < 0 {
-		return fmt.Errorf("-maxbatch must be >= 0, got %d", *maxBatch)
+	if cfg.maxBatch < 0 {
+		return fmt.Errorf("-maxbatch must be >= 0, got %d", cfg.maxBatch)
 	}
-	if *mailboxCap < 0 {
-		return fmt.Errorf("-mailbox-cap must be >= 0, got %d", *mailboxCap)
+	if cfg.mailboxCap < 0 {
+		return fmt.Errorf("-mailbox-cap must be >= 0, got %d", cfg.mailboxCap)
 	}
-	if *sendWindow < 1 {
-		return fmt.Errorf("-send-window must be >= 1, got %d", *sendWindow)
+	if cfg.sendWindow < 1 {
+		return fmt.Errorf("-send-window must be >= 1, got %d", cfg.sendWindow)
 	}
-	boxPolicy, err := flow.ParsePolicy(*mailboxPolicy)
+	if cfg.heartbeat <= 0 {
+		return fmt.Errorf("-heartbeat must be positive, got %v", cfg.heartbeat)
+	}
+	boxPolicy, err := flow.ParsePolicy(cfg.mailboxPolicy)
 	if err != nil {
 		return fmt.Errorf("-mailbox-policy: %w", err)
 	}
 	// Block mailboxes are deadlock-prone on bidirectional broker flows
 	// (see broker.Options.MailboxPolicy); the daemon refuses the footgun.
-	if *mailboxCap > 0 && boxPolicy == flow.Block {
+	if cfg.mailboxCap > 0 && boxPolicy == flow.Block {
 		return fmt.Errorf("-mailbox-policy block is not supported on a networked broker (deadlocks on bidirectional flows); use %s or %s",
 			flow.DropOldest, flow.ShedNewest)
 	}
-	ringPolicy, err := flow.ParsePolicy(*sendPolicy)
+	ringPolicy, err := flow.ParsePolicy(cfg.sendPolicy)
 	if err != nil {
 		return fmt.Errorf("-send-policy: %w", err)
 	}
-	ring := flow.Options{Capacity: *sendWindow, Policy: ringPolicy}
+	ring := flow.Options{Capacity: cfg.sendWindow, Policy: ringPolicy}
 
-	b := broker.New(wire.BrokerID(*id), broker.Options{
+	self := wire.BrokerID(cfg.id)
+	b := broker.New(self, broker.Options{
 		Strategy:        strategy,
-		Workers:         *workers,
-		MaxBatch:        *maxBatch,
-		MailboxCapacity: *mailboxCap,
+		Workers:         cfg.workers,
+		MaxBatch:        cfg.maxBatch,
+		MailboxCapacity: cfg.mailboxCap,
 		MailboxPolicy:   boxPolicy,
 	})
 	b.Start()
 	defer b.Close()
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
-		return fmt.Errorf("listen %s: %w", *listen, err)
+		return fmt.Errorf("listen %s: %w", cfg.listen, err)
 	}
 	defer ln.Close()
 	box := "unbounded"
-	if *mailboxCap > 0 {
-		box = fmt.Sprintf("%d tasks, %s", *mailboxCap, boxPolicy)
+	if cfg.mailboxCap > 0 {
+		box = fmt.Sprintf("%d tasks, %s", cfg.mailboxCap, boxPolicy)
 	}
 	log.Printf("broker %s listening on %s (strategy %s, workers %d, maxbatch %d, mailbox %s, send window %d frames %s)",
-		*id, ln.Addr(), strategy, *workers, *maxBatch, box, *sendWindow, ringPolicy)
+		cfg.id, ln.Addr(), strategy, cfg.workers, cfg.maxBatch, box, cfg.sendWindow, ringPolicy)
 
-	// Dial configured peers.
-	for _, addr := range strings.Split(*peers, ",") {
+	stop := make(chan struct{})
+	defer close(stop)
+
+	// Dial explicitly configured peers (static topology mode).
+	for _, addr := range strings.Split(cfg.peers, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		link, err := transport.DialTCP(addr, wire.BrokerID(*id), b, transport.WithSendWindow(ring))
+		link, err := transport.DialTCP(addr, self, b, transport.WithSendWindow(ring))
 		if err != nil {
 			return fmt.Errorf("dial peer %s: %w", addr, err)
 		}
@@ -130,7 +175,20 @@ func run(args []string) error {
 		if err := b.AddLink(peer, link); err != nil {
 			return err
 		}
-		log.Printf("broker %s connected to peer %s at %s", *id, peer, addr)
+		watchPeerLink(b, peer, link, stop, nil)
+		log.Printf("broker %s connected to peer %s at %s", cfg.id, peer, addr)
+	}
+
+	// Registry mode: join through the membership file and stay joined.
+	if cfg.registryPath != "" {
+		j, err := newJoiner(cfg.registryPath, self, b, ring, cfg.heartbeat, stop)
+		if err != nil {
+			return err
+		}
+		defer j.close()
+		if err := j.join(); err != nil {
+			return err
+		}
 	}
 
 	// Accept incoming peers and clients.
@@ -140,7 +198,7 @@ func run(args []string) error {
 			if err != nil {
 				return
 			}
-			link, err := transport.AcceptTCP(conn, wire.BrokerID(*id), b, transport.WithSendWindow(ring))
+			link, err := transport.AcceptTCP(conn, self, b, transport.WithSendWindow(ring))
 			if err != nil {
 				log.Printf("handshake failed: %v", err)
 				continue
@@ -152,7 +210,7 @@ func run(args []string) error {
 					_ = link.Close()
 					continue
 				}
-				log.Printf("broker %s attached client %s", *id, client)
+				log.Printf("broker %s attached client %s", cfg.id, client)
 				go func() {
 					// When the client's connection dies it becomes a
 					// roaming client: detach and let the virtual
@@ -161,7 +219,7 @@ func run(args []string) error {
 					if err := b.DetachClient(client); err != nil {
 						log.Printf("detach client %s: %v", client, err)
 					} else {
-						log.Printf("broker %s detached client %s (link closed)", *id, client)
+						log.Printf("broker %s detached client %s (link closed)", cfg.id, client)
 					}
 				}()
 				continue
@@ -171,11 +229,12 @@ func run(args []string) error {
 				log.Printf("add link %s: %v", peer, err)
 				continue
 			}
-			log.Printf("broker %s accepted peer %s", *id, peer)
+			watchPeerLink(b, peer, link, stop, nil)
+			log.Printf("broker %s accepted peer %s", cfg.id, peer)
 		}
 	}()
 
-	ticker := time.NewTicker(*statsEvery)
+	ticker := time.NewTicker(cfg.statsEvery)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -183,15 +242,167 @@ func run(args []string) error {
 		select {
 		case <-ticker.C:
 			subs, advs := b.TableSizes()
-			log.Printf("broker %s: %d subscription entries, %d advertisement entries", *id, subs, advs)
+			log.Printf("broker %s: %d subscription entries, %d advertisement entries", cfg.id, subs, advs)
 			st := b.Stats()
 			log.Printf("broker %s: control plane: %d tracked, %d forwarded, admin sent %d sub / %d unsub, cover checks saved %d, merges active %d (covering %d subs), unmerges %d",
-				*id, st.Forwarder.TrackedFilters, st.Forwarder.ForwardedFilters,
+				cfg.id, st.Forwarder.TrackedFilters, st.Forwarder.ForwardedFilters,
 				st.ControlSubsSent, st.ControlUnsubsSent, st.CoverChecksSaved,
 				st.Forwarder.MergesActive, st.Forwarder.MergeCovered, st.Forwarder.Unmerges)
 		case s := <-sig:
-			log.Printf("broker %s: received %v, shutting down", *id, s)
+			log.Printf("broker %s: received %v, shutting down", cfg.id, s)
 			return nil
 		}
 	}
+}
+
+// watchPeerLink retracts a dead peer's routing state when its connection
+// drops (Broker.RemoveLink — the same primitive the in-process repair
+// path uses) and then runs onDown, if any, to re-attach elsewhere.
+func watchPeerLink(b *broker.Broker, peer wire.BrokerID, link *transport.TCPLink, stop <-chan struct{}, onDown func()) {
+	go func() {
+		select {
+		case <-stop:
+			return
+		case <-link.Done():
+		}
+		if err := b.RemoveLink(peer); err != nil {
+			log.Printf("remove link %s: %v", peer, err)
+		} else {
+			log.Printf("peer %s link down, routing state retracted", peer)
+		}
+		if onDown != nil {
+			onDown()
+		}
+	}()
+}
+
+// joiner keeps a broker attached to the overlay through a registry file:
+// it dials the closest lower-ranked live member (file order is rank), and
+// when that upstream dies it retracts the link and re-attaches, retrying
+// every heartbeat interval until a lower-ranked member answers.
+type joiner struct {
+	reg       *registry.File
+	self      wire.BrokerID
+	b         *broker.Broker
+	ring      flow.Options
+	heartbeat time.Duration
+	stop      <-chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newJoiner(path string, self wire.BrokerID, b *broker.Broker, ring flow.Options, heartbeat time.Duration, stop <-chan struct{}) (*joiner, error) {
+	reg, err := registry.NewFile(path, registry.FileOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("-registry: %w", err)
+	}
+	j := &joiner{reg: reg, self: self, b: b, ring: ring, heartbeat: heartbeat, stop: stop}
+	members := reg.Members()
+	var me *registry.Member
+	for i := range members {
+		if members[i].ID == self {
+			me = &members[i]
+			break
+		}
+	}
+	if me == nil {
+		_ = reg.Close()
+		return nil, fmt.Errorf("-registry: broker %s is not listed in %s", self, path)
+	}
+	if err := reg.Register(*me); err != nil {
+		_ = reg.Close()
+		return nil, fmt.Errorf("-registry: %w", err)
+	}
+	go j.heartbeatLoop()
+	return j, nil
+}
+
+// rank returns this broker's position in the membership file and the
+// current member list (the file is re-read, so edits are honored).
+func (j *joiner) rank() (int, []registry.Member) {
+	members := j.reg.Members()
+	for i, m := range members {
+		if m.ID == j.self {
+			return i, members
+		}
+	}
+	return -1, members
+}
+
+// join dials the closest lower-ranked live member and watches the
+// resulting upstream link; rank 0 (or a broker no longer listed) owns the
+// root of the tree and dials nobody. Retries every heartbeat interval —
+// lower-ranked members may simply not have started yet.
+func (j *joiner) join() error {
+	for {
+		rank, members := j.rank()
+		if rank <= 0 {
+			return nil
+		}
+		for i := rank - 1; i >= 0; i-- {
+			m := members[i]
+			link, err := transport.DialTCP(m.Addr, j.self, j.b, transport.WithSendWindow(j.ring))
+			if err != nil {
+				log.Printf("join: dial %s (%s): %v", m.ID, m.Addr, err)
+				continue
+			}
+			peer := link.Peer().Broker
+			if err := j.b.AddLink(peer, link); err != nil {
+				_ = link.Close()
+				return err
+			}
+			watchPeerLink(j.b, peer, link, j.stop, j.rejoin)
+			log.Printf("join: attached to %s at %s (rank %d -> %d)", peer, m.Addr, rank, i)
+			return nil
+		}
+		log.Printf("join: no lower-ranked member of %d reachable, retrying in %v", rank, j.heartbeat)
+		select {
+		case <-j.stop:
+			return nil
+		case <-time.After(j.heartbeat):
+		}
+	}
+}
+
+// rejoin re-attaches after the upstream link died.
+func (j *joiner) rejoin() {
+	j.mu.Lock()
+	closed := j.closed
+	j.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case <-j.stop:
+		return
+	default:
+	}
+	if err := j.join(); err != nil {
+		log.Printf("rejoin: %v", err)
+	}
+}
+
+// heartbeatLoop refreshes the registration until the daemon stops.
+func (j *joiner) heartbeatLoop() {
+	t := time.NewTicker(j.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			if err := j.reg.Heartbeat(j.self); err != nil {
+				log.Printf("registry heartbeat: %v", err)
+			}
+		}
+	}
+}
+
+func (j *joiner) close() {
+	j.mu.Lock()
+	j.closed = true
+	j.mu.Unlock()
+	_ = j.reg.Deregister(j.self)
+	_ = j.reg.Close()
 }

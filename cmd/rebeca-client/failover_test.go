@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// clientTestNode is a minimal in-process broker daemon: TCP listener,
+// peer/client handshake, link-death retraction — just enough of
+// rebeca-broker's accept loop to exercise the client binary against real
+// connections.
+type clientTestNode struct {
+	id wire.BrokerID
+	b  *broker.Broker
+	ln net.Listener
+
+	mu    sync.Mutex
+	links []*transport.TCPLink
+}
+
+func startClientTestNode(t *testing.T, id wire.BrokerID) *clientTestNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &clientTestNode{id: id, b: broker.New(id, broker.Options{}), ln: ln}
+	n.b.Start()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			link, err := transport.AcceptTCP(conn, id, n.b)
+			if err != nil {
+				continue
+			}
+			n.mu.Lock()
+			n.links = append(n.links, link)
+			n.mu.Unlock()
+			if link.Peer().IsClient() {
+				client := link.Peer().Client
+				if err := n.b.AttachRemoteClient(client, link); err != nil {
+					_ = link.Close()
+					continue
+				}
+				go func() {
+					<-link.Done()
+					_ = n.b.DetachClient(client)
+				}()
+				continue
+			}
+			peer := link.Peer().Broker
+			if err := n.b.AddLink(peer, link); err != nil {
+				_ = link.Close()
+				continue
+			}
+			go func() {
+				<-link.Done()
+				_ = n.b.RemoveLink(peer)
+			}()
+		}
+	}()
+	t.Cleanup(func() { n.kill() })
+	return n
+}
+
+func (n *clientTestNode) kill() {
+	_ = n.ln.Close()
+	n.mu.Lock()
+	links := n.links
+	n.links = nil
+	n.mu.Unlock()
+	for _, l := range links {
+		_ = l.Close()
+	}
+	n.b.Close()
+}
+
+func (n *clientTestNode) addr() string { return n.ln.Addr().String() }
+
+// connectNodes links a to b the way the daemon's -peer dial does,
+// including the death watch.
+func connectNodes(t *testing.T, a, b *clientTestNode) {
+	t.Helper()
+	link, err := transport.DialTCP(b.addr(), a.id, a.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.b.AddLink(b.id, link); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-link.Done()
+		_ = a.b.RemoveLink(b.id)
+	}()
+}
+
+// outputFile returns a temp file plus a poller that waits for a line
+// containing want.
+func outputFile(t *testing.T) (*os.File, func(want string) bool) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f, func(want string) bool {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			data, _ := os.ReadFile(f.Name())
+			if strings.Contains(string(data), want) {
+				return true
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return false
+	}
+}
+
+// TestClientSkipsDeadBroker: with a failover list the client attaches to
+// the first address that answers — a dead first entry is not fatal.
+func TestClientSkipsDeadBroker(t *testing.T) {
+	node := startClientTestNode(t, "b1")
+	out, _ := outputFile(t)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "alice",
+			"-broker", "127.0.0.1:1," + node.addr(),
+			"-subscribe", `type = "quote"`,
+			"-expect", "1", "-timeout", "10s",
+		}, out)
+	}()
+
+	stopPub := producer(t, node.addr())
+	defer close(stopPub)
+	if err := <-done; err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+}
+
+// TestClientFailsOverMidStream attaches the consumer to b1 of a b1-b2
+// pair, crashes b1 after the first delivery, and requires the remaining
+// deliveries to arrive through b2 — the client must redial and replay its
+// subscription on its own.
+func TestClientFailsOverMidStream(t *testing.T) {
+	b1 := startClientTestNode(t, "b1")
+	b2 := startClientTestNode(t, "b2")
+	connectNodes(t, b2, b1)
+
+	out, saw := outputFile(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "alice",
+			"-broker", b1.addr() + "," + b2.addr(),
+			"-subscribe", `type = "quote"`,
+			"-expect", "10", "-timeout", "20s",
+		}, out)
+	}()
+
+	stopPub := producer(t, b2.addr())
+	defer close(stopPub)
+
+	if !saw("#1") {
+		t.Fatal("no delivery before the crash")
+	}
+	b1.kill()
+	if err := <-done; err != nil {
+		t.Fatalf("consumer after failover: %v", err)
+	}
+}
+
+// producer attaches a publisher client to addr and publishes quotes every
+// 30ms until the returned channel is closed (a steady stream sidesteps
+// the race between subscription propagation and the first publish).
+func producer(t *testing.T, addr string) chan struct{} {
+	t.Helper()
+	link, err := transport.DialTCPClient(addr, "ticker", transport.ReceiverFunc(func(transport.Inbound) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = link.Close() })
+	stop := make(chan struct{})
+	go func() {
+		for i := 1; ; i++ {
+			n, err := ParseNotification(fmt.Sprintf("type=quote,i=%d", i))
+			if err != nil {
+				return
+			}
+			_ = link.Send(wire.NewPublish(n))
+			select {
+			case <-stop:
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+		}
+	}()
+	return stop
+}

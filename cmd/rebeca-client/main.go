@@ -14,14 +14,20 @@
 //	    -publish 'type=quote,sym=ACME,price=120' \
 //	    -publish 'type=quote,sym=ACME,price=99'
 //
-// Attribute values in -publish parse like filter literals: integers,
-// floats, true/false, otherwise strings.
+// -broker accepts a comma-separated failover list: the client attaches to
+// the first address that answers, and when that connection dies it
+// re-attaches to the next, replaying its advertisement and subscription
+// (as a relocation when -mobile is set, so the overlay treats the switch
+// like a physical move). Attribute values in -publish parse like filter
+// literals: integers, floats, true/false, otherwise strings. See
+// OPERATIONS.md for the full flag reference.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strconv"
 	"strings"
@@ -50,94 +56,182 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
-func run(args []string, out *os.File) error {
+// clientFlags holds every command-line option. The struct exists so the
+// flag set can be constructed without running the client — the
+// OPERATIONS.md drift guard walks it with VisitAll.
+type clientFlags struct {
+	id        string
+	brokers   string
+	subscribe string
+	mobile    bool
+	advertise string
+	expect    int
+	timeout   time.Duration
+	publishes multiFlag
+}
+
+// newFlagSet declares the rebeca-client flags on a fresh FlagSet.
+func newFlagSet() (*flag.FlagSet, *clientFlags) {
+	cfg := &clientFlags{}
 	fs := flag.NewFlagSet("rebeca-client", flag.ContinueOnError)
-	id := fs.String("id", "", "client id (required)")
-	brokerAddr := fs.String("broker", "localhost:7001", "broker TCP address")
-	subscribe := fs.String("subscribe", "", "subscription filter expression")
-	mobile := fs.Bool("mobile", false, "make the subscription relocatable")
-	advertise := fs.String("advertise", "", "advertisement filter expression")
-	expect := fs.Int("expect", 0, "exit after this many deliveries (0 = run until timeout)")
-	timeout := fs.Duration("timeout", 30*time.Second, "maximum time to wait for deliveries")
-	var publishes multiFlag
-	fs.Var(&publishes, "publish", "notification to publish as k=v,k2=v2 (repeatable)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *id == "" {
-		return errors.New("-id is required")
-	}
+	fs.StringVar(&cfg.id, "id", "", "client id (required)")
+	fs.StringVar(&cfg.brokers, "broker", "localhost:7001",
+		"comma-separated broker TCP addresses (first reachable wins; the rest are failover targets)")
+	fs.StringVar(&cfg.subscribe, "subscribe", "", "subscription filter expression")
+	fs.BoolVar(&cfg.mobile, "mobile", false, "make the subscription relocatable")
+	fs.StringVar(&cfg.advertise, "advertise", "", "advertisement filter expression")
+	fs.IntVar(&cfg.expect, "expect", 0, "exit after this many deliveries (0 = run until timeout)")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "maximum time to wait for deliveries")
+	fs.Var(&cfg.publishes, "publish", "notification to publish as k=v,k2=v2 (repeatable)")
+	return fs, cfg
+}
 
-	deliveries := make(chan wire.Deliver, 64)
-	recv := transport.ReceiverFunc(func(in transport.Inbound) {
-		if in.Msg.Type == wire.TypeDeliver && in.Msg.Deliver != nil {
-			deliveries <- *in.Msg.Deliver
+// session is one attachment of the client to a broker, plus the state a
+// failover must carry over: the last delivered sequence number and the
+// relocation epoch.
+type session struct {
+	cfg     *clientFlags
+	addrs   []string
+	current int // index into addrs of the live attachment
+
+	link    *transport.TCPLink
+	lastSeq uint64
+	epoch   uint64
+
+	deliveries chan wire.Deliver
+}
+
+// attach dials the failover list starting at the given index and installs
+// the advertisement and subscription on the first broker that answers.
+// relocate marks the subscription as a relocation of the previous one.
+func (s *session) attach(start int, relocate bool) error {
+	var firstErr error
+	for i := 0; i < len(s.addrs); i++ {
+		idx := (start + i) % len(s.addrs)
+		link, err := transport.DialTCPClient(s.addrs[idx], wire.ClientID(s.cfg.id), transport.ReceiverFunc(func(in transport.Inbound) {
+			if in.Msg.Type == wire.TypeDeliver && in.Msg.Deliver != nil {
+				s.deliveries <- *in.Msg.Deliver
+			}
+		}))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-	})
-	link, err := transport.DialTCPClient(*brokerAddr, wire.ClientID(*id), recv)
-	if err != nil {
-		return err
+		s.link, s.current = link, idx
+		return s.replay(relocate)
 	}
-	defer link.Close()
+	return fmt.Errorf("no broker reachable: %w", firstErr)
+}
 
-	if *advertise != "" {
-		f, err := filter.Parse(*advertise)
+// replay re-issues the advertisement and subscription on the new link.
+func (s *session) replay(relocate bool) error {
+	if s.cfg.advertise != "" {
+		f, err := filter.Parse(s.cfg.advertise)
 		if err != nil {
 			return fmt.Errorf("advertise: %w", err)
 		}
 		msg := wire.NewAdvertise(wire.Subscription{
-			Filter: f, Client: wire.ClientID(*id), ID: "adv",
+			Filter: f, Client: wire.ClientID(s.cfg.id), ID: "adv",
 		})
-		if err := link.Send(msg); err != nil {
+		if err := s.link.Send(msg); err != nil {
 			return err
 		}
 	}
-	if *subscribe != "" {
-		f, err := filter.Parse(*subscribe)
+	if s.cfg.subscribe != "" {
+		f, err := filter.Parse(s.cfg.subscribe)
 		if err != nil {
 			return fmt.Errorf("subscribe: %w", err)
 		}
-		msg := wire.NewSubscribe(wire.Subscription{
-			Filter: f, Client: wire.ClientID(*id), ID: "sub", IsMobile: *mobile,
-		})
-		if err := link.Send(msg); err != nil {
+		sub := wire.Subscription{
+			Filter: f, Client: wire.ClientID(s.cfg.id), ID: "sub", IsMobile: s.cfg.mobile,
+		}
+		if relocate {
+			sub.LastSeq = s.lastSeq
+			if s.cfg.mobile {
+				s.epoch++
+				sub.Relocate = true
+				sub.RelocEpoch = s.epoch
+			}
+		}
+		if err := s.link.Send(wire.NewSubscribe(sub)); err != nil {
 			return err
 		}
 	}
-	for _, p := range publishes {
+	return nil
+}
+
+func run(args []string, out *os.File) error {
+	fs, cfg := newFlagSet()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.id == "" {
+		return errors.New("-id is required")
+	}
+	var addrs []string
+	for _, a := range strings.Split(cfg.brokers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return errors.New("-broker is required")
+	}
+
+	s := &session{cfg: cfg, addrs: addrs, deliveries: make(chan wire.Deliver, 64)}
+	if err := s.attach(0, false); err != nil {
+		return err
+	}
+	defer func() { _ = s.link.Close() }()
+
+	for _, p := range cfg.publishes {
 		n, err := ParseNotification(p)
 		if err != nil {
 			return fmt.Errorf("publish %q: %w", p, err)
 		}
-		if err := link.Send(wire.NewPublish(n)); err != nil {
+		if err := s.link.Send(wire.NewPublish(n)); err != nil {
 			return err
 		}
 	}
-
-	if *subscribe == "" || *expect == 0 {
-		// Producer-only invocation (or indefinite consumers are bounded by
-		// the timeout below when -expect is 0 and -subscribe set).
-		if *subscribe == "" {
-			return nil
-		}
+	if cfg.subscribe == "" {
+		// Producer-only invocation: everything was sent, nothing to wait
+		// for.
+		return nil
 	}
+
 	received := 0
-	deadline := time.After(*timeout)
+	deadline := time.After(cfg.timeout)
 	for {
 		select {
-		case d := <-deliveries:
+		case d := <-s.deliveries:
+			if d.Item.Seq <= s.lastSeq {
+				// A failover replay can resend what was already printed.
+				continue
+			}
+			s.lastSeq = d.Item.Seq
 			received++
 			tag := ""
 			if d.Replayed {
 				tag = " (replayed)"
 			}
 			fmt.Fprintf(out, "#%d %s%s\n", d.Item.Seq, d.Item.Notif, tag)
-			if *expect > 0 && received >= *expect {
+			if cfg.expect > 0 && received >= cfg.expect {
 				return nil
 			}
+		case <-s.link.Done():
+			if len(addrs) == 1 {
+				return fmt.Errorf("broker connection lost after %d deliveries", received)
+			}
+			log.Printf("broker %s unreachable, failing over", addrs[s.current])
+			if err := s.attach(s.current+1, true); err != nil {
+				return fmt.Errorf("failover: %w", err)
+			}
+			log.Printf("re-attached to %s", addrs[s.current])
 		case <-deadline:
-			if *expect > 0 {
-				return fmt.Errorf("timed out after %d of %d deliveries", received, *expect)
+			if cfg.expect > 0 {
+				return fmt.Errorf("timed out after %d of %d deliveries", received, cfg.expect)
 			}
 			return nil
 		}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/opsdoc"
+)
+
+// TestOperationsFlagTableInSync diffs the rebeca-client flag table in
+// OPERATIONS.md against the live flag set: every flag must be documented
+// with its exact default and usage string, and nothing documented may
+// have gone away. Adding, removing, renaming, or redefaulting a flag
+// without updating OPERATIONS.md fails here.
+func TestOperationsFlagTableInSync(t *testing.T) {
+	md, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented, err := opsdoc.ParseFlagTable(md, "rebeca-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := newFlagSet()
+	live := map[string]opsdoc.Row{}
+	fs.VisitAll(func(f *flag.Flag) {
+		live[f.Name] = opsdoc.Row{Default: f.DefValue, Usage: f.Usage}
+	})
+	for name, want := range live {
+		got, ok := documented[name]
+		if !ok {
+			t.Errorf("-%s is not documented in OPERATIONS.md", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("-%s drifted:\n  OPERATIONS.md: %+v\n  flag set:      %+v", name, got, want)
+		}
+	}
+	for name := range documented {
+		if _, ok := live[name]; !ok {
+			t.Errorf("OPERATIONS.md documents -%s, which the binary no longer defines", name)
+		}
+	}
+}

@@ -2,17 +2,32 @@
 // Mobility in Content-Based Publish/Subscribe Middleware" (Fiege, Gärtner,
 // Kasten, Zeidler — MIDDLEWARE 2003).
 //
-// The implementation lives under internal/: the data model (message),
-// content-based filters with covering and merging (filter), the location
-// substrate with movement graphs and ploc (location), routing tables with
-// a predicate-counting match index and the routing strategies (routing),
-// FIFO transports (transport), the broker engine
-// with the physical-mobility relocation protocol and logical-mobility
-// location-dependent filters (broker), the public client API (core), the
-// Section 3 baselines (baseline), a deterministic simulator (sim), and the
-// experiment harness regenerating every table and figure (experiments).
+// The implementation lives under internal/: the data model with canonical
+// sorted attribute slices and a binary codec (message), content-based
+// filters with covering and perfect merging (filter), the location
+// substrate with movement graphs and ploc (location), location-dependent
+// filter templates and widening schedules (locfilter), routing tables
+// with a predicate-counting match index, the routing-strategy ladder, and
+// the incremental cover/merge control plane (routing), the protocol
+// messages shared by all layers (wire), the bounded-queue flow-control
+// primitive behind every mailbox and send window (flow), in-process and
+// TCP FIFO links (transport), the batched broker engine with serial or
+// sharded-parallel matching, the physical-mobility relocation protocol,
+// and logical-mobility location-dependent filters (broker), pluggable
+// overlay membership with heartbeat failure detection (registry), the
+// embedding API with self-healing overlays and client failover (core),
+// the Section 3 baselines (baseline), a deterministic simulator (sim),
+// the experiment harness regenerating every table and figure
+// (experiments), message-category counters (metrics), and the godoc and
+// OPERATIONS.md drift guards (doclint, opsdoc).
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-versus-measured record. bench_test.go in
-// this directory regenerates every evaluation artifact as a Go benchmark.
+// Two binaries wrap the library: cmd/rebeca-broker, a TCP broker daemon
+// that joins a static (-peer) or self-healing registry-backed (-registry)
+// overlay, and cmd/rebeca-client, a shell client with failover across a
+// broker list. Runnable embeddings live under examples/.
+//
+// See README.md for a walkthrough, OPERATIONS.md for running and tuning
+// the binaries, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the paper-versus-measured record. bench_test.go in this directory
+// regenerates every evaluation artifact as a Go benchmark.
 package repro

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/filter"
@@ -82,6 +83,16 @@ type Options struct {
 	// on feed-forward flows, or prefer the shedding policies for
 	// arbitrary traffic.
 	MailboxPolicy flow.Policy
+	// RelocTimeout bounds how long a relocation re-subscription's pending
+	// buffer waits for the replay from the old border broker. The planned
+	// relocation protocol always produces a replay, but after an unplanned
+	// broker crash there is no counterpart left to replay from; the
+	// timeout flushes the buffered notifications as live traffic so a
+	// failed-over subscriber resumes delivery instead of buffering forever
+	// ("completeness within the boundaries of time ... limitations",
+	// Section 4.1). Zero means DefaultRelocTimeout; negative disables the
+	// timeout (the strict protocol, for the mobility tests).
+	RelocTimeout time.Duration
 	// Workers sets the matching parallelism of the publish pipeline: runs
 	// of consecutive publish messages in a drained batch are matched on
 	// this many sharded worker goroutines against an immutable snapshot
@@ -98,6 +109,11 @@ type Options struct {
 
 // DefaultMaxBufferPerSub is the default per-subscription buffer cap.
 const DefaultMaxBufferPerSub = 65536
+
+// DefaultRelocTimeout is the default bound on how long a relocation waits
+// for its replay before the pending buffer is flushed as live traffic
+// (see Options.RelocTimeout).
+const DefaultRelocTimeout = 5 * time.Second
 
 // Broker is one node of the overlay. All state is owned by the run
 // goroutine; external entry points post tasks to the mailbox.
@@ -146,6 +162,11 @@ type Broker struct {
 	// pool is the parallel matching pool, nil when the pipeline is
 	// serial (Workers <= 1 or Flooding).
 	pool *workerPool
+
+	// killed marks a crash-stopped broker (Kill): the run loop discards
+	// batches instead of processing them, simulating kill -9 for the
+	// federation repair tests and the blackout experiment.
+	killed atomic.Bool
 
 	closeOnce sync.Once
 }
@@ -309,8 +330,16 @@ type clientSub struct {
 // relocationPending buffers notifications arriving over the new path while
 // the relocation replay is still outstanding, so the old messages can be
 // delivered first ("delivers the old messages from B6 first", Section 4.1).
+// When Options.RelocTimeout is enabled, timer bounds the wait: an
+// unplanned crash of the old border broker means no replay ever comes,
+// and the timeout flushes the buffer as live traffic instead (epoch
+// guards a flush racing a newer relocation of the same subscription).
 type relocationPending struct {
+	client wire.ClientID
+	id     wire.SubID
+	epoch  uint64
 	notifs []message.Notification
+	timer  *time.Timer
 }
 
 // locSubState is the per-broker state of a location-dependent subscription
@@ -381,6 +410,17 @@ func (b *Broker) Close() {
 	})
 }
 
+// Kill crash-stops the broker: unlike Close, queued and in-flight tasks
+// are discarded unprocessed and nothing is flushed — the closest an
+// in-process broker gets to kill -9. Pending exec calls (and any client
+// API call serialized through the mailbox) unblock with ErrClosed. Used
+// by the federation layer to simulate unplanned broker death; a killed
+// broker never recovers (a rejoin is a new Broker).
+func (b *Broker) Kill() {
+	b.killed.Store(true)
+	b.Close()
+}
+
 // Receive implements transport.Receiver: links push inbound messages here.
 func (b *Broker) Receive(in inbound) {
 	b.box.push(task{in: in})
@@ -422,6 +462,12 @@ func (b *Broker) run() {
 				_ = l.Close()
 			}
 			return
+		}
+		if b.killed.Load() {
+			// Crash-stopped: drop the batch on the floor (no handlers, no
+			// outbox flush) and keep draining until the mailbox closes.
+			b.box.recycle(batch)
+			continue
 		}
 		b.processBatch(batch)
 		b.box.recycle(batch)
@@ -528,9 +574,21 @@ func (b *Broker) flushOutbox() {
 	if len(b.out.order) == 0 {
 		return
 	}
+	var retained []wire.BrokerID
 	for _, id := range b.out.order {
 		msgs := b.out.pending[id]
-		if l, ok := b.links[id]; ok && len(msgs) > 0 {
+		l, ok := b.links[id]
+		if !ok {
+			// Half-open link: a Connect in progress let inbound traffic
+			// arrive before our AddLink ran. Keep the burst queued — the
+			// batch boundary after AddLink flushes it. (RemoveLink deletes
+			// the pending queue, so dead peers do not accumulate here.)
+			if len(msgs) > 0 {
+				retained = append(retained, id)
+			}
+			continue
+		}
+		if len(msgs) > 0 {
 			b.flushDepth.Observe(uint64(len(msgs)))
 			if bs, ok := l.(transport.BatchSender); ok {
 				_ = bs.SendBatch(msgs)
@@ -555,7 +613,7 @@ func (b *Broker) flushOutbox() {
 		}
 		b.out.pending[id] = msgs[:0]
 	}
-	b.out.order = b.out.order[:0]
+	b.out.order = append(b.out.order[:0], retained...)
 }
 
 // maxOutboxRetainCap caps the per-neighbor outbox backing array kept
@@ -564,10 +622,20 @@ const maxOutboxRetainCap = 1 << 14
 
 // AddLink registers a link to a neighbor broker. The overlay must remain
 // acyclic and connected (the system model of Section 2.1); Network in
-// package core enforces this. The new neighbor's forwarding state is
-// seeded through the batch Recompute oracle from the current table, so a
-// broker joining an overlay that already carries subscriptions learns the
-// aggregate interest immediately instead of at the next table change.
+// package core enforces this. The new neighbor's routing state is seeded
+// from the current tables, so a broker joining — or re-attaching to — an
+// overlay that already carries state learns it immediately instead of at
+// the next table change:
+//
+//   - aggregate (plain) interest through the batch Recompute oracle,
+//   - known advertisements through the flood dedup (reofferAdvs),
+//   - per-client (mobile) subscriptions this broker holds delivery-path
+//     entries for (reofferClientSubs).
+//
+// The last two make AddLink sufficient as the repair primitive after a
+// broker crash: the surviving subtrees re-exchange everything a new edge
+// needs to carry, with the same dedup state steady-state propagation
+// uses, so repair introduces no parallel reseed logic.
 func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
 	return b.exec(func() {
 		if old, ok := b.links[peer]; ok {
@@ -581,13 +649,98 @@ func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
 		}
 		hop := wire.BrokerHop(peer)
 		b.sendForwardUpdate(b.fwd.Recompute(hop, b.aggregateInputs(hop)))
+		b.reofferAdvs(hop)
+		b.reofferClientSubs(hop)
 	})
+}
+
+// reofferAdvs extends the advertisement flood across a new link: every
+// known advertisement not learned from the new neighbor itself is offered
+// to it, through the same advFwd dedup the flood handler uses (a hop that
+// already saw the advertisement is skipped). Runs on the broker goroutine
+// from AddLink.
+func (b *Broker) reofferAdvs(hop wire.Hop) {
+	for _, e := range b.advs.All() {
+		if e.Hop == hop {
+			continue
+		}
+		adv := wire.Subscription{Filter: e.Filter, Client: e.Client, ID: e.SubID}
+		key := "adv:" + adv.Key() + ":" + adv.Filter.ID()
+		sent := b.advFwd[key]
+		if sent == nil {
+			sent = make(map[string]bool)
+			b.advFwd[key] = sent
+		}
+		if sent[hop.String()] {
+			continue
+		}
+		sent[hop.String()] = true
+		b.send(hop, wire.NewAdvertise(adv))
+	}
+}
+
+// reofferClientSubs extends per-client subscription propagation across a
+// new link. A subscription is offered when this broker is on its delivery
+// path (it holds at least one live routing entry for the client/ID pair)
+// and the entry does not already point at the new neighbor (then the
+// neighbor is toward the consumer, not a direction to forward into).
+// Advertisement gating matches propagateClientSub: with advertisements
+// present, the subscription only crosses the link if an advertisement
+// points that way (the late-advertiser case is covered by the peer's
+// flushSubsToward when reofferAdvs lands); without any, it floods.
+// Pre-subscriptions always cross. Runs on the broker goroutine from
+// AddLink.
+func (b *Broker) reofferClientSubs(hop wire.Hop) {
+	for key, sub := range b.knownSubs {
+		entries := b.subs.ClientEntries(sub.Client, sub.ID)
+		if len(entries) == 0 {
+			continue
+		}
+		toward := false
+		for _, e := range entries {
+			if e.Hop == hop {
+				toward = true
+				break
+			}
+		}
+		if toward {
+			continue
+		}
+		already := false
+		for _, h := range b.clientSubFwd[key] {
+			if h == hop {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		if !sub.Presubscribe && b.advs.Len() > 0 {
+			overlaps := false
+			for _, h := range b.advs.HopsOverlapping(sub.Filter, wire.ClientHop(sub.Client)) {
+				if h == hop {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				continue
+			}
+		}
+		b.clientSubFwd[key] = append(b.clientSubFwd[key], hop)
+		b.send(hop, wire.NewSubscribe(sub))
+	}
 }
 
 // RemoveLink drops a neighbor link and its routing state. Plain entries
 // that pointed along the dead link stop being control-plane inputs for
 // the surviving neighbors, so the forwarded aggregates they justified are
-// retracted instead of lingering as over-subscription.
+// retracted instead of lingering as over-subscription. The per-link
+// propagation dedup state (advFwd, clientSubFwd, location-dependent
+// fwdTo) forgets the dead hop too, so a later AddLink — to the same
+// rejoining broker or to a repair parent — re-offers everything instead
+// of assuming the dead link's deliveries happened.
 func (b *Broker) RemoveLink(peer wire.BrokerID) error {
 	return b.exec(func() {
 		hop := wire.BrokerHop(peer)
@@ -606,7 +759,60 @@ func (b *Broker) RemoveLink(peer wire.BrokerID) error {
 				b.aggregateEntryRemoved(e)
 			}
 		}
+		b.scrubHopState(hop, removed)
 	})
+}
+
+// scrubHopState forgets a dead hop from the per-client propagation dedup
+// maps, and garbage collects per-client subscriptions this broker no
+// longer lies on the delivery path of (every entry pointed along the dead
+// link and the client is not local). Runs on the broker goroutine from
+// RemoveLink.
+func (b *Broker) scrubHopState(hop wire.Hop, removed []routing.Entry) {
+	hopStr := hop.String()
+	for key, sent := range b.advFwd {
+		delete(sent, hopStr)
+		if len(sent) == 0 {
+			delete(b.advFwd, key)
+		}
+	}
+	for key, fwd := range b.clientSubFwd {
+		kept := fwd[:0]
+		for _, h := range fwd {
+			if h != hop {
+				kept = append(kept, h)
+			}
+		}
+		if len(kept) == 0 {
+			delete(b.clientSubFwd, key)
+		} else {
+			b.clientSubFwd[key] = kept
+		}
+	}
+	for _, ls := range b.locSubs {
+		kept := ls.fwdTo[:0]
+		for _, h := range ls.fwdTo {
+			if h != hop {
+				kept = append(kept, h)
+			}
+		}
+		ls.fwdTo = kept
+	}
+	for _, e := range removed {
+		if e.Client == "" {
+			continue
+		}
+		key := subKey(e.Client, e.SubID)
+		if _, local := b.clients[e.Client]; local {
+			continue
+		}
+		if len(b.subs.ClientEntries(e.Client, e.SubID)) > 0 {
+			continue
+		}
+		delete(b.knownSubs, key)
+		delete(b.fetched, key)
+		delete(b.pending, key)
+	}
 }
 
 // Neighbors returns the neighbor broker IDs (diagnostics).
@@ -712,10 +918,14 @@ func (b *Broker) send(hop wire.Hop, m wire.Message) {
 		// Client hops are only used for deliveries, handled by deliverTo.
 		return
 	}
+	// No links[id] check here: during Connect the peer's inbound pipe can
+	// deliver before this broker's AddLink registers the send side, and a
+	// handler response to that traffic must not be lost — callers have
+	// already recorded the hop in their propagation dedup maps, so a drop
+	// here would be permanent. The burst stays queued until the link
+	// appears (flushOutbox retains it); RemoveLink discards the queue of a
+	// peer that is gone for good.
 	id := hop.Broker
-	if _, ok := b.links[id]; !ok {
-		return
-	}
 	q := b.out.pending[id]
 	if len(q) == 0 {
 		b.out.order = append(b.out.order, id)

@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"time"
+
 	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/wire"
@@ -53,7 +55,17 @@ func (b *Broker) localRelocateSubscribe(cs *clientState, sub wire.Subscription) 
 
 	olds := b.oldEntries(sub.Client, sub.ID, clientHop)
 	b.subs.Add(routing.Entry{Filter: sub.Filter, Hop: clientHop, Client: sub.Client, SubID: sub.ID})
-	b.pending[key] = &relocationPending{}
+	p := &relocationPending{client: sub.Client, id: sub.ID, epoch: sub.RelocEpoch}
+	b.pending[key] = p
+	if timeout := b.relocTimeout(); timeout > 0 {
+		epoch := sub.RelocEpoch
+		p.timer = time.AfterFunc(timeout, func() {
+			// Posted through the mailbox as a control task; a no-op if the
+			// broker has shut down meanwhile (push to a closed mailbox is
+			// silently dropped).
+			b.box.push(task{fn: func() { b.expireRelocation(key, epoch) }})
+		})
+	}
 
 	if len(olds) > 0 {
 		// The new border broker itself lies on the old delivery path: it
@@ -75,6 +87,38 @@ func (b *Broker) localRelocateSubscribe(cs *clientState, sub wire.Subscription) 
 	}
 	b.propagateClientSub(sub, clientHop)
 	return nil
+}
+
+// relocTimeout resolves Options.RelocTimeout: zero means the default,
+// negative disables the bound.
+func (b *Broker) relocTimeout() time.Duration {
+	switch {
+	case b.opts.RelocTimeout < 0:
+		return 0
+	case b.opts.RelocTimeout == 0:
+		return DefaultRelocTimeout
+	}
+	return b.opts.RelocTimeout
+}
+
+// expireRelocation gives up on an outstanding relocation replay: the
+// pending buffer's notifications are delivered as live traffic with fresh
+// sequence numbers. Without this, a subscriber failing over from a
+// crashed border broker would buffer forever, since the crashed broker's
+// virtual counterpart — and with it the replay — is gone. Notifications
+// the crashed broker had buffered but not replayed are lost; the blackout
+// experiment measures that loss. Runs on the broker goroutine; the epoch
+// check drops stale timers from an earlier relocation of the same
+// subscription.
+func (b *Broker) expireRelocation(key string, epoch uint64) {
+	p, ok := b.pending[key]
+	if !ok || p.epoch != epoch {
+		return
+	}
+	delete(b.pending, key)
+	for _, n := range p.notifs {
+		b.deliverTo(p.client, p.id, n, false)
+	}
 }
 
 // persistentForm strips the one-shot relocation flags so the stored
@@ -205,6 +249,9 @@ func (b *Broker) completeRelocation(r wire.Replay) {
 	}
 	p := b.pending[key]
 	delete(b.pending, key)
+	if p != nil && p.timer != nil {
+		p.timer.Stop()
+	}
 
 	// Adopt the old border broker's numbering.
 	if r.NextSeq > st.nextSeq {

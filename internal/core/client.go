@@ -405,6 +405,103 @@ func (c *Client) MoveTo(newBroker wire.BrokerID) error {
 	return nil
 }
 
+// orphanOf reports whether the client's border broker is the given (dead)
+// broker instance. Compared by pointer so a client that already failed
+// over to a same-named replacement is not treated as orphaned twice.
+func (c *Client) orphanOf(b *broker.Broker) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.at == b
+}
+
+// failover rebinds the client after its border broker crashed: unlike
+// MoveTo there is no old broker to detach from (and no virtual
+// counterpart left to replay from — notifications the dead broker had
+// buffered are lost; the blackout experiment measures that loss). The
+// client re-attaches to the surviving broker and replays its state:
+// advertisements re-announce, mobile subscriptions re-issue through the
+// relocation protocol (carrying LastSeq, so sequence numbering continues
+// gap-visible rather than resetting; the broker's RelocTimeout un-gates
+// delivery when no replay can come), plain subscriptions re-issue with
+// their LastSeq for the same continuity, and location-dependent
+// subscriptions re-instantiate at the client's current location. With no
+// survivor to fail over to the client is left detached.
+func (c *Client) failover(to wire.BrokerID) error {
+	if to == "" {
+		c.mu.Lock()
+		c.at = nil
+		c.mu.Unlock()
+		return fmt.Errorf("%w: no surviving broker", ErrDetached)
+	}
+	nb, err := c.network.Broker(to)
+	if err != nil {
+		return err
+	}
+	if err := nb.AttachClient(c.id, c.queue.push); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.at = nb
+	c.brokerID = to
+	type pendingSub struct {
+		spec    SubSpec
+		lastSeq uint64
+		epoch   uint64
+		loc     location.Location
+	}
+	resubs := make([]pendingSub, 0, len(c.subs))
+	for _, rec := range c.subs {
+		if rec.spec.Mobile || rec.spec.Presubscribe {
+			rec.epoch++
+		}
+		resubs = append(resubs, pendingSub{spec: rec.spec, lastSeq: rec.lastSeq, epoch: rec.epoch, loc: rec.loc})
+	}
+	advs := make([]struct {
+		id wire.SubID
+		f  filter.Filter
+	}, 0, len(c.advs))
+	for id, f := range c.advs {
+		advs = append(advs, struct {
+			id wire.SubID
+			f  filter.Filter
+		}{id, f})
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, a := range advs {
+		if err := nb.Advertise(c.id, a.id, a.f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, ps := range resubs {
+		s := wire.Subscription{
+			Filter:       ps.spec.Filter,
+			Client:       c.id,
+			ID:           ps.spec.ID,
+			IsMobile:     ps.spec.Mobile || ps.spec.Presubscribe,
+			Presubscribe: ps.spec.Presubscribe,
+			LastSeq:      ps.lastSeq,
+		}
+		switch {
+		case ps.spec.Loc != nil:
+			s.LocDependent = true
+			s.LocAttr = ps.spec.Loc.Attr
+			s.GraphName = ps.spec.Loc.Graph
+			s.Loc = ps.loc
+			s.Delta = ps.spec.Loc.Delta
+			s.LastSeq = 0 // locdep numbering restarts (no roaming protocol)
+		case s.IsMobile:
+			s.Relocate = true
+			s.RelocEpoch = ps.epoch
+		}
+		if err := nb.Subscribe(s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // close tears the client down (used by Network.Close).
 func (c *Client) close() {
 	c.mu.Lock()

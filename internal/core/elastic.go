@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// This file is the elastic-federation layer of the in-process overlay:
+// registry-backed membership with heartbeat failure detection, overlay-
+// tree repair on broker death, and client failover. The repair path is
+// deliberately thin — it only re-wires topology through the existing
+// primitives (Broker.RemoveLink retracts the dead hop's routing state,
+// Network.Connect / Broker.AddLink re-attach and reseed through the
+// Forwarder.Recompute oracle plus the advertisement and per-client
+// re-offers), so there is no second reseed code path to keep consistent.
+
+// RepairEvent describes one completed overlay repair after a broker
+// failure. Observers registered with WithRepairObserver receive it from
+// the repair goroutine (or synchronously from FailNow).
+type RepairEvent struct {
+	// Dead is the failed broker.
+	Dead wire.BrokerID
+	// Parent is the surviving neighbor the dead broker's other subtrees
+	// and orphaned clients were re-attached to; empty when the dead
+	// broker had no surviving neighbors.
+	Parent wire.BrokerID
+	// Reattached lists the other former neighbors now linked to Parent.
+	Reattached []wire.BrokerID
+	// Clients lists the orphaned clients that failed over.
+	Clients []wire.ClientID
+	// Detected is when the failure reached the repair controller; Done is
+	// when re-wiring and client failover completed (routing convergence
+	// continues asynchronously as the reseed traffic propagates).
+	Detected, Done time.Time
+	// Err records the first re-wiring error, nil on a clean repair.
+	Err error
+}
+
+// WithSelfHealing enables the elastic federation layer: every broker is
+// registered with an in-process membership registry and heartbeats it at
+// the given interval; a broker silent for longer than ttl is declared
+// failed and the overlay repairs itself — survivors drop the dead links,
+// the orphaned subtrees re-attach under a surviving parent, and orphaned
+// clients fail over with their subscriptions replayed.
+func WithSelfHealing(heartbeat, ttl time.Duration) NetworkOption {
+	return func(c *networkConfig) {
+		c.healHeartbeat = heartbeat
+		c.healTTL = ttl
+	}
+}
+
+// WithRepairObserver registers a callback for completed repairs (used by
+// the blackout experiment to timestamp detection and reconvergence). The
+// callback runs on the repair goroutine and must not call back into the
+// Network.
+func WithRepairObserver(fn func(RepairEvent)) NetworkOption {
+	return func(c *networkConfig) { c.repairObserver = fn }
+}
+
+// WithRelocTimeout sets every broker's bound on waiting for a relocation
+// replay (broker.Options.RelocTimeout): zero keeps the broker default,
+// negative disables the bound. Failover from a crashed border broker
+// relies on the timeout — the crashed broker's virtual counterpart cannot
+// replay, so the timeout is what un-gates the failed-over subscriber's
+// deliveries.
+func WithRelocTimeout(d time.Duration) NetworkOption {
+	return func(c *networkConfig) { c.relocTimeout = d }
+}
+
+// elasticState is the Network-side runtime of the self-healing mode.
+type elasticState struct {
+	reg      *registry.Memory
+	interval time.Duration
+
+	cancelWatch func()
+	failures    chan wire.BrokerID
+	stop        chan struct{}
+	stopOnce    sync.Once
+	ctrlDone    chan struct{}
+
+	mu    sync.Mutex
+	beats map[wire.BrokerID]chan struct{}
+	wg    sync.WaitGroup
+}
+
+// startElastic wires the registry, the failure watcher, and the repair
+// controller. Called from NewNetwork when self-healing is enabled.
+func (n *Network) startElastic() {
+	e := &elasticState{
+		reg:      registry.NewMemory(registry.MemoryOptions{TTL: n.cfg.healTTL}),
+		interval: n.cfg.healHeartbeat,
+		failures: make(chan wire.BrokerID, 1024),
+		stop:     make(chan struct{}),
+		ctrlDone: make(chan struct{}),
+		beats:    make(map[wire.BrokerID]chan struct{}),
+	}
+	// The watcher runs on the registry sweeper goroutine; it must not
+	// repair inline (repair takes locks and seconds), so failures funnel
+	// into the controller's queue.
+	e.cancelWatch, _ = e.reg.Watch(func(ev registry.Event) {
+		if ev.Kind != registry.Failed {
+			return
+		}
+		select {
+		case e.failures <- ev.Member.ID:
+		case <-e.stop:
+		}
+	})
+	go func() {
+		defer close(e.ctrlDone)
+		for {
+			select {
+			case <-e.stop:
+				return
+			case id := <-e.failures:
+				n.repairBrokerFailure(id)
+			}
+		}
+	}()
+	n.elastic = e
+}
+
+// watchBroker registers a broker with the membership and starts its
+// heartbeat goroutine. Called from AddBroker.
+func (e *elasticState) watchBroker(id wire.BrokerID) {
+	_ = e.reg.Register(registry.Member{ID: id})
+	stopBeat := make(chan struct{})
+	e.mu.Lock()
+	e.beats[id] = stopBeat
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		t := time.NewTicker(e.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-e.stop:
+				return
+			case <-t.C:
+				_ = e.reg.Heartbeat(id)
+			}
+		}
+	}()
+}
+
+// silence stops a broker's heartbeat goroutine (crash simulation: the
+// broker goes quiet and the detector notices).
+func (e *elasticState) silence(id wire.BrokerID) {
+	e.mu.Lock()
+	if ch, ok := e.beats[id]; ok {
+		close(ch)
+		delete(e.beats, id)
+	}
+	e.mu.Unlock()
+}
+
+// shutdown stops the detector, the controller, and every heartbeat.
+func (e *elasticState) shutdown() {
+	e.stopOnce.Do(func() {
+		e.cancelWatch()
+		close(e.stop)
+		<-e.ctrlDone
+		e.wg.Wait()
+		_ = e.reg.Close()
+	})
+}
+
+// Kill crash-stops a broker (Broker.Kill: queued work is discarded, links
+// die, nothing is flushed) and silences its heartbeat. With self-healing
+// enabled the failure detector notices within the TTL and repairs the
+// overlay asynchronously; without it the overlay stays broken — which is
+// the point of Kill as a fault-injection primitive. Use FailNow for
+// deterministic synchronous repair in tests.
+func (n *Network) Kill(id wire.BrokerID) error {
+	n.mu.Lock()
+	b, ok := n.brokers[id]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownBroker, id)
+	}
+	if n.elastic != nil {
+		n.elastic.silence(id)
+	}
+	b.Kill()
+	return nil
+}
+
+// FailNow crash-stops a broker and synchronously repairs the overlay,
+// bypassing heartbeat detection. It works with or without self-healing
+// enabled, which makes deterministic repair tests independent of timers.
+func (n *Network) FailNow(id wire.BrokerID) error {
+	if err := n.Kill(id); err != nil {
+		return err
+	}
+	n.repairBrokerFailure(id)
+	return nil
+}
+
+// repairBrokerFailure excises a dead broker and re-wires the overlay:
+//
+//  1. The dead broker leaves the membership and the topology maps.
+//  2. Every surviving neighbor drops its link (Broker.RemoveLink — this
+//     retracts the dead hop's routing entries and the aggregates they
+//     justified, and forgets the per-link propagation dedup so re-offers
+//     can happen).
+//  3. The lowest-ID surviving neighbor becomes the parent; every other
+//     former neighbor re-attaches to it (Network.Connect → AddLink →
+//     Forwarder.Recompute reseed + advertisement / per-client re-offers).
+//     Because the overlay was a tree, removing the dead node leaves
+//     disjoint subtrees, so the new edges cannot close a cycle.
+//  4. Orphaned clients fail over to the parent (or the lowest-ID survivor
+//     when the dead broker was isolated) and replay their subscriptions.
+//
+// Safe to call for an already-repaired broker (no-op). Runs on the repair
+// controller goroutine, or on the caller's goroutine via FailNow.
+func (n *Network) repairBrokerFailure(dead wire.BrokerID) {
+	detected := time.Now()
+	n.mu.Lock()
+	db, ok := n.brokers[dead]
+	if !ok || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.brokers, dead)
+	neighbors := append([]wire.BrokerID(nil), n.edges[dead]...)
+	delete(n.edges, dead)
+	for _, nb := range neighbors {
+		kept := n.edges[nb][:0]
+		for _, x := range n.edges[nb] {
+			if x != dead {
+				kept = append(kept, x)
+			}
+		}
+		n.edges[nb] = kept
+	}
+	survivors := make([]*broker.Broker, 0, len(neighbors))
+	for _, nb := range neighbors {
+		if b, ok := n.brokers[nb]; ok {
+			survivors = append(survivors, b)
+		}
+	}
+	var fallback wire.BrokerID
+	for id := range n.brokers {
+		if fallback == "" || id < fallback {
+			fallback = id
+		}
+	}
+	var orphans []*Client
+	for _, c := range n.clients {
+		if c.orphanOf(db) {
+			orphans = append(orphans, c)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID() < orphans[j].ID() })
+	n.mu.Unlock()
+
+	// Make sure the dead broker really is dead (idempotent; FailNow and
+	// Kill already did this, a detector-driven repair after a heartbeat
+	// false positive does it here).
+	db.Kill()
+	if n.elastic != nil {
+		_ = n.elastic.reg.Deregister(dead)
+		n.elastic.silence(dead)
+	}
+
+	ev := RepairEvent{Dead: dead, Detected: detected}
+	for _, s := range survivors {
+		if err := s.RemoveLink(dead); err != nil && ev.Err == nil {
+			ev.Err = err
+		}
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	if len(neighbors) > 0 {
+		ev.Parent = neighbors[0]
+		for _, other := range neighbors[1:] {
+			if err := n.Connect(ev.Parent, other, -1); err != nil && ev.Err == nil {
+				ev.Err = err
+			}
+			ev.Reattached = append(ev.Reattached, other)
+		}
+	}
+
+	target := ev.Parent
+	if target == "" {
+		target = fallback
+	}
+	for _, c := range orphans {
+		if err := c.failover(target); err != nil && ev.Err == nil {
+			ev.Err = err
+		}
+		ev.Clients = append(ev.Clients, c.ID())
+	}
+	ev.Done = time.Now()
+	if n.cfg.repairObserver != nil {
+		n.cfg.repairObserver(ev)
+	}
+}

@@ -43,6 +43,12 @@ type networkConfig struct {
 	procDelay  time.Duration
 	maxBuffer  int
 	workers    int
+
+	// Elastic-federation settings (see elastic.go).
+	healHeartbeat  time.Duration
+	healTTL        time.Duration
+	relocTimeout   time.Duration
+	repairObserver func(RepairEvent)
 }
 
 // WithStrategy selects the routing strategy for all brokers (default
@@ -82,6 +88,10 @@ type Network struct {
 	registry *locfilter.Registry
 	counter  *metrics.Counter
 
+	// elastic is the self-healing runtime (registry, failure detector,
+	// repair controller); nil unless WithSelfHealing was given.
+	elastic *elasticState
+
 	mu      sync.Mutex
 	brokers map[wire.BrokerID]*broker.Broker
 	edges   map[wire.BrokerID][]wire.BrokerID
@@ -95,7 +105,7 @@ func NewNetwork(opts ...NetworkOption) *Network {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Network{
+	n := &Network{
 		cfg:      cfg,
 		registry: locfilter.NewRegistry(),
 		counter:  &metrics.Counter{},
@@ -103,6 +113,10 @@ func NewNetwork(opts ...NetworkOption) *Network {
 		edges:    make(map[wire.BrokerID][]wire.BrokerID),
 		clients:  make(map[wire.ClientID]*Client),
 	}
+	if cfg.healTTL > 0 {
+		n.startElastic()
+	}
+	return n
 }
 
 // Counter returns the network-wide message counter (every message crossing
@@ -132,9 +146,13 @@ func (n *Network) AddBroker(id wire.BrokerID) (*broker.Broker, error) {
 		Counter:         n.counter,
 		MaxBufferPerSub: n.cfg.maxBuffer,
 		Workers:         n.cfg.workers,
+		RelocTimeout:    n.cfg.relocTimeout,
 	})
 	b.Start()
 	n.brokers[id] = b
+	if n.elastic != nil {
+		n.elastic.watchBroker(id)
+	}
 	return b, nil
 }
 
@@ -226,8 +244,13 @@ func (n *Network) reachableLocked(a, b wire.BrokerID) bool {
 	return false
 }
 
-// Close shuts down every broker and client.
+// Close shuts down every broker and client. With self-healing enabled the
+// failure detector and repair controller stop first, so teardown is not
+// mistaken for a mass failure.
 func (n *Network) Close() {
+	if n.elastic != nil {
+		n.elastic.shutdown()
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()

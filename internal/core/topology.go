@@ -76,7 +76,7 @@ func (n *Network) BuildBinaryTree(prefix string, depth int, latency time.Duratio
 	return ids, nil
 }
 
-// Leaves returns the leaf IDs of a tree built by BuildBinaryTree.
+// TreeLeaves returns the leaf IDs of a tree built by BuildBinaryTree.
 func TreeLeaves(ids []wire.BrokerID, depth int) []wire.BrokerID {
 	leafCount := 1 << depth
 	return ids[len(ids)-leafCount:]

@@ -1,0 +1,193 @@
+// Package doclint enforces godoc conventions as an ordinary test
+// dependency: every exported identifier of a checked package must carry a
+// doc comment that starts with the identifier's name, and the package
+// itself must have a package comment. The rules mirror staticcheck's
+// ST1000/ST1020/ST1021/ST1022 so the CheckPackage tests and the CI
+// staticcheck step agree on what "documented" means, but unlike
+// staticcheck they run with a bare `go test` — no tool installation.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+)
+
+// Problem is one missing or malformed doc comment.
+type Problem struct {
+	Pos  string // file:line of the offending declaration
+	Name string // exported identifier (empty for a package-comment problem)
+	Msg  string
+}
+
+// String renders the problem as "file:line: name: message".
+func (p Problem) String() string {
+	if p.Name == "" {
+		return fmt.Sprintf("%s: %s", p.Pos, p.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", p.Pos, p.Name, p.Msg)
+}
+
+// CheckPackage parses the non-test Go files of the package in dir and
+// returns every doc-comment violation: a missing package comment, or an
+// exported type, function, method, or grouped var/const declaration whose
+// doc comment is absent or does not start with the identifier's name.
+func CheckPackage(dir string) ([]Problem, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []Problem
+	for _, pkg := range pkgs {
+		problems = append(problems, checkPackageComment(fset, pkg)...)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				problems = append(problems, checkDecl(fset, decl)...)
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkPackageComment requires at least one file of the package to carry
+// a package doc comment (ST1000).
+func checkPackageComment(fset *token.FileSet, pkg *ast.Package) []Problem {
+	for _, file := range pkg.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			return nil
+		}
+	}
+	// Report against an arbitrary-but-deterministic file position.
+	pos := "?"
+	for _, file := range pkg.Files {
+		p := fset.Position(file.Package).String()
+		if pos == "?" || p < pos {
+			pos = p
+		}
+	}
+	return []Problem{{Pos: pos, Msg: "package has no package comment"}}
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl) []Problem {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !receiverExported(d.Recv) {
+			// Methods on unexported types are not part of the godoc
+			// surface unless the type leaks through an exported API;
+			// keep the check scoped to what godoc renders.
+			return nil
+		}
+		return checkDoc(fset.Position(d.Pos()).String(), d.Name.Name, d.Doc)
+	case *ast.GenDecl:
+		return checkGenDecl(fset, d)
+	}
+	return nil
+}
+
+// checkGenDecl handles type, var, and const declarations. A grouped
+// declaration may document the group on the GenDecl; individual specs then
+// only need their own comment when the group has none.
+func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []Problem {
+	var problems []Problem
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			problems = append(problems, checkDoc(fset.Position(s.Pos()).String(), s.Name.Name, doc)...)
+		case *ast.ValueSpec:
+			name := firstExported(s.Names)
+			if name == "" {
+				continue
+			}
+			// A const/var group is fine if either the group or the spec
+			// is documented; the name-prefix rule only applies to
+			// single-identifier specs (ST1022's shape).
+			if groupDocumented(d) || specDocumented(s) {
+				if len(s.Names) == 1 && s.Doc != nil {
+					problems = append(problems, checkDoc(fset.Position(s.Pos()).String(), name, s.Doc)...)
+				}
+				continue
+			}
+			problems = append(problems, Problem{
+				Pos:  fset.Position(s.Pos()).String(),
+				Name: name,
+				Msg:  "exported value has no doc comment (on the group or the spec)",
+			})
+		}
+	}
+	return problems
+}
+
+// checkDoc requires a non-empty comment whose first word is the
+// identifier's name (allowing the standard "A Name ..."/"The Name ..."
+// article prefixes that godoc also renders cleanly).
+func checkDoc(pos, name string, doc *ast.CommentGroup) []Problem {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		return []Problem{{Pos: pos, Name: name, Msg: "exported identifier has no doc comment"}}
+	}
+	words := strings.Fields(doc.Text())
+	first := words[0]
+	if first == "A" || first == "An" || first == "The" {
+		if len(words) > 1 {
+			first = words[1]
+		}
+	}
+	if first != name {
+		return []Problem{{Pos: pos, Name: name, Msg: fmt.Sprintf("doc comment should start with %q, got %q", name, words[0])}}
+	}
+	return nil
+}
+
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func firstExported(names []*ast.Ident) string {
+	for _, n := range names {
+		if n.IsExported() {
+			return n.Name
+		}
+	}
+	return ""
+}
+
+func groupDocumented(d *ast.GenDecl) bool {
+	return d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+}
+
+func specDocumented(s *ast.ValueSpec) bool {
+	return (s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != "") ||
+		(s.Comment != nil && strings.TrimSpace(s.Comment.Text()) != "")
+}

@@ -1,0 +1,126 @@
+package doclint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops one Go source file into a fresh package dir and returns the
+// dir.
+func write(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func check(t *testing.T, src string) []Problem {
+	t.Helper()
+	problems, err := CheckPackage(write(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
+}
+
+// TestCleanPackagePasses: a fully documented surface yields no problems.
+func TestCleanPackagePasses(t *testing.T) {
+	problems := check(t, `// Package x is documented.
+package x
+
+// Exported is a documented function.
+func Exported() {}
+
+// Thing is a documented type.
+type Thing struct{}
+
+// Do is a documented method.
+func (Thing) Do() {}
+
+// Limit is a documented constant.
+const Limit = 3
+
+// Modes of operation.
+const (
+	ModeA = iota
+	ModeB
+)
+
+func unexported() {}
+`)
+	if len(problems) != 0 {
+		t.Fatalf("clean package flagged: %v", problems)
+	}
+}
+
+// TestViolationsAreFlagged covers each rule: missing package comment,
+// undocumented function/type/const, and a doc comment that does not start
+// with the identifier's name.
+func TestViolationsAreFlagged(t *testing.T) {
+	problems := check(t, `package x
+
+func Exported() {}
+
+type Thing struct{}
+
+// Wrong prefix on this one.
+func (Thing) Do() {}
+
+const Limit = 3
+`)
+	wants := []string{
+		"package has no package comment",
+		"Exported",
+		"Thing",
+		"Do",
+		"Limit",
+	}
+	joined := ""
+	for _, p := range problems {
+		joined += p.String() + "\n"
+	}
+	for _, want := range wants {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing complaint about %q in:\n%s", want, joined)
+		}
+	}
+	if len(problems) != len(wants) {
+		t.Errorf("want %d problems, got %d:\n%s", len(wants), len(problems), joined)
+	}
+}
+
+// TestArticlePrefixAllowed: "A Name ..." and "The Name ..." are godoc
+// idiom and must pass.
+func TestArticlePrefixAllowed(t *testing.T) {
+	problems := check(t, `// Package x is documented.
+package x
+
+// A Widget is something.
+type Widget struct{}
+
+// The Registry holds widgets.
+type Registry struct{}
+`)
+	if len(problems) != 0 {
+		t.Fatalf("article-prefixed docs flagged: %v", problems)
+	}
+}
+
+// TestMethodsOnUnexportedTypesIgnored: an exported method on an
+// unexported receiver is not part of the rendered godoc surface.
+func TestMethodsOnUnexportedTypesIgnored(t *testing.T) {
+	problems := check(t, `// Package x is documented.
+package x
+
+type hidden struct{}
+
+func (hidden) Visible() {}
+`)
+	if len(problems) != 0 {
+		t.Fatalf("unexported receiver flagged: %v", problems)
+	}
+}

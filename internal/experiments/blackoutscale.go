@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+)
+
+// BlackoutScale runs the blackout-at-scale crash scenario (see
+// sim.RunBlackoutScale): a transit broker of a 16-broker chain is
+// crash-stopped under publish load and the measured outcome — failure
+// detection latency, overlay repair time, and the per-consumer delivery
+// gap — is rendered as the EXPERIMENTS.md artifact.
+func BlackoutScale(cfg sim.BlackoutScaleConfig) (sim.BlackoutScaleResult, error) {
+	return sim.RunBlackoutScale(cfg)
+}

@@ -10,7 +10,7 @@ import (
 
 // Run executes the named experiment and returns its rendered artifact.
 // Names: table1, table2, table3, table4, fig2, fig3, fig8, fig9, churn,
-// all.
+// blackout-scale, all.
 func Run(name string) (string, error) {
 	switch name {
 	case "table1":
@@ -43,6 +43,12 @@ func Run(name string) (string, error) {
 			return "", err
 		}
 		return res.Render(), nil
+	case "blackout-scale":
+		res, err := BlackoutScale(sim.DefaultBlackoutScaleConfig())
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "all":
 		var b strings.Builder
 		for _, n := range Names() {
@@ -61,7 +67,7 @@ func Run(name string) (string, error) {
 
 // Names lists all experiment identifiers in a stable order.
 func Names() []string {
-	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9", "churn"}
+	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9", "churn", "blackout-scale"}
 	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,106 @@
+// Package opsdoc parses the flag-reference tables of OPERATIONS.md so
+// the cmd packages can diff them against their live flag.FlagSet. The
+// format contract: each binary has a heading "### <binary> flag
+// reference" followed by one Markdown table whose rows are
+//
+//	| `-name` | `default` | usage text |
+//
+// with *(empty)* standing for an empty-string default. Usage text is
+// compared verbatim, so a flag's Usage string must not contain the `|`
+// cell separator.
+package opsdoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one documented flag: its default value and usage string, both
+// expected to match flag.Flag's DefValue and Usage exactly.
+type Row struct {
+	Default string
+	Usage   string
+}
+
+// ParseFlagTable extracts the flag table documented for the named binary
+// and returns flag name (without the leading dash) to Row. It errors if
+// the heading or the table is missing, or a row is malformed — a
+// malformed table would make the drift guard vacuous.
+func ParseFlagTable(md []byte, binary string) (map[string]Row, error) {
+	heading := "### " + binary + " flag reference"
+	lines := strings.Split(string(md), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.TrimSpace(l) == heading {
+			start = i + 1
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("opsdoc: heading %q not found", heading)
+	}
+	rows := make(map[string]Row)
+	inTable := false
+	for _, l := range lines[start:] {
+		trimmed := strings.TrimSpace(l)
+		if strings.HasPrefix(trimmed, "#") {
+			break // next section
+		}
+		if !strings.HasPrefix(trimmed, "|") {
+			if inTable {
+				break // table ended
+			}
+			continue
+		}
+		inTable = true
+		cells := splitRow(trimmed)
+		if len(cells) != 3 {
+			return nil, fmt.Errorf("opsdoc: row %q: want 3 cells, got %d", trimmed, len(cells))
+		}
+		if cells[0] == "Flag" || strings.HasPrefix(cells[0], "---") {
+			continue // header or separator
+		}
+		name, err := flagName(cells[0])
+		if err != nil {
+			return nil, fmt.Errorf("opsdoc: row %q: %w", trimmed, err)
+		}
+		if _, dup := rows[name]; dup {
+			return nil, fmt.Errorf("opsdoc: flag -%s documented twice", name)
+		}
+		rows[name] = Row{Default: defValue(cells[1]), Usage: cells[2]}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("opsdoc: no flag table under %q", heading)
+	}
+	return rows, nil
+}
+
+// splitRow cuts "| a | b | c |" into trimmed cells.
+func splitRow(row string) []string {
+	row = strings.TrimPrefix(row, "|")
+	row = strings.TrimSuffix(row, "|")
+	parts := strings.Split(row, "|")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// flagName strips the `-name` backtick-and-dash dressing.
+func flagName(cell string) (string, error) {
+	s := strings.Trim(cell, "`")
+	if !strings.HasPrefix(s, "-") || len(s) < 2 || s == cell {
+		return "", fmt.Errorf("flag cell must look like `-name`, got %q", cell)
+	}
+	return s[1:], nil
+}
+
+// defValue maps the rendered default cell back to flag.Flag.DefValue:
+// *(empty)* means the empty string, anything else is the backtick-quoted
+// literal.
+func defValue(cell string) string {
+	if cell == "*(empty)*" {
+		return ""
+	}
+	return strings.Trim(cell, "`")
+}

@@ -1,0 +1,78 @@
+package opsdoc
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `# Operations
+
+### demo flag reference
+
+| Flag | Default | Meaning |
+|---|---|---|
+| ` + "`-id`" + ` | *(empty)* | node id (required) |
+| ` + "`-listen`" + ` | ` + "`:7001`" + ` | TCP listen address |
+
+Prose after the table.
+
+### other flag reference
+
+| Flag | Default | Meaning |
+|---|---|---|
+| ` + "`-x`" + ` | ` + "`1`" + ` | unrelated |
+`
+
+// TestParseFlagTable covers the happy path: the right section is picked,
+// defaults round-trip (including the empty marker), usage is verbatim.
+func TestParseFlagTable(t *testing.T) {
+	rows, err := ParseFlagTable([]byte(sample), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %v", rows)
+	}
+	if r := rows["id"]; r.Default != "" || r.Usage != "node id (required)" {
+		t.Errorf("id row = %+v", r)
+	}
+	if r := rows["listen"]; r.Default != ":7001" || r.Usage != "TCP listen address" {
+		t.Errorf("listen row = %+v", r)
+	}
+	if _, ok := rows["x"]; ok {
+		t.Error("picked up a row from the wrong section")
+	}
+}
+
+// TestParseFlagTableErrors: missing sections, malformed rows, and
+// duplicate flags must be loud — a silently empty table would make the
+// drift guard pass vacuously.
+func TestParseFlagTableErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing heading": "# nothing here\n",
+		"no table":        "### demo flag reference\n\njust prose\n",
+		"bad flag cell":   "### demo flag reference\n\n| Flag | Default | Meaning |\n|---|---|---|\n| id | `x` | usage |\n",
+		"wrong arity":     "### demo flag reference\n\n| Flag | Default | Meaning |\n|---|---|---|\n| `-id` | usage |\n",
+		"duplicate":       "### demo flag reference\n\n| Flag | Default | Meaning |\n|---|---|---|\n| `-id` | `a` | u |\n| `-id` | `b` | u |\n",
+	}
+	for name, md := range cases {
+		if _, err := ParseFlagTable([]byte(md), "demo"); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestParseFlagTableStopsAtNextHeading: a second table later in the same
+// document must not bleed into the first section's rows.
+func TestParseFlagTableStopsAtNextHeading(t *testing.T) {
+	rows, err := ParseFlagTable([]byte(sample), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows["x"].Default != "1" {
+		t.Errorf("other section rows = %v", rows)
+	}
+	if strings.Contains(sample, "missing") {
+		t.Fatal("sample corrupted")
+	}
+}

@@ -1,0 +1,284 @@
+package registry
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FileOptions configures a File registry.
+type FileOptions struct {
+	// Poll is how often Watch re-reads the file to diff membership. Zero
+	// disables polling: the file is read on demand and watchers only see
+	// events from explicit Deregister calls.
+	Poll time.Duration
+}
+
+// File is the static-file membership registry behind rebeca-broker's
+// -registry flag: an operator-maintained file with one member per line,
+//
+//	<broker-id> <tcp-address>
+//
+// '#' starts a comment and blank lines are skipped. Line order is the
+// member's rank; self-assembly keeps the overlay acyclic by having each
+// broker dial only members of strictly lower rank, so the rank order is
+// the bootstrap tree order. The file is re-read on every Members call,
+// picking up operator edits without a restart; with Poll set, a watcher
+// goroutine diffs consecutive reads and emits Joined/Left for edits.
+//
+// File performs no heartbeat-based failure detection of its own — the
+// daemon detects peer death through link loss (transport.Link.Done) and
+// treats the registry purely as the who-and-where directory. Heartbeat is
+// therefore a validated no-op, and Deregister marks the member dead for
+// this process only (the file is never rewritten), so a rejoining broker
+// can be re-announced by a later Register.
+type File struct {
+	path string
+	opts FileOptions
+
+	mu       sync.Mutex
+	excluded map[wire.BrokerID]bool // deregistered this process
+	watchers map[int]Watcher
+	nextWID  int
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFile opens a static-file registry. The file must exist and parse.
+func NewFile(path string, opts FileOptions) (*File, error) {
+	r := &File{
+		path:     path,
+		opts:     opts,
+		excluded: make(map[wire.BrokerID]bool),
+		watchers: make(map[int]Watcher),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	initial, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Poll > 0 {
+		go r.poller(memberSet(initial))
+	} else {
+		close(r.done)
+	}
+	return r, nil
+}
+
+// load parses the member file.
+func (r *File) load() ([]Member, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	defer f.Close()
+	var out []Member
+	seen := make(map[wire.BrokerID]bool)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("registry: %s:%d: want '<broker-id> <address>', got %q", r.path, lineNo, line)
+		}
+		id := wire.BrokerID(fields[0])
+		if seen[id] {
+			return nil, fmt.Errorf("registry: %s:%d: %w: %s", r.path, lineNo, ErrDuplicate, id)
+		}
+		seen[id] = true
+		out = append(out, Member{ID: id, Addr: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("registry: read %s: %w", r.path, err)
+	}
+	return out, nil
+}
+
+// poller diffs consecutive file reads against the membership seen at
+// construction and emits Joined/Left for operator edits.
+func (r *File) poller(prev map[wire.BrokerID]Member) {
+	defer close(r.done)
+	t := time.NewTicker(r.opts.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			cur := memberSet(r.Members())
+			r.mu.Lock()
+			ws := r.watcherList()
+			r.mu.Unlock()
+			for id, m := range cur {
+				if _, ok := prev[id]; !ok {
+					notify(ws, Event{Kind: Joined, Member: m})
+				}
+			}
+			for id, m := range prev {
+				if _, ok := cur[id]; !ok {
+					notify(ws, Event{Kind: Left, Member: m})
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func memberSet(ms []Member) map[wire.BrokerID]Member {
+	out := make(map[wire.BrokerID]Member, len(ms))
+	for _, m := range ms {
+		out[m.ID] = m
+	}
+	return out
+}
+
+// Register implements Registry: membership is the file's, so Register
+// only validates that the member is listed (guarding against a daemon
+// started with an ID the operator forgot to add). A previously
+// deregistered member is revived.
+func (r *File) Register(m Member) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	ms, err := r.load()
+	if err != nil {
+		return err
+	}
+	for _, fm := range ms {
+		if fm.ID == m.ID {
+			r.mu.Lock()
+			delete(r.excluded, m.ID)
+			r.mu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s not listed in %s", ErrUnknownMember, m.ID, r.path)
+}
+
+// Deregister implements Registry: the member is hidden from this
+// process's view and announced as Left; the file itself is not modified.
+func (r *File) Deregister(id wire.BrokerID) error {
+	ms, err := r.load()
+	if err != nil {
+		return err
+	}
+	var found *Member
+	for i := range ms {
+		if ms[i].ID == id {
+			found = &ms[i]
+			break
+		}
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if found == nil || r.excluded[id] {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownMember, id)
+	}
+	r.excluded[id] = true
+	ws := r.watcherList()
+	r.mu.Unlock()
+	notify(ws, Event{Kind: Left, Member: *found})
+	return nil
+}
+
+// Heartbeat implements Registry as a validated no-op: liveness is the
+// link layer's job under the static-file deployment.
+func (r *File) Heartbeat(id wire.BrokerID) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	excluded := r.excluded[id]
+	r.mu.Unlock()
+	if excluded {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, id)
+	}
+	return nil
+}
+
+// Members implements Registry: the file's members in file order (rank),
+// minus any deregistered this process. Read errors degrade to an empty
+// membership rather than a panic mid-flight; NewFile validated the file
+// once, so an error here means the operator is mid-edit.
+func (r *File) Members() []Member {
+	ms, err := r.load()
+	if err != nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := ms[:0]
+	for _, m := range ms {
+		if !r.excluded[m.ID] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Watch implements Registry.
+func (r *File) Watch(w Watcher) (func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	id := r.nextWID
+	r.nextWID++
+	r.watchers[id] = w
+	return func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}, nil
+}
+
+// watcherList snapshots the watcher set. Callers hold r.mu.
+func (r *File) watcherList() []Watcher {
+	ws := make([]Watcher, 0, len(r.watchers))
+	for _, w := range r.watchers {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// Close implements Registry.
+func (r *File) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.watchers = make(map[int]Watcher)
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+	return nil
+}
+
+var _ Registry = (*File)(nil)

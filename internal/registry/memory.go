@@ -1,0 +1,238 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// MemoryOptions configures the in-process registry.
+type MemoryOptions struct {
+	// TTL is the liveness lease: a member whose last heartbeat is older
+	// than TTL at sweep time is declared Failed and removed. Zero disables
+	// failure detection (members only leave via Deregister).
+	TTL time.Duration
+	// SweepEvery is the detector's sweep cadence. Zero defaults to TTL/4
+	// (and to no sweeper at all when TTL is zero). Tests that need
+	// deterministic detection drive Sweep directly instead of waiting on
+	// the cadence.
+	SweepEvery time.Duration
+}
+
+// memberState is one registered member plus its liveness lease.
+type memberState struct {
+	m        Member
+	deadline time.Time // zero when TTL is disabled
+}
+
+// Memory is the in-process membership registry: Register/Heartbeat manage
+// a TTL lease per member and a background sweeper (or an explicit Sweep
+// call) turns expired leases into Failed events. It backs core.Network's
+// self-healing mode and the federation tests.
+type Memory struct {
+	opts MemoryOptions
+
+	mu       sync.Mutex
+	members  map[wire.BrokerID]*memberState
+	watchers map[int]Watcher
+	nextWID  int
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMemory creates an in-process registry and, when failure detection is
+// enabled (TTL > 0), starts its sweeper goroutine.
+func NewMemory(opts MemoryOptions) *Memory {
+	if opts.TTL > 0 && opts.SweepEvery <= 0 {
+		opts.SweepEvery = opts.TTL / 4
+		if opts.SweepEvery <= 0 {
+			opts.SweepEvery = time.Millisecond
+		}
+	}
+	r := &Memory{
+		opts:     opts,
+		members:  make(map[wire.BrokerID]*memberState),
+		watchers: make(map[int]Watcher),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if opts.TTL > 0 {
+		go r.sweeper()
+	} else {
+		close(r.done)
+	}
+	return r
+}
+
+func (r *Memory) sweeper() {
+	defer close(r.done)
+	t := time.NewTicker(r.opts.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.Sweep(now)
+		}
+	}
+}
+
+// Register implements Registry.
+func (r *Memory) Register(m Member) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if old, ok := r.members[m.ID]; ok {
+		if old.m.Addr != m.Addr {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrDuplicate, m.ID)
+		}
+		old.deadline = r.newDeadline()
+		r.mu.Unlock()
+		return nil
+	}
+	r.members[m.ID] = &memberState{m: m, deadline: r.newDeadline()}
+	ws := r.watcherList()
+	r.mu.Unlock()
+	notify(ws, Event{Kind: Joined, Member: m})
+	return nil
+}
+
+// newDeadline computes the lease deadline for a fresh (re-)registration or
+// heartbeat. Callers hold r.mu.
+func (r *Memory) newDeadline() time.Time {
+	if r.opts.TTL <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(r.opts.TTL)
+}
+
+// Deregister implements Registry.
+func (r *Memory) Deregister(id wire.BrokerID) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	st, ok := r.members[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownMember, id)
+	}
+	delete(r.members, id)
+	ws := r.watcherList()
+	r.mu.Unlock()
+	notify(ws, Event{Kind: Left, Member: st.m})
+	return nil
+}
+
+// Heartbeat implements Registry: it refreshes the member's lease.
+func (r *Memory) Heartbeat(id wire.BrokerID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	st, ok := r.members[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, id)
+	}
+	st.deadline = r.newDeadline()
+	return nil
+}
+
+// Members implements Registry. Memory ranks members lexicographically by
+// ID, which is deterministic across processes and restarts.
+func (r *Memory) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Member, 0, len(r.members))
+	for _, st := range r.members {
+		out = append(out, st.m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Watch implements Registry.
+func (r *Memory) Watch(w Watcher) (func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	id := r.nextWID
+	r.nextWID++
+	r.watchers[id] = w
+	return func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}, nil
+}
+
+// Sweep runs one failure-detection pass against the given time: members
+// whose lease expired before now are removed and announced as Failed. The
+// background sweeper calls it on its cadence; tests call it directly for
+// deterministic detection.
+func (r *Memory) Sweep(now time.Time) {
+	r.mu.Lock()
+	if r.closed || r.opts.TTL <= 0 {
+		r.mu.Unlock()
+		return
+	}
+	var failed []Member
+	for id, st := range r.members {
+		if !st.deadline.IsZero() && st.deadline.Before(now) {
+			failed = append(failed, st.m)
+			delete(r.members, id)
+		}
+	}
+	ws := r.watcherList()
+	r.mu.Unlock()
+	sort.Slice(failed, func(i, j int) bool { return failed[i].ID < failed[j].ID })
+	for _, m := range failed {
+		notify(ws, Event{Kind: Failed, Member: m})
+	}
+}
+
+// watcherList snapshots the watcher set so events are delivered outside
+// r.mu (watchers may take their own locks). Callers hold r.mu.
+func (r *Memory) watcherList() []Watcher {
+	ws := make([]Watcher, 0, len(r.watchers))
+	for _, w := range r.watchers {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func notify(ws []Watcher, e Event) {
+	for _, w := range ws {
+		w(e)
+	}
+}
+
+// Close implements Registry.
+func (r *Memory) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.watchers = make(map[int]Watcher)
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+	return nil
+}
+
+var _ Registry = (*Memory)(nil)

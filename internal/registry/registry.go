@@ -1,0 +1,108 @@
+// Package registry provides broker membership for the elastic federation
+// layer: who is part of the overlay, where each broker can be reached, and
+// — through heartbeats — which brokers are still alive. The routing layers
+// (internal/broker, internal/core) stay membership-agnostic; they consume
+// this package's events to repair the overlay tree when a broker dies and
+// to pick surviving parents for orphaned brokers and clients.
+//
+// Two implementations cover the two deployment shapes of the repo:
+//
+//   - Memory is the in-process registry used by core.Network and the
+//     tests: registered members heartbeat under a TTL and a sweeper turns
+//     missed heartbeats into Failed events (crash-stop failure detection,
+//     the weakest detector sufficient for tree repair on an acyclic
+//     overlay).
+//   - File is the static bootstrap registry used by cmd/rebeca-broker: an
+//     operator-maintained member file whose line order doubles as the
+//     join-rank that keeps self-assembly acyclic.
+//
+// Both implementations are safe for concurrent use.
+package registry
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// Errors returned by registry implementations.
+var (
+	ErrClosed        = errors.New("registry: closed")
+	ErrUnknownMember = errors.New("registry: unknown member")
+	ErrDuplicate     = errors.New("registry: duplicate member id")
+)
+
+// Member is one broker known to the registry.
+type Member struct {
+	// ID is the broker's overlay identity.
+	ID wire.BrokerID
+	// Addr is where the broker accepts peer and client connections. For
+	// the in-process Memory registry it is informational; for File it is
+	// the TCP address peers dial.
+	Addr string
+}
+
+// EventKind classifies membership events.
+type EventKind int
+
+// The membership event kinds delivered to Watch observers.
+const (
+	// Joined announces a new live member (Register, or a member appearing
+	// in a File registry on reload).
+	Joined EventKind = iota
+	// Left announces a voluntary departure (Deregister, or a member
+	// removed from a File registry).
+	Left
+	// Failed announces a crash detected by the failure detector: the
+	// member missed enough heartbeats to exceed its TTL. Failed members
+	// are removed from the membership.
+	Failed
+)
+
+// String returns the lower-case kind name.
+func (k EventKind) String() string {
+	switch k {
+	case Joined:
+		return "joined"
+	case Left:
+		return "left"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Event is one membership change.
+type Event struct {
+	Kind   EventKind
+	Member Member
+}
+
+// Watcher receives membership events. Implementations invoke it from an
+// internal goroutine (or from the mutating call for Memory); it must not
+// block for long and must not call back into the registry.
+type Watcher func(Event)
+
+// Registry is the pluggable membership interface of the federation layer.
+// Register/Deregister manage voluntary membership, Heartbeat feeds the
+// failure detector, Members snapshots the live set in rank order (lowest
+// rank first — the join order used to keep self-assembly acyclic), and
+// Watch subscribes to membership changes.
+type Registry interface {
+	// Register adds a member (idempotent for an identical Member; an ID
+	// collision with a different address returns ErrDuplicate).
+	Register(m Member) error
+	// Deregister removes a member voluntarily, emitting Left.
+	Deregister(id wire.BrokerID) error
+	// Heartbeat refreshes a member's liveness lease. Implementations
+	// without failure detection may treat it as a no-op.
+	Heartbeat(id wire.BrokerID) error
+	// Members returns the live members in rank order.
+	Members() []Member
+	// Watch registers an observer for subsequent events and returns a
+	// cancel function. Events already delivered are not replayed; callers
+	// reconcile against Members first.
+	Watch(w Watcher) (cancel func(), err error)
+	// Close releases detector goroutines and cancels all watchers.
+	Close() error
+}

@@ -1,0 +1,341 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// eventLog collects watcher events threadsafely.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+func TestMemoryRegisterDeregister(t *testing.T) {
+	r := NewMemory(MemoryOptions{})
+	defer r.Close()
+
+	var log eventLog
+	cancel, err := r.Watch(log.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	if err := r.Register(Member{ID: "b2", Addr: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Member{ID: "b1", Addr: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-register of the identical member.
+	if err := r.Register(Member{ID: "b1", Addr: "y"}); err != nil {
+		t.Fatalf("re-register identical member: %v", err)
+	}
+	// ID collision with a different address is refused.
+	if err := r.Register(Member{ID: "b1", Addr: "z"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+
+	ms := r.Members()
+	if len(ms) != 2 || ms[0].ID != "b1" || ms[1].ID != "b2" {
+		t.Fatalf("members not in ID order: %v", ms)
+	}
+
+	if err := r.Deregister("b2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deregister("b2"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("want ErrUnknownMember, got %v", err)
+	}
+	if got := len(r.Members()); got != 1 {
+		t.Fatalf("want 1 member after deregister, got %d", got)
+	}
+
+	events := log.snapshot()
+	if len(events) != 3 {
+		t.Fatalf("want 3 events (2 joins, 1 left), got %v", events)
+	}
+	if events[2].Kind != Left || events[2].Member.ID != "b2" {
+		t.Fatalf("want Left b2, got %+v", events[2])
+	}
+}
+
+func TestMemoryFailureDetection(t *testing.T) {
+	// Huge TTL: the background sweeper never fires on its own; the test
+	// drives Sweep with explicit times for determinism.
+	r := NewMemory(MemoryOptions{TTL: time.Hour})
+	defer r.Close()
+
+	var log eventLog
+	cancel, err := r.Watch(log.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	for _, id := range []wire.BrokerID{"b1", "b2"} {
+		if err := r.Register(Member{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing expired yet.
+	r.Sweep(time.Now())
+	if got := len(r.Members()); got != 2 {
+		t.Fatalf("premature expiry: %d members", got)
+	}
+	if err := r.Heartbeat("b1"); err != nil {
+		t.Fatal(err)
+	}
+	// Sweep past every lease: both members fail. (Heartbeats genuinely
+	// extending a lease is covered end-to-end by TestMemorySweeperRuns,
+	// which needs the real clock.)
+	r.Sweep(time.Now().Add(2 * time.Hour))
+	if got := len(r.Members()); got != 0 {
+		t.Fatalf("want all expired, got %d members", got)
+	}
+	var failed int
+	for _, e := range log.snapshot() {
+		if e.Kind == Failed {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("want 2 Failed events, got %d", failed)
+	}
+	// Failed members can re-register (crash-recovery rejoin).
+	if err := r.Register(Member{ID: "b1"}); err != nil {
+		t.Fatalf("rejoin after failure: %v", err)
+	}
+	if err := r.Heartbeat("b2"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("heartbeat of failed member: want ErrUnknownMember, got %v", err)
+	}
+}
+
+func TestMemorySweeperRuns(t *testing.T) {
+	// End-to-end against the real clock: a heartbeating member survives
+	// the background sweeper while a silent one is expired.
+	r := NewMemory(MemoryOptions{TTL: 100 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
+	defer r.Close()
+	for _, id := range []wire.BrokerID{"alive", "silent"} {
+		if err := r.Register(Member{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = r.Heartbeat("alive")
+			}
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ms := r.Members()
+		if len(ms) == 1 && ms[0].ID == "alive" {
+			return
+		}
+		if len(ms) == 0 {
+			t.Fatal("sweeper expired the heartbeating member")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never expired the silent member; members: %v", ms)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMemoryClose(t *testing.T) {
+	r := NewMemory(MemoryOptions{TTL: time.Hour})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := r.Register(Member{ID: "b1"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := r.Watch(func(Event) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func writeRegistryFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "members")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileParseAndRank(t *testing.T) {
+	path := writeRegistryFile(t, `
+# overlay bootstrap order: root first
+b1 host1:7001
+b2 host2:7002   # transit
+b3 host3:7003
+`)
+	r, err := NewFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ms := r.Members()
+	if len(ms) != 3 {
+		t.Fatalf("want 3 members, got %v", ms)
+	}
+	// File order is rank order, not ID order.
+	for i, want := range []Member{
+		{ID: "b1", Addr: "host1:7001"},
+		{ID: "b2", Addr: "host2:7002"},
+		{ID: "b3", Addr: "host3:7003"},
+	} {
+		if ms[i] != want {
+			t.Fatalf("member %d: want %+v, got %+v", i, want, ms[i])
+		}
+	}
+}
+
+func TestFileParseErrors(t *testing.T) {
+	for name, content := range map[string]string{
+		"missing addr": "b1\n",
+		"extra field":  "b1 host:1 extra\n",
+		"duplicate id": "b1 host:1\nb1 host:2\n",
+	} {
+		path := writeRegistryFile(t, content)
+		if _, err := NewFile(path, FileOptions{}); err == nil {
+			t.Errorf("%s: want parse error, got nil", name)
+		}
+	}
+	if _, err := NewFile(filepath.Join(t.TempDir(), "absent"), FileOptions{}); err == nil {
+		t.Error("absent file: want error, got nil")
+	}
+}
+
+func TestFileRegisterValidates(t *testing.T) {
+	path := writeRegistryFile(t, "b1 host:1\nb2 host:2\n")
+	r, err := NewFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Register(Member{ID: "b2", Addr: "host:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Member{ID: "b9", Addr: "host:9"}); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("unlisted member: want ErrUnknownMember, got %v", err)
+	}
+	if err := r.Heartbeat("b1"); err != nil {
+		t.Fatalf("heartbeat no-op: %v", err)
+	}
+}
+
+func TestFileDeregisterHidesAndRegisterRevives(t *testing.T) {
+	path := writeRegistryFile(t, "b1 host:1\nb2 host:2\n")
+	r, err := NewFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var log eventLog
+	cancel, err := r.Watch(log.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	if err := r.Deregister("b2"); err != nil {
+		t.Fatal(err)
+	}
+	if ms := r.Members(); len(ms) != 1 || ms[0].ID != "b1" {
+		t.Fatalf("want only b1 visible, got %v", ms)
+	}
+	events := log.snapshot()
+	if len(events) != 1 || events[0].Kind != Left || events[0].Member.ID != "b2" {
+		t.Fatalf("want one Left b2 event, got %v", events)
+	}
+	// A rejoin revives the hidden member.
+	if err := r.Register(Member{ID: "b2", Addr: "host:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := r.Members(); len(ms) != 2 {
+		t.Fatalf("want b2 revived, got %v", ms)
+	}
+}
+
+func TestFileWatchPollsEdits(t *testing.T) {
+	path := writeRegistryFile(t, "b1 host:1\n")
+	r, err := NewFile(path, FileOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var log eventLog
+	cancel, err := r.Watch(log.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	if err := os.WriteFile(path, []byte("b1 host:1\nb2 host:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var joined bool
+		for _, e := range log.snapshot() {
+			if e.Kind == Joined && e.Member.ID == "b2" {
+				joined = true
+			}
+		}
+		if joined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poller never saw the added member")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		Joined:        "joined",
+		Left:          "left",
+		Failed:        "failed",
+		EventKind(99): "unknown",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", kind, got, want)
+		}
+	}
+}

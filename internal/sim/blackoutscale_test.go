@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBlackoutScaleRun drives the crash scenario at a CI-friendly scale
+// and checks the structural properties that hold regardless of scheduler
+// jitter: nothing is lost before the crash, nothing is duplicated ever,
+// delivery recovers before the run ends, and the orphan fails over.
+// (Wall-clock bounds on the blackout itself live in EXPERIMENTS.md, from
+// the full-scale run — a loaded CI runner cannot assert them tightly.)
+func TestBlackoutScaleRun(t *testing.T) {
+	cfg := BlackoutScaleConfig{
+		Brokers:      8,
+		Victim:       4,
+		Heartbeat:    5 * time.Millisecond,
+		TTL:          80 * time.Millisecond,
+		RelocTimeout: 50 * time.Millisecond,
+		Publishes:    150,
+		KillAfter:    40,
+		PublishEvery: 2 * time.Millisecond,
+		Drain:        20 * time.Second,
+	}
+	res, err := RunBlackoutScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detection <= 0 || res.Detection > 15*time.Second {
+		t.Errorf("implausible detection latency %v", res.Detection)
+	}
+	if !res.FailedOver {
+		t.Error("orphan did not fail over to a survivor")
+	}
+	for name, o := range map[string]SubscriberOutcome{"probe": res.Probe, "orphan": res.Orphan} {
+		if o.Duplicates != 0 {
+			t.Errorf("%s: %d duplicate deliveries", name, o.Duplicates)
+		}
+		if o.Delivered+o.Lost != cfg.Publishes {
+			t.Errorf("%s: delivered %d + lost %d != published %d", name, o.Delivered, o.Lost, cfg.Publishes)
+		}
+		if o.Lost > 0 {
+			if o.FirstLost < cfg.KillAfter {
+				t.Errorf("%s: lost publish #%d predates the crash at #%d", name, o.FirstLost, cfg.KillAfter)
+			}
+			if o.LastLost >= cfg.Publishes-1 {
+				t.Errorf("%s: loss window reaches the end of the run (no recovery)", name)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"blackout-scale", "detection", "probe", "orphan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBlackoutScaleValidate covers the config guard rails.
+func TestBlackoutScaleValidate(t *testing.T) {
+	ok := DefaultBlackoutScaleConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*BlackoutScaleConfig){
+		"too few brokers": func(c *BlackoutScaleConfig) { c.Brokers = 2 },
+		"victim is end":   func(c *BlackoutScaleConfig) { c.Victim = 0 },
+		"victim past end": func(c *BlackoutScaleConfig) { c.Victim = c.Brokers - 1 },
+		"kill after run":  func(c *BlackoutScaleConfig) { c.KillAfter = c.Publishes },
+		"no ttl":          func(c *BlackoutScaleConfig) { c.TTL = 0 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultBlackoutScaleConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+}
