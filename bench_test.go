@@ -1373,3 +1373,195 @@ func BenchmarkBackpressureStalledLeaf(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEgressFanout measures the sharded egress writer pool on its
+// target shape: a hub broker fanning out to 8 leaves over real localhost
+// TCP links. writers=0 is the seed pipeline — flushOutbox performs all 8
+// SendBatch/Flush syscall sequences inline on the run loop — and
+// writers=N moves them onto N writer shards, so the run loop returns to
+// matching while the sockets are written concurrently. ns/op is the
+// hub-side publish cost including end-to-end settling (every leaf must
+// receive every notification); on a multi-core runner throughput scales
+// with the writer count until the links per shard even out. flush-ns is
+// the mean per-burst link-write latency paid by the writers (writers>0).
+func BenchmarkEgressFanout(b *testing.B) {
+	const leaves = 8
+	for _, writers := range []int{0, 1, 2, 4} {
+		writers := writers
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			hub := broker.New("hub", broker.Options{EgressWriters: writers})
+			hub.Start()
+			defer hub.Close()
+
+			var delivered atomic.Int64
+			for i := 0; i < leaves; i++ {
+				id := wire.BrokerID(fmt.Sprintf("leaf%d", i))
+				leaf := broker.New(id, broker.Options{})
+				leaf.Start()
+				defer leaf.Close()
+				connectTCP(b, hub, leaf)
+				client := wire.ClientID(fmt.Sprintf("c%d", i))
+				if err := leaf.AttachClient(client, func(wire.Deliver) { delivered.Add(1) }); err != nil {
+					b.Fatal(err)
+				}
+				err := leaf.Subscribe(wire.Subscription{
+					Filter: filter.MustParse(`sym = "ACME"`), Client: client, ID: "s",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Subscription propagation crosses the TCP links asynchronously.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if subs, _ := hub.TableSizes(); subs >= leaves {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatal("subscriptions did not propagate")
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			n := message.New(map[string]message.Value{"sym": message.String("ACME")})
+			pub := wire.NewPublish(n)
+			from := wire.ClientHop("prod")
+			settle := func(want int64) {
+				deadline := time.Now().Add(30 * time.Second)
+				for delivered.Load() < want {
+					if time.Now().After(deadline) {
+						b.Fatalf("delivered %d of %d", delivered.Load(), want)
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			// Warm-up: interner, routes, TCP buffers, writer shards.
+			hub.Receive(transport.Inbound{From: from, Msg: pub})
+			settle(leaves)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Receive(transport.Inbound{From: from, Msg: pub})
+			}
+			settle(int64(b.N+1) * leaves)
+			b.StopTimer()
+			st := hub.Stats()
+			if writers > 0 {
+				b.ReportMetric(st.EgressFlushMeanNs, "flush-ns")
+				b.ReportMetric(float64(st.EgressQueueHighWater), "egress-hw")
+			}
+			if st.LinkSendErrorsTotal != 0 {
+				b.Fatalf("%d link send errors", st.LinkSendErrorsTotal)
+			}
+		})
+	}
+}
+
+// BenchmarkEgressFanoutStalledPeer is the adversarial variant of the
+// egress benchmark (informational in CI, not gated): a hub with 4 egress
+// writers fans out to 8 leaves over windowed in-process links, and in the
+// stalled mode one leaf stops consuming entirely. The stalled leaf's link
+// window sheds (DropOldest) so its egress shard keeps draining, while the
+// Block egress window keeps healthy traffic lossless — the writer pool
+// must hold the 7 healthy leaves at full rate (stalled ns/op within noise
+// of unstalled, 0 allocs/op steady state) with the dead peer's loss
+// showing up as dropped/op at its link, not as throughput tax.
+func BenchmarkEgressFanoutStalledPeer(b *testing.B) {
+	const leaves = 8
+	for _, stall := range []bool{false, true} {
+		name := "unstalled"
+		if stall {
+			name = "stalled"
+		}
+		stall := stall
+		b.Run(name, func(b *testing.B) {
+			leafOpts := broker.Options{MailboxCapacity: 1024, MailboxPolicy: flow.Block}
+			hub := broker.New("hub", broker.Options{
+				MailboxCapacity: 1024, MailboxPolicy: flow.Block,
+				EgressWriters: 4, EgressWindow: 1024, EgressPolicy: flow.Block,
+			})
+			hub.Start()
+			defer hub.Close()
+
+			gate := make(chan struct{})
+			var releaseOnce sync.Once
+			release := func() { releaseOnce.Do(func() { close(gate) }) }
+
+			var healthy atomic.Int64
+			leafBrokers := make([]*broker.Broker, leaves)
+			links := make([]*transport.ChanLink, 0, 2*leaves)
+			for i := 0; i < leaves; i++ {
+				i := i
+				id := wire.BrokerID(fmt.Sprintf("leaf%d", i))
+				leaf := broker.New(id, leafOpts)
+				leaf.Start()
+				defer leaf.Close()
+				leafBrokers[i] = leaf
+				w := flow.Options{Capacity: 256, Policy: flow.Block}
+				if stall && i == 0 {
+					w.Policy = flow.DropOldest
+				}
+				lh, ll := transport.Pipe(wire.BrokerHop("hub"), wire.BrokerHop(id),
+					hub, leaf, transport.WithWindow(w))
+				links = append(links, lh, ll)
+				if err := hub.AddLink(id, lh); err != nil {
+					b.Fatal(err)
+				}
+				if err := leaf.AddLink("hub", ll); err != nil {
+					b.Fatal(err)
+				}
+				deliver := func(wire.Deliver) { healthy.Add(1) }
+				if i == 0 {
+					deliver = func(wire.Deliver) {
+						if stall {
+							<-gate
+						}
+					}
+				}
+				client := wire.ClientID(fmt.Sprintf("c%d", i))
+				if err := leaf.AttachClient(client, deliver); err != nil {
+					b.Fatal(err)
+				}
+				err := leaf.Subscribe(wire.Subscription{
+					Filter: filter.MustParse(`sym = "ACME"`), Client: client, ID: "s",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Registered after the leaf Close defers so it runs before them
+			// (LIFO): the stalled run loop must unpark for Close to finish.
+			defer release()
+
+			for r := 0; r < 4; r++ {
+				hub.Barrier()
+				for _, leaf := range leafBrokers {
+					leaf.Barrier()
+				}
+				for _, l := range links {
+					l.WaitIdle()
+				}
+			}
+
+			n := message.New(map[string]message.Value{"sym": message.String("ACME")})
+			pub := wire.NewPublish(n)
+			from := wire.ClientHop("prod")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Receive(transport.Inbound{From: from, Msg: pub})
+			}
+			want := int64(b.N) * (leaves - 1)
+			for healthy.Load() < want {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+			stats := hub.Stats()
+			b.ReportMetric(float64(stats.LinkDroppedOldest)/float64(b.N), "dropped/op")
+			b.ReportMetric(float64(stats.EgressQueueHighWater), "egress-hw")
+			b.ReportMetric(float64(stats.EgressDroppedOldest)/float64(b.N), "egress-dropped/op")
+			b.ReportMetric(stats.EgressFlushMeanNs, "flush-ns")
+		})
+	}
+}

@@ -61,6 +61,9 @@ type brokerFlags struct {
 	mailboxPolicy string
 	sendWindow    int
 	sendPolicy    string
+	egressWriters int
+	egressWindow  int
+	egressPolicy  string
 }
 
 // newFlagSet declares the rebeca-broker flags on a fresh FlagSet.
@@ -89,6 +92,12 @@ func newFlagSet() (*flag.FlagSet, *brokerFlags) {
 		"per-peer TCP send window in frames")
 	fs.StringVar(&cfg.sendPolicy, "send-policy", flow.Block.String(),
 		"send-window overload policy: "+strings.Join(flow.PolicyNames(), ", "))
+	fs.IntVar(&cfg.egressWriters, "egress-writers", 0,
+		"egress writer shards for link writes (0 = write inline on the run loop)")
+	fs.IntVar(&cfg.egressWindow, "egress-window", 0,
+		"per-shard egress handoff queue bound in messages (0 = unbounded; needs -egress-writers)")
+	fs.StringVar(&cfg.egressPolicy, "egress-policy", flow.Block.String(),
+		"egress-window overload policy: "+strings.Join(flow.PolicyNames(), ", "))
 	return fs, cfg
 }
 
@@ -134,6 +143,19 @@ func run(args []string) error {
 		return fmt.Errorf("-send-policy: %w", err)
 	}
 	ring := flow.Options{Capacity: cfg.sendWindow, Policy: ringPolicy}
+	if cfg.egressWriters < 0 {
+		return fmt.Errorf("-egress-writers must be >= 0, got %d", cfg.egressWriters)
+	}
+	if cfg.egressWindow < 0 {
+		return fmt.Errorf("-egress-window must be >= 0, got %d", cfg.egressWindow)
+	}
+	if cfg.egressWindow > 0 && cfg.egressWriters == 0 {
+		return errors.New("-egress-window requires -egress-writers > 0")
+	}
+	egressPolicy, err := flow.ParsePolicy(cfg.egressPolicy)
+	if err != nil {
+		return fmt.Errorf("-egress-policy: %w", err)
+	}
 
 	self := wire.BrokerID(cfg.id)
 	b := broker.New(self, broker.Options{
@@ -142,6 +164,9 @@ func run(args []string) error {
 		MaxBatch:        cfg.maxBatch,
 		MailboxCapacity: cfg.mailboxCap,
 		MailboxPolicy:   boxPolicy,
+		EgressWriters:   cfg.egressWriters,
+		EgressWindow:    cfg.egressWindow,
+		EgressPolicy:    egressPolicy,
 	})
 	b.Start()
 	defer b.Close()
@@ -155,8 +180,15 @@ func run(args []string) error {
 	if cfg.mailboxCap > 0 {
 		box = fmt.Sprintf("%d tasks, %s", cfg.mailboxCap, boxPolicy)
 	}
-	log.Printf("broker %s listening on %s (strategy %s, workers %d, maxbatch %d, mailbox %s, send window %d frames %s)",
-		cfg.id, ln.Addr(), strategy, cfg.workers, cfg.maxBatch, box, cfg.sendWindow, ringPolicy)
+	egress := "inline"
+	if cfg.egressWriters > 0 {
+		egress = fmt.Sprintf("%d writers", cfg.egressWriters)
+		if cfg.egressWindow > 0 {
+			egress += fmt.Sprintf(", window %d %s", cfg.egressWindow, egressPolicy)
+		}
+	}
+	log.Printf("broker %s listening on %s (strategy %s, workers %d, maxbatch %d, mailbox %s, send window %d frames %s, egress %s)",
+		cfg.id, ln.Addr(), strategy, cfg.workers, cfg.maxBatch, box, cfg.sendWindow, ringPolicy, egress)
 
 	stop := make(chan struct{})
 	defer close(stop)

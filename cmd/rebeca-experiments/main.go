@@ -5,12 +5,21 @@
 //	rebeca-experiments -experiment all
 //	rebeca-experiments -experiment table1
 //	rebeca-experiments -list
+//
+// With -cpuprofile / -mutexprofile the run is profiled (pprof format),
+// so hot paths and lock contention — egress writer shards included — can
+// be inspected on the registered scenarios:
+//
+//	rebeca-experiments -experiment fig8 -cpuprofile cpu.pprof -mutexprofile mutex.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -28,6 +37,10 @@ func run(args []string) error {
 	name := fs.String("experiment", "all",
 		"experiment to run: "+strings.Join(experiments.Names(), ", ")+", or all")
 	list := fs.Bool("list", false, "list experiments and exit")
+	cpuprofile := fs.String("cpuprofile", "",
+		"write a CPU profile of the run to this file")
+	mutexprofile := fs.String("mutexprofile", "",
+		"write a mutex-contention profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,9 +50,36 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		// Sample every contention event; the default rate of 0 records
+		// nothing.
+		runtime.SetMutexProfileFraction(1)
+		defer runtime.SetMutexProfileFraction(0)
+	}
 	out, err := experiments.Run(*name)
 	if err != nil {
 		return err
+	}
+	if *mutexprofile != "" {
+		f, cerr := os.Create(*mutexprofile)
+		if cerr != nil {
+			return fmt.Errorf("-mutexprofile: %w", cerr)
+		}
+		defer f.Close()
+		if perr := pprof.Lookup("mutex").WriteTo(f, 0); perr != nil {
+			return fmt.Errorf("-mutexprofile: %w", perr)
+		}
 	}
 	fmt.Print(out)
 	return nil

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -25,5 +28,29 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mtx := dir + "/mutex.pprof"
+	if err := run([]string{"-experiment", "table1", "-cpuprofile", cpu, "-mutexprofile", mtx}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mtx} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunBadProfilePath(t *testing.T) {
+	if err := run([]string{"-experiment", "table1", "-cpuprofile", "/nonexistent/dir/cpu.pprof"}); err == nil {
+		t.Error("unwritable -cpuprofile should fail")
 	}
 }

@@ -36,6 +36,13 @@ func TestBatchedDeliveryParity(t *testing.T) {
 				"unbatched": runParityWorkload(t, cfg, Options{MaxBatch: 1}),
 				"batched":   runParityWorkload(t, cfg, Options{}),
 				"parallel":  runParityWorkload(t, cfg, Options{Workers: 4}),
+				// Sharded egress writers at every pool size the shard
+				// pinning can exercise (1 = all links on one writer,
+				// 4 > links on most trials); the per-link sequences must
+				// not change when writes leave the run goroutine.
+				"egress1":          runParityWorkload(t, cfg, Options{EgressWriters: 1}),
+				"egress2":          runParityWorkload(t, cfg, Options{EgressWriters: 2}),
+				"egress4-parallel": runParityWorkload(t, cfg, Options{EgressWriters: 4, Workers: 4}),
 			}
 			want := runs["unbatched"]
 			for mode, got := range runs {
@@ -99,6 +106,13 @@ func TestBoundedDeliveryParity(t *testing.T) {
 					Options{MailboxCapacity: 8, MailboxPolicy: flow.Block, Workers: 4}),
 				"cap8-windowed": runParityWorkload(t, cfg,
 					Options{MailboxCapacity: 8, MailboxPolicy: flow.Block}, window),
+				// A tiny Block egress window on top of a bounded mailbox:
+				// the handoff queue stalls the run loop instead of losing
+				// notifications, so content parity must survive the extra
+				// backpressure stage too.
+				"cap8-egress2-window2": runParityWorkload(t, cfg,
+					Options{MailboxCapacity: 8, MailboxPolicy: flow.Block,
+						EgressWriters: 2, EgressWindow: 2, EgressPolicy: flow.Block}),
 			}
 			for mode, got := range runs {
 				assertParity(t, mode, got, want)

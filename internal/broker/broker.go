@@ -93,6 +93,26 @@ type Options struct {
 	// Section 4.1). Zero means DefaultRelocTimeout; negative disables the
 	// timeout (the strict protocol, for the mobility tests).
 	RelocTimeout time.Duration
+	// EgressWriters sets the egress parallelism: the number of writer
+	// shards link writes are distributed over. 0 (the default) keeps the
+	// seed behavior — flushOutbox performs every SendBatch/Flush (and its
+	// syscall) inline on the run goroutine. With N >= 1, each link is
+	// pinned to one of N writer goroutines by hashing its hop, flushOutbox
+	// becomes a non-blocking handoff, and links are written concurrently;
+	// per-link FIFO and the delivery sequences are byte-identical to the
+	// inline path for any N (see internal/broker/egress.go).
+	EgressWriters int
+	// EgressWindow bounds each writer shard's handoff queue in messages;
+	// 0 (the default) keeps it unbounded. The bound composes with the
+	// three-class flow model: publishes obey EgressPolicy, deliveries
+	// stall losslessly, control messages are always admitted.
+	EgressWindow int
+	// EgressPolicy selects the overload behavior of a bounded egress
+	// window: Block (the default) stalls the run loop until the shard
+	// drains — backpressure reaches exactly the producers of that shard's
+	// links — DropOldest and ShedNewest shed notifications instead.
+	// Ignored when EgressWindow is 0.
+	EgressPolicy flow.Policy
 	// Workers sets the matching parallelism of the publish pipeline: runs
 	// of consecutive publish messages in a drained batch are matched on
 	// this many sharded worker goroutines against an immutable snapshot
@@ -162,6 +182,14 @@ type Broker struct {
 	// pool is the parallel matching pool, nil when the pipeline is
 	// serial (Workers <= 1 or Flooding).
 	pool *workerPool
+
+	// egress is the sharded link-writer pool, nil when egress is inline
+	// (EgressWriters == 0). egressFlushLat times the per-burst link
+	// writes (atomic: writers observe, Stats reads); sendErrs counts
+	// failed link writes per hop across both paths.
+	egress         *egressPool
+	egressFlushLat metrics.Distribution
+	sendErrs       linkErrTracker
 
 	// killed marks a crash-stopped broker (Kill): the run loop discards
 	// batches instead of processing them, simulating kill -9 for the
@@ -305,6 +333,32 @@ type Stats struct {
 	// counterpart of the mailbox batch-depth distribution).
 	FlushMaxBurst  int
 	FlushMeanBurst float64
+	// LinkSendErrors counts failed link writes (Send/SendBatch/Flush) per
+	// hop, across both the inline and the egress-writer paths; nil when
+	// every write has succeeded. LinkSendErrorsTotal is the sum. The
+	// first failure of each link transition is also logged (once).
+	LinkSendErrors      map[wire.Hop]uint64
+	LinkSendErrorsTotal uint64
+	// EgressWriters is the configured egress parallelism (0 = inline
+	// writes on the run goroutine). EgressShards snapshots each writer
+	// shard's handoff queue — capacity/policy, depth, high-water, credit
+	// stalls, drops — and EgressQueueHighWater / EgressCreditStalls /
+	// EgressDroppedOldest / EgressShedNewest aggregate those across
+	// shards. Because Stats serializes through the run loop, which runs a
+	// drain barrier before every closure, the observed depths are always
+	// 0 here; high-water and the counters carry the signal.
+	EgressWriters        int
+	EgressShards         []flow.Stats
+	EgressQueueHighWater int
+	EgressCreditStalls   uint64
+	EgressDroppedOldest  uint64
+	EgressShedNewest     uint64
+	// EgressFlushes counts per-link write bursts performed by the egress
+	// writers; EgressFlushMeanNs / EgressFlushMaxNs describe how long the
+	// link calls took (the syscall latency the run loop no longer pays).
+	EgressFlushes     uint64
+	EgressFlushMeanNs float64
+	EgressFlushMaxNs  uint64
 }
 
 // clientState tracks an attached (or roaming-away) client.
@@ -386,17 +440,26 @@ func New(id wire.BrokerID, opts Options) *Broker {
 	if opts.Workers > 1 && opts.Strategy != routing.Flooding {
 		b.pool = newWorkerPool(opts.Workers)
 	}
+	if opts.EgressWriters > 0 {
+		b.egress = newEgressPool(b, opts.EgressWriters, flow.Options{
+			Capacity: opts.EgressWindow,
+			Policy:   opts.EgressPolicy,
+		})
+	}
 	return b
 }
 
 // ID returns the broker's identity.
 func (b *Broker) ID() wire.BrokerID { return b.id }
 
-// Start launches the message loop and, when Workers > 1, the matching
-// worker pool.
+// Start launches the message loop and, when configured, the matching
+// worker pool (Workers > 1) and the egress writer pool (EgressWriters > 0).
 func (b *Broker) Start() {
 	if b.pool != nil {
 		b.pool.start()
+	}
+	if b.egress != nil {
+		b.egress.start()
 	}
 	go b.run()
 }
@@ -458,6 +521,11 @@ func (b *Broker) run() {
 	for {
 		batch, ok := b.box.popBatch()
 		if !ok {
+			if b.egress != nil {
+				// Drain the writer shards before closing the links, so
+				// every accepted handoff still reaches the wire.
+				b.egress.stop()
+			}
 			for _, l := range b.links {
 				_ = l.Close()
 			}
@@ -492,6 +560,12 @@ func (b *Broker) processBatch(batch []task) {
 		t := &batch[i]
 		if t.fn != nil {
 			b.flushOutbox()
+			if b.egress != nil {
+				// With asynchronous egress, a flushed burst is only in a
+				// shard queue; the drain barrier extends the contract to
+				// the wire before the closure runs.
+				b.egress.drainBarrier()
+			}
 			// Closures (Stats among them) observe the drained-but-
 			// unprocessed tail of this batch as queue depth.
 			b.batchRemaining = len(batch) - i - 1
@@ -567,53 +641,62 @@ func (b *Broker) applyPublish(t *task, r *matchResult) {
 	}
 }
 
-// flushOutbox writes every deferred message to its link, one FIFO burst
-// per neighbor, and flushes buffering transports. Runs on the broker
-// goroutine.
+// flushOutbox moves every deferred message toward its link, one FIFO
+// burst per neighbor: inline — write and flush the link right here — or,
+// with an egress pool, hand the burst to the link's writer shard and
+// return without blocking on the network. Runs on the broker goroutine.
 func (b *Broker) flushOutbox() {
-	if len(b.out.order) == 0 {
-		return
-	}
-	var retained []wire.BrokerID
-	for _, id := range b.out.order {
-		msgs := b.out.pending[id]
-		l, ok := b.links[id]
-		if !ok {
-			// Half-open link: a Connect in progress let inbound traffic
-			// arrive before our AddLink ran. Keep the burst queued — the
-			// batch boundary after AddLink flushes it. (RemoveLink deletes
-			// the pending queue, so dead peers do not accumulate here.)
+	if len(b.out.order) > 0 {
+		var retained []wire.BrokerID
+		for _, id := range b.out.order {
+			msgs := b.out.pending[id]
+			l, ok := b.links[id]
+			if !ok {
+				// Half-open link: a Connect in progress let inbound traffic
+				// arrive before our AddLink ran. Keep the burst queued — the
+				// batch boundary after AddLink flushes it. (RemoveLink deletes
+				// the pending queue, so dead peers do not accumulate here.)
+				if len(msgs) > 0 {
+					retained = append(retained, id)
+				}
+				continue
+			}
 			if len(msgs) > 0 {
-				retained = append(retained, id)
-			}
-			continue
-		}
-		if len(msgs) > 0 {
-			b.flushDepth.Observe(uint64(len(msgs)))
-			if bs, ok := l.(transport.BatchSender); ok {
-				_ = bs.SendBatch(msgs)
-			} else {
-				for _, m := range msgs {
-					_ = l.Send(m)
-				}
-				if fl, ok := l.(transport.Flusher); ok {
-					_ = fl.Flush()
+				b.flushDepth.Observe(uint64(len(msgs)))
+				if b.egress != nil {
+					// The shard queue copies the burst under its lock, so
+					// the pending slice is immediately reusable below.
+					b.egress.handoff(wire.BrokerHop(id), l, msgs)
+				} else if err := sendBurst(l, msgs); err != nil {
+					b.sendErrs.record(b.id, wire.BrokerHop(id), err)
 				}
 			}
+			if cap(msgs) > maxOutboxRetainCap {
+				// Let spike-sized buffers go to the GC whole instead of
+				// pinning high-water memory per neighbor (mirrors the
+				// mailbox's recycle cap).
+				b.out.pending[id] = nil
+				continue
+			}
+			for i := range msgs {
+				msgs[i] = wire.Message{}
+			}
+			b.out.pending[id] = msgs[:0]
 		}
-		if cap(msgs) > maxOutboxRetainCap {
-			// Let spike-sized buffers go to the GC whole instead of
-			// pinning high-water memory per neighbor (mirrors the
-			// mailbox's recycle cap).
-			b.out.pending[id] = nil
-			continue
-		}
-		for i := range msgs {
-			msgs[i] = wire.Message{}
-		}
-		b.out.pending[id] = msgs[:0]
+		b.out.order = append(b.out.order[:0], retained...)
 	}
-	b.out.order = append(b.out.order[:0], retained...)
+	// Sweep the pending map when it has grown past the live set: an entry
+	// whose neighbor is neither linked nor retained above (e.g. its spike
+	// burst was nilled and the link later vanished) would otherwise keep
+	// its map slot forever.
+	if len(b.out.pending) > len(b.links)+len(b.out.order) {
+		for id, q := range b.out.pending {
+			if _, live := b.links[id]; live || len(q) > 0 {
+				continue
+			}
+			delete(b.out.pending, id)
+		}
+	}
 }
 
 // maxOutboxRetainCap caps the per-neighbor outbox backing array kept
@@ -647,6 +730,9 @@ func (b *Broker) AddLink(peer wire.BrokerID, l transport.Link) error {
 		if _, enc := l.(transport.FrameEncoder); enc {
 			b.encLinks++
 		}
+		// A new link is a new error transition: its first failure should
+		// be logged even if the old link to this peer failed before.
+		b.sendErrs.reset(wire.BrokerHop(peer))
 		hop := wire.BrokerHop(peer)
 		b.sendForwardUpdate(b.fwd.Recompute(hop, b.aggregateInputs(hop)))
 		b.reofferAdvs(hop)
@@ -751,6 +837,7 @@ func (b *Broker) RemoveLink(peer wire.BrokerID) error {
 		}
 		delete(b.links, peer)
 		delete(b.out.pending, peer)
+		b.sendErrs.reset(hop)
 		removed := b.subs.RemoveHop(hop)
 		b.advs.RemoveHop(hop)
 		b.fwd.DropHop(hop)
@@ -876,6 +963,22 @@ func (b *Broker) Stats() Stats {
 		s.Mailbox = b.box.flowStats()
 		s.FlushMaxBurst = int(b.flushDepth.Max())
 		s.FlushMeanBurst = b.flushDepth.Mean()
+		s.LinkSendErrors, s.LinkSendErrorsTotal = b.sendErrs.snapshot()
+		if b.egress != nil {
+			s.EgressWriters = len(b.egress.shards)
+			s.EgressShards = b.egress.shardStats()
+			for _, fs := range s.EgressShards {
+				s.EgressCreditStalls += fs.CreditStalls
+				s.EgressDroppedOldest += fs.DroppedOldest
+				s.EgressShedNewest += fs.ShedNewest
+				if fs.HighWater > s.EgressQueueHighWater {
+					s.EgressQueueHighWater = fs.HighWater
+				}
+			}
+			s.EgressFlushes = b.egressFlushLat.Count()
+			s.EgressFlushMeanNs = b.egressFlushLat.Mean()
+			s.EgressFlushMaxNs = b.egressFlushLat.Max()
+		}
 		for id, l := range b.links {
 			r, ok := l.(flow.Reporter)
 			if !ok {

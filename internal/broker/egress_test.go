@@ -1,0 +1,276 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/routing"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// captureLink is a link test double for the egress pool: it records every
+// message in arrival order and can be armed to fail writes.
+type captureLink struct {
+	mu   sync.Mutex
+	msgs []wire.Message
+	err  error
+}
+
+var _ transport.Link = (*captureLink)(nil)
+var _ transport.BatchSender = (*captureLink)(nil)
+
+func (l *captureLink) fail(err error) {
+	l.mu.Lock()
+	l.err = err
+	l.mu.Unlock()
+}
+
+func (l *captureLink) Send(m wire.Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.msgs = append(l.msgs, m)
+	return nil
+}
+
+func (l *captureLink) SendBatch(ms []wire.Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.msgs = append(l.msgs, ms...)
+	return nil
+}
+
+func (l *captureLink) Close() error { return nil }
+
+func (l *captureLink) sent() []wire.Message {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]wire.Message(nil), l.msgs...)
+}
+
+// TestEgressDrainBarrier pins the exec/Barrier contract under asynchronous
+// egress: when Barrier returns, every message queued before it — handed
+// off to writer shards, not written inline — must already be on the link,
+// in handoff order.
+func TestEgressDrainBarrier(t *testing.T) {
+	b := New("hub", Options{Strategy: routing.Flooding, EgressWriters: 2})
+	b.Start()
+	defer b.Close()
+	out := &captureLink{}
+	if err := b.AddLink("leaf", out); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 5
+	const perRound = 20
+	total := 0
+	from := wire.ClientHop("p")
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(
+				n1(fmt.Sprintf("m%d", total)))})
+			total++
+		}
+		b.Barrier()
+		// The barrier must have drained the shards: everything queued so
+		// far is on the link right now, no settling allowed.
+		if got := len(out.sent()); got != total {
+			t.Fatalf("round %d: %d messages on link after Barrier, want %d", r, got, total)
+		}
+	}
+	for i, m := range out.sent() {
+		want := fmt.Sprintf("m%d", i)
+		if got := m.Notif.String(); !strings.Contains(got, want) {
+			t.Fatalf("message %d out of order: got %s, want %s", i, got, want)
+		}
+	}
+
+	st := b.Stats()
+	if st.EgressWriters != 2 {
+		t.Errorf("EgressWriters = %d, want 2", st.EgressWriters)
+	}
+	if len(st.EgressShards) != 2 {
+		t.Errorf("EgressShards = %d entries, want 2", len(st.EgressShards))
+	}
+	if st.EgressFlushes == 0 {
+		t.Error("EgressFlushes = 0, want > 0 after writer activity")
+	}
+	if st.LinkSendErrorsTotal != 0 {
+		t.Errorf("LinkSendErrorsTotal = %d on a healthy link", st.LinkSendErrorsTotal)
+	}
+}
+
+// TestEgressLinkSendErrors verifies failed writes are counted per hop in
+// Stats and logged exactly once per link transition, on both the inline
+// and the writer-pool egress path.
+func TestEgressLinkSendErrors(t *testing.T) {
+	for _, writers := range []int{0, 2} {
+		t.Run(fmt.Sprintf("writers=%d", writers), func(t *testing.T) {
+			var buf bytes.Buffer
+			log.SetOutput(&buf)
+			defer log.SetOutput(os.Stderr)
+
+			b := New("hub", Options{Strategy: routing.Flooding, EgressWriters: writers})
+			b.Start()
+			defer b.Close()
+			out := &captureLink{}
+			out.fail(errors.New("wire cut"))
+			if err := b.AddLink("leaf", out); err != nil {
+				t.Fatal(err)
+			}
+
+			from := wire.ClientHop("p")
+			for i := 0; i < 4; i++ {
+				b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n1("x"))})
+				b.Barrier() // one flush burst (and one failure) per round
+			}
+
+			st := b.Stats()
+			hop := wire.BrokerHop("leaf")
+			if st.LinkSendErrors[hop] == 0 {
+				t.Fatalf("LinkSendErrors[%s] = 0 after failing writes", hop)
+			}
+			if st.LinkSendErrorsTotal != st.LinkSendErrors[hop] {
+				t.Errorf("LinkSendErrorsTotal = %d, want %d",
+					st.LinkSendErrorsTotal, st.LinkSendErrors[hop])
+			}
+			if n := strings.Count(buf.String(), "send to "); n != 1 {
+				t.Errorf("logged %d send-failure lines, want exactly 1\n%s", n, buf.String())
+			}
+
+			// A replacement link re-arms the log-once latch.
+			out2 := &captureLink{}
+			out2.fail(errors.New("wire cut again"))
+			if err := b.AddLink("leaf", out2); err != nil {
+				t.Fatal(err)
+			}
+			b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n1("y"))})
+			b.Barrier()
+			if n := strings.Count(buf.String(), "send to "); n != 2 {
+				t.Errorf("logged %d send-failure lines after relink, want 2\n%s", n, buf.String())
+			}
+		})
+	}
+}
+
+// TestOutboxSweep pins the retain-cap fix: a pending-map entry whose
+// neighbor is gone and whose queue is empty must be swept at the next
+// flush instead of keeping its map slot forever.
+func TestOutboxSweep(t *testing.T) {
+	b := New("hub", Options{Strategy: routing.Flooding})
+	b.Start()
+	defer b.Close()
+
+	// Orphan entries: neighbors that are neither linked nor retained
+	// (the state a nilled spike buffer leaves behind once its link is
+	// gone).
+	_ = b.exec(func() {
+		b.out.pending["ghost1"] = nil
+		b.out.pending["ghost2"] = make([]wire.Message, 0, 4)
+	})
+	// Any flush cycle must sweep them.
+	b.Receive(transport.Inbound{From: wire.ClientHop("p"), Msg: wire.NewPublish(n1("x"))})
+	b.Barrier()
+	_ = b.exec(func() {
+		for _, id := range []wire.BrokerID{"ghost1", "ghost2"} {
+			if _, ok := b.out.pending[id]; ok {
+				t.Errorf("pending[%s] survived the sweep", id)
+			}
+		}
+	})
+
+	// A half-open neighbor with queued traffic must NOT be swept: the
+	// burst is retained until AddLink shows up.
+	_ = b.exec(func() {
+		b.send(wire.BrokerHop("late"), wire.NewPublish(n1("keep")))
+	})
+	b.Barrier()
+	_ = b.exec(func() {
+		if len(b.out.pending["late"]) != 1 {
+			t.Errorf("retained burst for half-open neighbor was lost: %v", b.out.pending["late"])
+		}
+	})
+	out := &captureLink{}
+	if err := b.AddLink("late", out); err != nil {
+		t.Fatal(err)
+	}
+	b.Barrier()
+	if got := len(out.sent()); got == 0 {
+		t.Error("retained burst never flushed after AddLink")
+	}
+}
+
+// TestEgressRemoteClientDelivery checks that remote-client deliveries ride
+// the writer shards: after a Barrier every matched notification is on the
+// client's link, in sequence order.
+func TestEgressRemoteClientDelivery(t *testing.T) {
+	b := New("b1", Options{EgressWriters: 2})
+	b.Start()
+	defer b.Close()
+	cl := &captureLink{}
+	if err := b.AttachRemoteClient("rc", cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Subscribe(wire.Subscription{
+		Filter: filter.MustParse(`sym = "ACME"`), Client: "rc", ID: "s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachClient("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := b.Publish("p", n1("ACME")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Barrier()
+	msgs := cl.sent()
+	if len(msgs) != n {
+		t.Fatalf("%d deliveries on the client link after Barrier, want %d", len(msgs), n)
+	}
+	for i, m := range msgs {
+		if m.Type != wire.TypeDeliver || m.Deliver == nil {
+			t.Fatalf("message %d is %v, want a deliver", i, m.Type)
+		}
+		if got, want := m.Deliver.Item.Seq, uint64(i+1); got != want {
+			t.Fatalf("delivery %d has seq %d, want %d (FIFO broken)", i, got, want)
+		}
+	}
+}
+
+// TestEgressKillDiscards checks crash-stop semantics survive the writer
+// pool: Kill returns promptly (writers drain and exit; barriers don't
+// wedge) and nothing new reaches the wire afterwards.
+func TestEgressKillDiscards(t *testing.T) {
+	b := New("hub", Options{Strategy: routing.Flooding, EgressWriters: 2})
+	b.Start()
+	out := &captureLink{}
+	if err := b.AddLink("leaf", out); err != nil {
+		t.Fatal(err)
+	}
+	from := wire.ClientHop("p")
+	b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n1("x"))})
+	b.Barrier()
+	before := len(out.sent())
+
+	b.Kill()
+	b.Receive(transport.Inbound{From: from, Msg: wire.NewPublish(n1("y"))})
+	if got := len(out.sent()); got != before {
+		t.Errorf("killed broker wrote %d new messages", got-before)
+	}
+}

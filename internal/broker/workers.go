@@ -216,8 +216,11 @@ func (sc *workerScratch) visitEntry(e *routing.Entry) {
 	sc.res.hops = append(sc.res.hops, e.Hop)
 }
 
-// hopShard maps a publisher hop onto a worker shard (FNV-1a over the hop
-// identity). Publishes sharing a publisher always share a shard.
+// hopShard maps a hop onto a shard (FNV-1a over the hop identity). The
+// matching pool shards publishers by their arrival hop; the egress pool
+// reuses it to pin each outgoing link to one writer shard — in both
+// cases the property that matters is that one hop always lands on the
+// same shard.
 func hopShard(h wire.Hop, n int) int {
 	const (
 		offset64 = 14695981039346656037

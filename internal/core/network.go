@@ -43,6 +43,7 @@ type networkConfig struct {
 	procDelay  time.Duration
 	maxBuffer  int
 	workers    int
+	egress     int
 
 	// Elastic-federation settings (see elastic.go).
 	healHeartbeat  time.Duration
@@ -79,6 +80,14 @@ func WithMaxBufferPerSub(n int) NetworkOption {
 // delivery sequences are byte-identical for any value.
 func WithWorkers(n int) NetworkOption {
 	return func(c *networkConfig) { c.workers = n }
+}
+
+// WithEgressWriters sets every broker's egress parallelism (see
+// broker.Options.EgressWriters). The default of 0 keeps link writes
+// inline on each run loop; delivery sequences are byte-identical for any
+// value.
+func WithEgressWriters(n int) NetworkOption {
+	return func(c *networkConfig) { c.egress = n }
 }
 
 // Network owns a set of in-process brokers, their links, the shared
@@ -146,6 +155,7 @@ func (n *Network) AddBroker(id wire.BrokerID) (*broker.Broker, error) {
 		Counter:         n.counter,
 		MaxBufferPerSub: n.cfg.maxBuffer,
 		Workers:         n.cfg.workers,
+		EgressWriters:   n.cfg.egress,
 		RelocTimeout:    n.cfg.relocTimeout,
 	})
 	b.Start()

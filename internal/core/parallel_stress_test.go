@@ -14,12 +14,14 @@ import (
 
 // TestParallelRoamingExactlyOnce re-runs the randomized relocation stress
 // workload on a network whose brokers match publishes on parallel worker
-// pools (Workers 4), with publish bursts large enough that relay brokers
+// pools (Workers 4) AND write links from sharded egress writers
+// (EgressWriters 2), with publish bursts large enough that relay brokers
 // actually build multi-publish parallel runs. The exactly-once contract —
 // no lost, duplicated, or reordered notification across any sequence of
 // detaches and relocations — must hold bit-for-bit, exactly as on the
 // serial pipeline: relocation control messages serialize through each
-// broker's run loop and fence the publish runs around them.
+// broker's run loop, the egress drain barrier puts every earlier send on
+// the wire before they run, and both fence the publish runs around them.
 func TestParallelRoamingExactlyOnce(t *testing.T) {
 	seeds := []int64{3, 11, 77}
 	if testing.Short() {
@@ -29,7 +31,7 @@ func TestParallelRoamingExactlyOnce(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
-			net := NewNetwork(WithWorkers(4))
+			net := NewNetwork(WithWorkers(4), WithEgressWriters(2))
 			t.Cleanup(net.Close)
 
 			ids := make([]wire.BrokerID, 8)

@@ -601,6 +601,7 @@ type scratch struct {
 	matched []int32 // row slots
 	hopSeen map[int32]struct{}
 	hopOut  []hopRef
+	entry   Entry // reused across visit calls; &entry escapes into the callback
 }
 
 type hopRef struct {
@@ -793,10 +794,13 @@ func (x *matchIndex) eachMatching(n message.Notification, from wire.Hop, visit f
 		return
 	}
 	x.sortSlots(kept)
-	var e Entry
+	// The Entry lives in the pooled scratch: a local would escape through
+	// visit (the compiler cannot see that callbacks don't retain it) and
+	// cost one heap allocation per matched publish.
+	e := &s.entry
 	for _, slot := range kept {
-		x.fillEntry(slot, &e)
-		visit(&e)
+		x.fillEntry(slot, e)
+		visit(e)
 	}
 }
 

@@ -1066,3 +1066,80 @@ func TestChanLinkWaitIdleExact(t *testing.T) {
 	}
 	la.WaitIdle() // closed pump: must return, not hang
 }
+
+// TestTCPLinkConcurrentFlushClose pins the usage pattern of the broker's
+// egress writer pool: Send/SendBatch/Flush arrive from a writer goroutine
+// while other goroutines Flush and a third Closes the link. Run under
+// -race, the test asserts the link's mutex/cond flush accounting is safe
+// for concurrent use and that nobody wedges — every Flush returns (nil or
+// the close-time write error) and Close tears the link down while flushes
+// are in flight.
+func TestTCPLinkConcurrentFlushClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var serverSink sink
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = AcceptTCP(conn, "server", &serverSink)
+	}()
+	cl, err := DialTCP(ln.Addr().String(), "client", &sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writer: the egress-pool role — batches followed by a Flush.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		batch := []wire.Message{pubMsg(1), pubMsg(2), pubMsg(3)}
+		for i := 0; i < 500; i++ {
+			if err := cl.SendBatch(batch); err != nil {
+				return // closed under us: expected
+			}
+			_ = cl.Flush()
+		}
+	}()
+	// Two competing flushers (a Barrier-style waiter and a stats poller).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 500; i++ {
+				_ = cl.Flush()
+				_ = cl.FlowStats()
+			}
+		}()
+	}
+	// Closer: tear the link down mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(2 * time.Millisecond)
+		_ = cl.Close()
+	}()
+
+	close(start)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent Flush/Close wedged")
+	}
+	// The link must be fully closed and further sends must fail.
+	if err := cl.Send(pubMsg(99)); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+}
