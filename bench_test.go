@@ -1565,3 +1565,157 @@ func BenchmarkEgressFanoutStalledPeer(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Relocation storm (city-scale mobility)
+// ---------------------------------------------------------------------------
+
+// stormBackgroundTable fills the broker's subscription table with n
+// aggregate entries (the matchScaleEntries shape mix) injected as if its
+// chain neighbor had forwarded them. Claiming the neighbor as the origin
+// hop matters twice over: the forwarding control plane has no other
+// neighbor to propagate the filters to (so setup stays O(n) instead of
+// flooding the chain), and split-horizon matching excludes the arrival hop
+// (so storm publishes arriving over that link never fan back out into the
+// background entries). The table is pure ballast: before the O(k) posting
+// lists, every relocation step scanned all n entries to enumerate one
+// client's.
+func stormBackgroundTable(b *testing.B, br *broker.Broker, from wire.Hop, n int) {
+	b.Helper()
+	es, _ := matchScaleEntries(n)
+	const chunk = 4096
+	msgs := make([]wire.Message, 0, chunk)
+	for i := range es {
+		msgs = append(msgs, wire.NewSubscribe(wire.Subscription{Filter: es[i].Filter}))
+		if len(msgs) == chunk {
+			br.ReceiveBurst(from, msgs)
+			br.Barrier() // bound mailbox depth during the bulk load
+			msgs = make([]wire.Message, 0, chunk)
+		}
+	}
+	if len(msgs) > 0 {
+		br.ReceiveBurst(from, msgs)
+	}
+	br.Barrier()
+	subs, _ := br.TableSizes()
+	if subs < n {
+		b.Fatalf("background table holds %d entries, want >= %d", subs, n)
+	}
+}
+
+// benchRelocationStorm measures relocation latency under load at one
+// background table size: R mobile clients ping-pong between the last two
+// brokers of a 3-chain whose far end hosts a producer, with one storm
+// publish racing each move. Every relocation enumerates the roaming
+// client's entries at the ballast broker (junction detection, fetch
+// flipping, replay routing), so ns/op is flat across table sizes exactly
+// when those paths are O(k) — the tentpole claim. The relocation timeout
+// is disabled, so completion always comes from a replay: a lost or
+// duplicated notification fails the closing reachability check.
+func benchRelocationStorm(b *testing.B, tableSize int) {
+	const roamers = 32
+	nw := core.NewNetwork(core.WithRelocTimeout(-1))
+	defer nw.Close()
+	ids, err := nw.BuildChain("s", 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heavy, err := nw.Broker(ids[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients := make([]*core.Client, roamers)
+	for i := range clients {
+		c, err := nw.NewClient(wire.ClientID(fmt.Sprintf("m%d", i)), ids[2], func(core.Event) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+	}
+	producer, err := nw.NewClient("prod", ids[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := filter.MustParse(`storm = "go"`)
+	if err := producer.Advertise("a", f); err != nil {
+		b.Fatal(err)
+	}
+	nw.Settle()
+	for _, c := range clients {
+		if err := c.Subscribe(core.SubSpec{ID: "s", Filter: f, Mobile: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	nw.Settle()
+	stormBackgroundTable(b, heavy, wire.BrokerHop(ids[1]), tableSize)
+
+	notif := message.New(map[string]message.Value{"storm": message.String("go")})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := clients[i%roamers]
+		target := ids[1] // clients start at ids[2] and strictly alternate
+		if (i/roamers)%2 == 1 {
+			target = ids[2]
+		}
+		if err := producer.Publish(notif); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.MoveTo(target); err != nil {
+			b.Fatal(err)
+		}
+		nw.Settle()
+	}
+	b.StopTimer()
+
+	// Reachability: after the storm every roamer must still receive
+	// exactly one copy of a sentinel publish — no severed subscriptions,
+	// no duplicate delivery paths left behind by the flips.
+	before := nw.Counter().Get(metrics.CategoryDeliver)
+	if err := producer.Publish(notif); err != nil {
+		b.Fatal(err)
+	}
+	nw.Settle()
+	if got := nw.Counter().Get(metrics.CategoryDeliver) - before; got != roamers {
+		b.Fatalf("sentinel publish delivered %d copies, want %d", got, roamers)
+	}
+
+	var completed, expired, drops, batches, replayMax uint64
+	var replayItems float64
+	for _, id := range ids {
+		br, err := nw.Broker(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := br.Stats()
+		completed += s.RelocationsCompleted
+		expired += s.RelocationsExpired
+		drops += s.RelocBufferDrops
+		batches += s.ReplayBatches
+		replayItems += s.ReplayMeanItems * float64(s.ReplayBatches)
+		if s.ReplayMaxItems > replayMax {
+			replayMax = s.ReplayMaxItems
+		}
+	}
+	if expired != 0 {
+		b.Fatalf("%d relocations expired with the timeout disabled", expired)
+	}
+	b.ReportMetric(float64(completed)/float64(b.N), "reloc/op")
+	if batches > 0 {
+		b.ReportMetric(replayItems/float64(batches), "replay-items/batch")
+	}
+	b.ReportMetric(float64(replayMax), "replay-max-items")
+	b.ReportMetric(float64(drops), "reloc-drops")
+}
+
+// BenchmarkRelocationStorm10k is the small anchor for the relocation-storm
+// scaling story.
+func BenchmarkRelocationStorm10k(b *testing.B) { benchRelocationStorm(b, 10_000) }
+
+// BenchmarkRelocationStorm100k is the CI-gated point: relocation latency
+// against a 10⁵-entry ballast table must stay flat relative to the 10k
+// anchor (the 1M run is too slow to gate).
+func BenchmarkRelocationStorm100k(b *testing.B) { benchRelocationStorm(b, 100_000) }
+
+// BenchmarkRelocationStorm1M drives the storm against a 10⁶-entry table —
+// the city-scale acceptance point (informational in CI).
+func BenchmarkRelocationStorm1M(b *testing.B) { benchRelocationStorm(b, 1_000_000) }

@@ -48,22 +48,23 @@ func main() {
 // flag set can be constructed without running the daemon — the
 // OPERATIONS.md drift guard walks it with VisitAll.
 type brokerFlags struct {
-	id            string
-	listen        string
-	peers         string
-	registryPath  string
-	heartbeat     time.Duration
-	strategyName  string
-	statsEvery    time.Duration
-	workers       int
-	maxBatch      int
-	mailboxCap    int
-	mailboxPolicy string
-	sendWindow    int
-	sendPolicy    string
-	egressWriters int
-	egressWindow  int
-	egressPolicy  string
+	id             string
+	listen         string
+	peers          string
+	registryPath   string
+	heartbeat      time.Duration
+	strategyName   string
+	statsEvery     time.Duration
+	workers        int
+	maxBatch       int
+	mailboxCap     int
+	mailboxPolicy  string
+	sendWindow     int
+	sendPolicy     string
+	egressWriters  int
+	egressWindow   int
+	egressPolicy   string
+	relocBufferCap int
 }
 
 // newFlagSet declares the rebeca-broker flags on a fresh FlagSet.
@@ -98,6 +99,8 @@ func newFlagSet() (*flag.FlagSet, *brokerFlags) {
 		"per-shard egress handoff queue bound in messages (0 = unbounded; needs -egress-writers)")
 	fs.StringVar(&cfg.egressPolicy, "egress-policy", flow.Block.String(),
 		"egress-window overload policy: "+strings.Join(flow.PolicyNames(), ", "))
+	fs.IntVar(&cfg.relocBufferCap, "reloc-buffer-cap", 0,
+		"per-subscription relocation buffer bound in notifications, drop-oldest (0 = MaxBufferPerSub)")
 	return fs, cfg
 }
 
@@ -156,6 +159,9 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-egress-policy: %w", err)
 	}
+	if cfg.relocBufferCap < 0 {
+		return fmt.Errorf("-reloc-buffer-cap must be >= 0, got %d", cfg.relocBufferCap)
+	}
 
 	self := wire.BrokerID(cfg.id)
 	b := broker.New(self, broker.Options{
@@ -167,6 +173,7 @@ func run(args []string) error {
 		EgressWriters:   cfg.egressWriters,
 		EgressWindow:    cfg.egressWindow,
 		EgressPolicy:    egressPolicy,
+		RelocBufferCap:  cfg.relocBufferCap,
 	})
 	b.Start()
 	defer b.Close()
@@ -280,6 +287,9 @@ func run(args []string) error {
 				cfg.id, st.Forwarder.TrackedFilters, st.Forwarder.ForwardedFilters,
 				st.ControlSubsSent, st.ControlUnsubsSent, st.CoverChecksSaved,
 				st.Forwarder.MergesActive, st.Forwarder.MergeCovered, st.Forwarder.Unmerges)
+			log.Printf("broker %s: mobility: relocations %d started / %d completed / %d expired, replay %d batches (mean %.1f, max %d items), buffer drops %d",
+				cfg.id, st.RelocationsStarted, st.RelocationsCompleted, st.RelocationsExpired,
+				st.ReplayBatches, st.ReplayMeanItems, st.ReplayMaxItems, st.RelocBufferDrops)
 		case s := <-sig:
 			log.Printf("broker %s: received %v, shutting down", cfg.id, s)
 			return nil

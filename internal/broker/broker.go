@@ -60,6 +60,17 @@ type Options struct {
 	// space limitations of buffering approaches", Section 4.1). Zero means
 	// DefaultMaxBufferPerSub.
 	MaxBufferPerSub int
+	// RelocBufferCap caps the two relocation-side buffers per
+	// subscription independently of MaxBufferPerSub: the pending buffer
+	// at the new border broker (notifications arriving over the new path
+	// while the replay is outstanding) and replay items parked at
+	// completion for a client that has already disconnected again.
+	// Overflow drops the oldest buffered notification and counts it in
+	// Stats.RelocBufferDrops — the space half of Section 4.1's
+	// "completeness within the boundaries of time and/or space
+	// limitations", mirroring how Options.RelocTimeout bounds the same
+	// buffers in time. Zero means MaxBufferPerSub.
+	RelocBufferCap int
 	// MaxBatch caps how many queued tasks the message loop drains per
 	// mailbox lock acquisition. Zero (the default) drains everything
 	// pending; 1 reproduces the unbatched one-message-per-lock pipeline
@@ -174,6 +185,14 @@ type Broker struct {
 	batchRemaining int                  // unprocessed tail of the current batch, set at closure boundaries
 	relocDrops     uint64               // notifications dropped from relocation-pending buffers
 
+	// Relocation lifecycle counters and the replay-size distribution
+	// (owned by the run goroutine except replaySizes, which is atomic).
+	relocStarted     uint64               // re-subscriptions that opened a pending replay buffer
+	relocCompleted   uint64               // relocations completed by a replay at this broker
+	relocExpired     uint64               // pending buffers flushed by RelocTimeout instead of a replay
+	relocReplayDrops uint64               // replay items dropped by the relocation buffer cap
+	replaySizes      metrics.Distribution // items per replay batch sent from local counterparts
+
 	// Control-plane admin traffic sent by the forwarding strategy
 	// (aggregate subscribe/unsubscribe messages toward neighbors).
 	ctrlSubsSent   uint64
@@ -274,9 +293,29 @@ type Stats struct {
 	MaxBatchSize     int
 	MeanBatchSize    float64
 	// RelocationPendingDrops counts notifications dropped from
-	// relocation-pending buffers because they exceeded MaxBufferPerSub
-	// (the relocation-side counterpart of clientSub overflow).
+	// relocation-pending buffers because they exceeded the relocation
+	// buffer cap (the relocation-side counterpart of clientSub overflow).
 	RelocationPendingDrops uint64
+	// RelocBufferDrops totals the drop-oldest evictions from both
+	// relocation-side buffers under Options.RelocBufferCap: the pending
+	// buffer at the new border broker (also counted in
+	// RelocationPendingDrops) and replay items parked at completion for a
+	// disconnected client.
+	RelocBufferDrops uint64
+	// RelocationsStarted / RelocationsCompleted / RelocationsExpired
+	// count this broker's border-side relocation lifecycle:
+	// re-subscriptions that opened a pending replay buffer, replays that
+	// completed one, and pending buffers flushed by RelocTimeout because
+	// the replay never came (crashed old border broker).
+	RelocationsStarted   uint64
+	RelocationsCompleted uint64
+	RelocationsExpired   uint64
+	// ReplayBatches / ReplayMeanItems / ReplayMaxItems describe the
+	// replay batches this broker's virtual counterparts sent back toward
+	// relocated clients — the per-relocation replay size distribution.
+	ReplayBatches   uint64
+	ReplayMeanItems float64
+	ReplayMaxItems  uint64
 	// Workers is the configured matching parallelism (1 = serial).
 	// WorkerRuns counts parallel publish runs dispatched to the pool and
 	// WorkerJobs the publishes matched there; WorkerMaxShardDepth /
@@ -413,6 +452,9 @@ func New(id wire.BrokerID, opts Options) *Broker {
 	}
 	if opts.MaxBufferPerSub == 0 {
 		opts.MaxBufferPerSub = DefaultMaxBufferPerSub
+	}
+	if opts.RelocBufferCap == 0 {
+		opts.RelocBufferCap = opts.MaxBufferPerSub
 	}
 	b := &Broker{
 		id:           id,
@@ -956,6 +998,13 @@ func (b *Broker) Stats() Stats {
 		s.MaxBatchSize = int(b.batchDepth.Max())
 		s.MeanBatchSize = b.batchDepth.Mean()
 		s.RelocationPendingDrops = b.relocDrops
+		s.RelocBufferDrops = b.relocDrops + b.relocReplayDrops
+		s.RelocationsStarted = b.relocStarted
+		s.RelocationsCompleted = b.relocCompleted
+		s.RelocationsExpired = b.relocExpired
+		s.ReplayBatches = b.replaySizes.Count()
+		s.ReplayMeanItems = b.replaySizes.Mean()
+		s.ReplayMaxItems = b.replaySizes.Max()
 		s.ControlSubsSent = b.ctrlSubsSent
 		s.ControlUnsubsSent = b.ctrlUnsubsSent
 		s.Forwarder = b.fwd.Stats()

@@ -214,6 +214,7 @@ func (b *Broker) localUnsubscribe(client wire.ClientID, id wire.SubID) error {
 	key := subKey(client, id)
 	removed := b.subs.RemoveClient(client, id)
 	delete(b.pending, key)
+	delete(b.fetched, key) // the sub is gone; drop its fetch-dedup entry too
 	switch {
 	case state.sub.LocDependent:
 		b.teardownLocSub(key)
@@ -633,7 +634,7 @@ func (b *Broker) deliverTo(client wire.ClientID, id wire.SubID, n message.Notifi
 	if len(b.pending) != 0 && !replayed {
 		if p, relocating := b.pending[subKey(client, id)]; relocating {
 			p.notifs = append(p.notifs, n)
-			if len(p.notifs) > b.opts.MaxBufferPerSub {
+			if len(p.notifs) > b.opts.RelocBufferCap {
 				p.notifs = p.notifs[1:]
 				b.relocDrops++
 			}

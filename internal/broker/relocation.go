@@ -57,6 +57,7 @@ func (b *Broker) localRelocateSubscribe(cs *clientState, sub wire.Subscription) 
 	b.subs.Add(routing.Entry{Filter: sub.Filter, Hop: clientHop, Client: sub.Client, SubID: sub.ID})
 	p := &relocationPending{client: sub.Client, id: sub.ID, epoch: sub.RelocEpoch}
 	b.pending[key] = p
+	b.relocStarted++
 	if timeout := b.relocTimeout(); timeout > 0 {
 		epoch := sub.RelocEpoch
 		p.timer = time.AfterFunc(timeout, func() {
@@ -107,15 +108,23 @@ func (b *Broker) relocTimeout() time.Duration {
 // crashed border broker would buffer forever, since the crashed broker's
 // virtual counterpart — and with it the replay — is gone. Notifications
 // the crashed broker had buffered but not replayed are lost; the blackout
-// experiment measures that loss. Runs on the broker goroutine; the epoch
-// check drops stale timers from an earlier relocation of the same
-// subscription.
+// experiment measures that loss. The expiry bound and the relocation
+// buffer cap are the two deliberate loss points of the protocol —
+// Section 4.1's "completeness within the boundaries of time and/or space
+// limitations of buffering approaches": RelocTimeout bounds how long a
+// relocation may buffer, RelocBufferCap bounds how much, and each drop is
+// counted (RelocationsExpired measures nothing by itself, but the blackout
+// experiment's loss column does; RelocBufferDrops counts the space side
+// directly). Runs on the broker goroutine; the epoch check drops stale
+// timers from an earlier relocation of the same subscription.
 func (b *Broker) expireRelocation(key string, epoch uint64) {
 	p, ok := b.pending[key]
 	if !ok || p.epoch != epoch {
 		return
 	}
 	delete(b.pending, key)
+	delete(b.fetched, key) // relocation over; allow future epochs to refetch
+	b.relocExpired++
 	for _, n := range p.notifs {
 		b.deliverTo(p.client, p.id, n, false)
 	}
@@ -157,6 +166,17 @@ func (b *Broker) handleFetch(from wire.Hop, f wire.Fetch) {
 	key := subKey(f.Client, f.ID)
 	if last, ok := b.fetched[key]; ok && last >= f.Epoch {
 		return
+	}
+	// The fetched dedup entry is garbage collected when a relocation
+	// completes, so it alone cannot drop a same-epoch duplicate that was
+	// still in flight on a slow path. If the subscription's client is
+	// connected HERE with a current-or-newer epoch, this broker is the
+	// client's live border broker and the entry pointing at the client
+	// hop must not be flipped away — drop the straggler.
+	if cs, ok := b.clients[f.Client]; ok && cs.connected {
+		if st, ok := cs.subs[f.ID]; ok && st.sub.RelocEpoch >= f.Epoch {
+			return
+		}
 	}
 	olds := b.subs.ClientEntries(f.Client, f.ID)
 	var forward []routing.Entry
@@ -210,6 +230,7 @@ func (b *Broker) replayFromCounterpart(f wire.Fetch, toward wire.Hop) {
 			delete(b.clients, f.Client)
 		}
 	}
+	b.replaySizes.Observe(uint64(len(replay.Items)))
 	b.send(toward, wire.NewReplay(replay))
 }
 
@@ -237,6 +258,11 @@ func (b *Broker) handleReplay(from wire.Hop, r wire.Replay) {
 // arrives.
 func (b *Broker) completeRelocation(r wire.Replay) {
 	key := subKey(r.Client, r.ID)
+	// The relocation this replay belongs to is over either way: release
+	// the fetch-dedup entry so a future epoch of the same subscription
+	// can be fetched again (handleFetch separately guards the live
+	// client entry against same-epoch stragglers).
+	delete(b.fetched, key)
 	cs, ok := b.clients[r.Client]
 	if !ok {
 		delete(b.pending, key)
@@ -252,6 +278,7 @@ func (b *Broker) completeRelocation(r wire.Replay) {
 	if p != nil && p.timer != nil {
 		p.timer.Stop()
 	}
+	b.relocCompleted++
 
 	// Adopt the old border broker's numbering.
 	if r.NextSeq > st.nextSeq {
@@ -266,6 +293,11 @@ func (b *Broker) completeRelocation(r wire.Replay) {
 			cs.deliver(wire.Deliver{Client: r.Client, ID: r.ID, Item: it, Replayed: true})
 		} else {
 			st.buffer = append(st.buffer, it)
+			if len(st.buffer) > b.opts.RelocBufferCap {
+				st.buffer = st.buffer[1:]
+				st.overflow++
+				b.relocReplayDrops++
+			}
 		}
 	}
 	// … then the ones that arrived over the new path meanwhile (the

@@ -10,7 +10,7 @@ import (
 
 // Run executes the named experiment and returns its rendered artifact.
 // Names: table1, table2, table3, table4, fig2, fig3, fig8, fig9, churn,
-// blackout-scale, all.
+// blackout-scale, roaming-scale, all.
 func Run(name string) (string, error) {
 	switch name {
 	case "table1":
@@ -49,6 +49,12 @@ func Run(name string) (string, error) {
 			return "", err
 		}
 		return res.Render(), nil
+	case "roaming-scale":
+		res, err := RoamingScale(sim.DefaultRoamingScaleConfig())
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "all":
 		var b strings.Builder
 		for _, n := range Names() {
@@ -67,7 +73,7 @@ func Run(name string) (string, error) {
 
 // Names lists all experiment identifiers in a stable order.
 func Names() []string {
-	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9", "churn", "blackout-scale"}
+	names := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig8", "fig9", "churn", "blackout-scale", "roaming-scale"}
 	sort.Strings(names)
 	return names
 }

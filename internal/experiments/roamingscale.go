@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+)
+
+// RoamingScale runs the city-scale relocation storm (see
+// sim.RunRoamingScale): a fleet of mobile subscribers ping-pongs between
+// the border brokers of a chain under publish load, against a ballast
+// subscription table, and the measured outcome — relocation throughput,
+// exactly-once delivery, and the replay-size distribution — is rendered as
+// the EXPERIMENTS.md artifact.
+func RoamingScale(cfg sim.RoamingScaleConfig) (sim.RoamingScaleResult, error) {
+	return sim.RunRoamingScale(cfg)
+}

@@ -60,6 +60,19 @@ type matchIndex struct {
 	idents  []identKey // append-only owner intern table
 	identID map[identKey]int32
 
+	// identPosts / hopPosts are the per-owner and per-hop slot posting
+	// lists behind the O(k) enumeration paths (ClientEntries,
+	// RemoveClient, RemoveHop, hop-overlap checks) — see postings.go.
+	// Indexed by intern id, parallel to idents/hops. The empty owner
+	// identity is never posted: every aggregate entry shares it, so its
+	// list would be the table over again (those callers keep the scan
+	// path). identPostLive/hopPostLive aggregate the live posting counts
+	// so IndexStats stays O(1) and leak tests can assert drain-to-zero.
+	identPosts    []mutPostings
+	hopPosts      []mutPostings
+	identPostLive int
+	hopPostLive   int
+
 	pool *sync.Pool // *scratch; shared with snapshots (pools must not be copied)
 }
 
@@ -191,6 +204,7 @@ func (x *matchIndex) internHop(h wire.Hop) int32 {
 	}
 	id := int32(len(x.hops))
 	x.hops = append(x.hops, hopInfo{hop: h, key: h.String()})
+	x.hopPosts = append(x.hopPosts, mutPostings{})
 	x.hopIDs[h] = id
 	return id
 }
@@ -202,6 +216,7 @@ func (x *matchIndex) internIdent(c wire.ClientID, s wire.SubID) int32 {
 	}
 	id := int32(len(x.idents))
 	x.idents = append(x.idents, k)
+	x.identPosts = append(x.identPosts, mutPostings{})
 	x.identID[k] = id
 	return id
 }
@@ -244,6 +259,12 @@ func (x *matchIndex) insertEntry(e Entry) bool {
 	*r = row{hash: h, hopID: hopID, identID: identID, total: int32(e.Filter.Len()), gen: gen, f: e.Filter}
 	x.liveRows++
 	sg := slotGen{slot: slot, gen: gen}
+	x.hopPosts[hopID].add(sg)
+	x.hopPostLive++
+	if e.Client != "" {
+		x.identPosts[identID].add(sg)
+		x.identPostLive++
+	}
 	if e.Filter.Len() == 0 {
 		x.matchAll.add(x, sg)
 	} else {
@@ -283,6 +304,10 @@ func (x *matchIndex) removeSlot(slot int32) {
 	rd := x.rows.at(slot)
 	f := rd.f
 	hash := rd.hash
+	// Captured before the scrub below: rd may alias rw when the page is
+	// already owned at the current epoch.
+	hopID := rd.hopID
+	identID := rd.identID
 	x.ident.remove(hash, slot)
 	rw := x.rows.w(slot, x.epoch)
 	rw.gen++
@@ -292,6 +317,14 @@ func (x *matchIndex) removeSlot(slot int32) {
 	rw.hash = 0
 	rw.f = filter.Filter{} // release the filter's backing storage
 	x.liveRows--
+	// The generation bump above already invalidated the enumeration
+	// postings; this is accounting plus amortized compaction.
+	x.hopPosts[hopID].removeLazy(x)
+	x.hopPostLive--
+	if x.idents[identID].c != "" {
+		x.identPosts[identID].removeLazy(x)
+		x.identPostLive--
+	}
 	if f.Len() == 0 {
 		x.matchAll.removeLazy(x)
 	} else {
@@ -810,4 +843,9 @@ type IndexStats struct {
 	Attrs    int // distinct indexed attributes
 	Postings int // posting-list entries across all buckets
 	MatchAll int // rows whose filter matches every notification
+	// IdentPostings / HopPostings count the live slot postings of the
+	// mutation-plane enumeration lists that serve the O(k) relocation
+	// paths (ClientEntries / RemoveClient / RemoveHop — see postings.go).
+	IdentPostings int
+	HopPostings   int
 }

@@ -236,7 +236,10 @@ func (t *Table) MatchingEntriesLinear(n message.Notification, from wire.Hop) []E
 }
 
 // ClientEntries returns the entries owned by the given client
-// subscription.
+// subscription. It walks the owner's posting list — O(entries for that
+// client), not O(table) — so the relocation protocol's junction detection
+// stays scale-independent; the empty owner identity, shared by every
+// aggregate entry, keeps the full-scan path (see postings.go).
 func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -245,17 +248,28 @@ func (t *Table) ClientEntries(c wire.ClientID, id wire.SubID) []Entry {
 		return nil
 	}
 	var out []Entry
-	t.idx.forEachLiveSlot(func(slot int32, r *row) {
-		if r.identID == iid {
-			out = append(out, t.idx.entryAt(slot))
+	if c == "" {
+		t.idx.forEachLiveSlot(func(slot int32, r *row) {
+			if r.identID == iid {
+				out = append(out, t.idx.entryAt(slot))
+			}
+		})
+	} else {
+		for _, sg := range t.idx.identPosts[iid].s {
+			// A live generation implies the row is still the one the
+			// posting was created for, so its identID is iid.
+			if t.idx.rowLive(sg) {
+				out = append(out, t.idx.entryAt(sg.slot))
+			}
 		}
-	})
+	}
 	sortEntriesCanonical(out)
 	return out
 }
 
 // RemoveClient deletes all entries owned by the given client subscription
-// and returns them.
+// and returns them. O(entries for that client) via the owner posting list;
+// the empty owner identity falls back to the scan (see ClientEntries).
 func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -263,11 +277,15 @@ func (t *Table) RemoveClient(c wire.ClientID, id wire.SubID) []Entry {
 	if !ok {
 		return nil
 	}
-	return t.removeSelected(func(r *row) bool { return r.identID == iid })
+	if c == "" {
+		return t.removeSelected(func(r *row) bool { return r.identID == iid })
+	}
+	return t.removeSlots(t.idx.identPosts[iid].liveSlots(t.idx, nil))
 }
 
 // RemoveHop deletes all entries pointing along the given hop and returns
-// them (used when a link or client goes away).
+// them (used when a link or client goes away — the tree-repair bulk path).
+// O(entries along that hop) via the hop posting list.
 func (t *Table) RemoveHop(h wire.Hop) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -275,7 +293,25 @@ func (t *Table) RemoveHop(h wire.Hop) []Entry {
 	if !ok {
 		return nil
 	}
-	return t.removeSelected(func(r *row) bool { return r.hopID == hid })
+	return t.removeSlots(t.idx.hopPosts[hid].liveSlots(t.idx, nil))
+}
+
+// removeSlots deletes the given live rows, returning the removed entries
+// in canonical order. The slot list must be a private snapshot (see
+// mutPostings.liveSlots): removals compact posting lists in place.
+// Callers hold the write lock.
+func (t *Table) removeSlots(slots []int32) []Entry {
+	if len(slots) == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, len(slots))
+	for _, slot := range slots {
+		out = append(out, t.idx.entryAt(slot))
+		t.idx.removeSlot(slot)
+	}
+	t.invalidateSnapshot()
+	sortEntriesCanonical(out)
+	return out
 }
 
 // removeSelected deletes every live row the predicate selects, returning
@@ -320,7 +356,8 @@ func (t *Table) EntriesNotFrom(h wire.Hop) []Entry {
 
 // OverlapsHop reports whether any entry from the given hop overlaps the
 // filter (used to decide whether a subscription must travel toward an
-// advertiser).
+// advertiser). It walks the hop's posting list with an early exit on the
+// first overlap instead of scanning the table.
 func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -328,35 +365,34 @@ func (t *Table) OverlapsHop(f filter.Filter, h wire.Hop) bool {
 	if !ok {
 		return false
 	}
-	overlaps := false
-	t.idx.forEachLiveSlot(func(slot int32, r *row) {
-		if !overlaps && r.hopID == hid && r.f.Overlaps(f) {
-			overlaps = true
+	for _, sg := range t.idx.hopPosts[hid].s {
+		if t.idx.rowLive(sg) && t.idx.rows.at(sg.slot).f.Overlaps(f) {
+			return true
 		}
-	})
-	return overlaps
+	}
+	return false
 }
 
 // HopsOverlapping returns the hops having at least one entry overlapping
-// f, excluding from.
+// f, excluding from. Per hop it walks that hop's posting list and stops at
+// the first overlap, so the cost is driven by the interned hop count plus
+// the postings actually examined, not the table size.
 func (t *Table) HopsOverlapping(f filter.Filter, from wire.Hop) []wire.Hop {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	seen := make(map[int32]struct{})
 	var refs []hopRef
-	t.idx.forEachLiveSlot(func(slot int32, r *row) {
-		hi := t.idx.hops[r.hopID]
+	for hid := range t.idx.hops {
+		hi := &t.idx.hops[hid]
 		if hi.hop == from {
-			return
+			continue
 		}
-		if _, dup := seen[r.hopID]; dup {
-			return
+		for _, sg := range t.idx.hopPosts[hid].s {
+			if t.idx.rowLive(sg) && t.idx.rows.at(sg.slot).f.Overlaps(f) {
+				refs = append(refs, hopRef{key: hi.key, hop: hi.hop})
+				break
+			}
 		}
-		if r.f.Overlaps(f) {
-			seen[r.hopID] = struct{}{}
-			refs = append(refs, hopRef{key: hi.key, hop: hi.hop})
-		}
-	})
+	}
 	if len(refs) == 0 {
 		return nil
 	}
@@ -373,9 +409,11 @@ func (t *Table) IndexStats() IndexStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return IndexStats{
-		Entries:  t.idx.liveRows,
-		Attrs:    len(t.idx.attrs.s),
-		Postings: t.idx.postings,
-		MatchAll: t.idx.matchAll.liveCount(),
+		Entries:       t.idx.liveRows,
+		Attrs:         len(t.idx.attrs.s),
+		Postings:      t.idx.postings,
+		MatchAll:      t.idx.matchAll.liveCount(),
+		IdentPostings: t.idx.identPostLive,
+		HopPostings:   t.idx.hopPostLive,
 	}
 }
